@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples results clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# regenerate every paper artifact into results/
+experiments:
+	$(PYTHON) -m repro.bench all --scale 0.03 --out results/
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex"; $(PYTHON) $$ex || exit 1; \
+	done
+
+results: experiments
+
+clean:
+	rm -rf results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,27 @@
+"""Benchmark running the mechanism ablations (DESIGN.md §5/§7)."""
+
+from conftest import run_once
+
+from repro.bench.registry import run_experiment
+
+
+def test_ablations(benchmark, bench_config):
+    launch_tbl, locality_tbl, latency_tbl, device_tbl = run_once(
+        benchmark, lambda: run_experiment("ablations", bench_config)
+    )
+    # dpar-naive recovers monotonically as launches get cheaper
+    naive = launch_tbl.column("dpar-naive")
+    assert naive == sorted(naive)
+    # dbuf-shared ignores the launch-throughput knob entirely
+    dbuf = launch_tbl.column("dbuf-shared")
+    assert max(dbuf) - min(dbuf) < 0.05 * max(dbuf)
+    # gld efficiency rises with dataset locality
+    gld = locality_tbl.column("gld efficiency %")
+    assert gld == sorted(gld)
+    # the divergence fix persists even with zero locality
+    assert locality_tbl.column("speedup over baseline")[0] > 1.5
+    # dbuf-shared works on Fermi; dpar-opt does not
+    rows = {r[0]: r for r in device_tbl.rows}
+    fermi = [v for k, v in rows.items() if "Fermi" in k][0]
+    assert fermi[1] > 1.5
+    assert fermi[2] == "unsupported"

@@ -1,0 +1,19 @@
+"""Benchmark regenerating the §III.B baseline speedups."""
+
+from conftest import run_once
+
+from repro.bench.registry import run_experiment
+
+
+def test_baseline_speedups(benchmark, bench_config):
+    (table,) = run_once(
+        benchmark, lambda: run_experiment("baselines", bench_config)
+    )
+    measured = dict(zip(table.column("app"), table.column("measured")))
+    # all baselines actually beat serial CPU
+    for app, value in measured.items():
+        assert value > 1.0, app
+    # paper ordering: PageRank posts the largest baseline speedup and the
+    # memory-bound SpMV/BC the smallest
+    assert measured["PageRank"] == max(measured.values())
+    assert measured["PageRank"] > measured["SSSP"]

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 2 (sort comparison)."""
+
+from conftest import run_once
+
+from repro.bench.registry import run_experiment
+
+
+def test_fig2_sorts(benchmark, bench_config):
+    tables = run_once(benchmark, lambda: run_experiment("fig2", bench_config))
+    (table,) = tables
+    simple = table.column("quicksort-simple")
+    advanced = table.column("quicksort-advanced")
+    merge = table.column("mergesort")
+    # Fig. 2 shape: mergesort < advanced < simple at every size
+    for m, a, s in zip(merge, advanced, simple):
+        assert m < a < s
+    # larger arrays take longer
+    assert merge == sorted(merge)

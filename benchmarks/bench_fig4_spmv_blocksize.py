@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 4 (SpMV block-size study)."""
+
+from conftest import run_once
+
+from repro.bench.registry import run_experiment
+
+
+def test_fig4_spmv_blocksize(benchmark, bench_config):
+    tables = run_once(benchmark, lambda: run_experiment("fig4", bench_config))
+    assert len(tables) == 3  # one per lbTHRES in {64, 128, 192}
+    # Fig. 4 shape: the load-balancing templates beat the baseline at
+    # lbTHRES=64 for every block size (speedup > 1)
+    lb64 = tables[0]
+    for col in ("dbuf-global", "dbuf-shared"):
+        assert all(v > 1.0 for v in lb64.column(col))
+    # lbTHRES dominates block size: the spread across block sizes within
+    # one chart is smaller than the spread across lbTHRES settings
+    def spread(values):
+        return max(values) - min(values)
+
+    within = spread(tables[0].column("dbuf-shared"))
+    across = abs(
+        max(tables[0].column("dbuf-shared"))
+        - min(tables[2].column("dbuf-shared"))
+    )
+    assert across >= within * 0.5

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 5 (SSSP template speedups)."""
+
+from conftest import run_once
+
+from repro.bench.registry import run_experiment
+
+
+def test_fig5_sssp(benchmark, bench_config):
+    speedups, kcalls = run_once(
+        benchmark, lambda: run_experiment("fig5", bench_config)
+    )
+    # paper band: load balancing gives 2-6x at the best threshold
+    best_dbuf = max(speedups.column("dbuf-shared"))
+    assert 2.0 <= best_dbuf <= 6.0
+    # dpar-naive is always below 1x
+    assert all(v < 1.0 for v in speedups.column("dpar-naive"))
+    # speedups decrease as lbTHRES grows
+    dbuf = speedups.column("dbuf-shared")
+    assert dbuf == sorted(dbuf, reverse=True)
+    # dpar-opt spawns far fewer nested kernels than dpar-naive
+    for naive, opt in zip(kcalls.column("dpar-naive"), kcalls.column("dpar-opt")):
+        assert opt < naive

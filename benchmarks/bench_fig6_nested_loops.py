@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 6 (BC / PageRank / SpMV lbTHRES sweeps)."""
+
+from conftest import run_once
+
+from repro.bench.registry import run_experiment
+
+
+def test_fig6_nested_loops(benchmark, bench_config):
+    bc, pagerank, spmv = run_once(
+        benchmark, lambda: run_experiment("fig6", bench_config)
+    )
+    # speedups shrink as lbTHRES grows, for every app
+    for table in (bc, pagerank, spmv):
+        for tmpl in ("dbuf-global", "dbuf-shared"):
+            values = table.column(tmpl)
+            assert values[0] >= values[-1], (table.title, tmpl)
+    # the best setting of each app beats the baseline
+    for table in (bc, pagerank, spmv):
+        assert max(table.column("dbuf-shared")) > 1.0
+    # paper: dual-queue is competitive on the small BC dataset but falls
+    # behind the delayed buffers on the large datasets
+    for table in (pagerank, spmv):
+        assert max(table.column("dbuf-shared")) >= max(table.column("dual-queue"))

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 7 (tree descendants)."""
+
+from conftest import run_once
+
+from repro.bench.registry import run_experiment
+
+
+def test_fig7_tree_descendants(benchmark, bench_config):
+    by_degree, by_sparsity, profiling = run_once(
+        benchmark, lambda: run_experiment("fig7", bench_config)
+    )
+    # rec-naive is far below 1x at every outdegree (tiny nested launches)
+    assert all(v < 1.0 for v in by_degree.column("rec-naive"))
+    # rec-hier improves with outdegree and beats rec-naive everywhere
+    hier = by_degree.column("rec-hier")
+    assert hier[-1] > hier[0]
+    for h, n in zip(hier, by_degree.column("rec-naive")):
+        assert h > n
+    # at the largest outdegree the hierarchical kernel overtakes flat
+    flat = by_degree.column("flat")
+    assert hier[-1] > flat[-1]
+    # flat's atomics grow with outdegree (profiling table, outdegree rows)
+    atomics = [row[3] for row in profiling.rows if row[0] == "outdegree"]
+    assert atomics == sorted(atomics)

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 8 (tree heights)."""
+
+from conftest import run_once
+
+from repro.bench.registry import run_experiment
+
+
+def test_fig8_tree_heights(benchmark, bench_config):
+    by_degree, by_sparsity, profiling = run_once(
+        benchmark, lambda: run_experiment("fig8", bench_config)
+    )
+    # same qualitative shape as Fig. 7
+    assert all(v < 1.0 for v in by_degree.column("rec-naive"))
+    hier = by_degree.column("rec-hier")
+    assert hier[-1] > hier[0]
+    # Fig. 8(b): hierarchical warp utilization drops as sparsity grows
+    hier_warp = [row[6] for row in profiling.rows if row[0] == "sparsity"]
+    assert hier_warp[0] >= hier_warp[-1]

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 9 (recursive BFS slowdowns)."""
+
+from conftest import run_once
+
+from repro.bench.registry import run_experiment
+
+
+def test_fig9_recursive_bfs(benchmark, bench_config):
+    (table,) = run_once(benchmark, lambda: run_experiment("fig9", bench_config))
+    # the flat GPU variant beats recursive serial CPU
+    assert all(v > 1.0 for v in table.column("flat speedup"))
+    # recursive GPU variants are orders of magnitude slower than the CPU
+    for col in ("naive", "naive+stream", "hier", "hier+stream"):
+        assert all(v > 10.0 for v in table.column(col)), col
+    # one extra stream helps the naive variant substantially
+    for naive, streamed in zip(table.column("naive"),
+                               table.column("naive+stream")):
+        assert streamed < naive * 0.7
+    # extra streams change nothing for hier (already per-block streams)
+    for hier, streamed in zip(table.column("hier"),
+                              table.column("hier+stream")):
+        assert streamed == hier
+    # without extra streams, hier is competitive with naive (the paper
+    # prefers it); with both GMU-bound the gap is small either way
+    naive_mean = sum(table.column("naive")) / len(table.rows)
+    hier_mean = sum(table.column("hier")) / len(table.rows)
+    assert hier_mean <= naive_mean * 1.2

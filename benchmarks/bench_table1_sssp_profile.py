@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table I (SSSP profiling at lbTHRES=32)."""
+
+from conftest import run_once
+
+from repro.bench.registry import run_experiment
+
+
+def test_table1_profiling(benchmark, bench_config):
+    (table,) = run_once(benchmark, lambda: run_experiment("table1", bench_config))
+    rows = {row[0]: row[1:] for row in table.rows}
+    base_warp, base_gld, base_gst = rows["baseline"]
+    # every template but dpar-naive raises warp efficiency over baseline
+    for variant in ("dual-queue", "dbuf-shared", "dbuf-global", "dpar-opt"):
+        assert rows[variant][0] > base_warp, variant
+    # load-balanced phases improve load efficiency
+    for variant in ("dual-queue", "dbuf-shared", "dbuf-global"):
+        assert rows[variant][1] > base_gld, variant
+    # dbuf-shared posts the best store efficiency (shared-memory staging)
+    assert rows["dbuf-shared"][2] == max(r[2] for r in rows.values())

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table II (dbuf-shared warp efficiency sweep)."""
+
+from conftest import run_once
+
+from repro.bench.registry import run_experiment
+
+
+def test_table2_warp_efficiency(benchmark, bench_config):
+    (table,) = run_once(benchmark, lambda: run_experiment("table2", bench_config))
+    for row in table.rows:
+        app, *values = row
+        sweep, baseline = values[:-1], values[-1]
+        # monotone non-increasing toward the baseline as lbTHRES grows
+        assert sweep == sorted(sweep, reverse=True), app
+        # always at or above the baseline
+        assert sweep[0] > baseline, app
+        assert sweep[-1] >= baseline * 0.9, app

@@ -1,0 +1,23 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+Every ``bench_*.py`` file regenerates one table/figure of the paper via
+the experiment registry, times it with pytest-benchmark, and asserts the
+paper's qualitative shape on the produced tables.  Scales are small so the
+whole directory runs in minutes; use ``python -m repro.bench <id> --scale
+0.15`` for paper-closer datasets.
+"""
+
+import pytest
+
+from repro.bench.registry import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Small-scale configuration shared by all benchmark files."""
+    return ExperimentConfig(scale=0.02, seed=0)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Sweeping lbTHRES: the dominant tuning knob (Figs. 4-6 and Table II).
+
+"The optimal load balancing threshold will depend on the underlying
+dataset and algorithm" — this example sweeps lbTHRES for one application
+and reports the timing and warp-efficiency curves, then picks the best
+(template, threshold) combination, the selection a template-emitting
+compiler would make.
+
+Run:  python examples/autotune_threshold.py
+"""
+
+from repro.apps import SpMVApp
+from repro.core import LOAD_BALANCING_TEMPLATES, TemplateParams
+from repro.core.autotune import autotune
+from repro.gpusim import KEPLER_K20
+from repro.graphs import citeseer_like
+
+
+def main() -> None:
+    graph = citeseer_like(scale=0.02, seed=0)
+    app = SpMVApp(graph)
+    base = app.run("baseline", KEPLER_K20)
+    print(f"baseline: {base.gpu_time_ms:.3f} ms "
+          f"(warp eff {base.metrics.warp_execution_efficiency:.1%})\n")
+
+    print(f"{'lbTHRES':>8s} | " + " | ".join(
+        f"{t:>12s}" for t in ("dbuf-shared", "dbuf-global", "dual-queue")))
+    for lbt in (32, 64, 128, 256, 1024):
+        row = []
+        for tmpl in ("dbuf-shared", "dbuf-global", "dual-queue"):
+            run = app.run(tmpl, KEPLER_K20, TemplateParams(lb_threshold=lbt))
+            row.append(f"{base.gpu_time_ms / run.gpu_time_ms:11.2f}x")
+        print(f"{lbt:8d} | " + " | ".join(row))
+
+    best = autotune(
+        app.workload(), KEPLER_K20,
+        templates=LOAD_BALANCING_TEMPLATES,
+        thresholds=(32, 64, 128, 256),
+    )
+    print(f"\nautotuner pick: {best.template} @ lbTHRES="
+          f"{best.params.lb_threshold} -> {best.time_ms:.3f} ms "
+          f"({base.gpu_time_ms / best.time_ms:.2f}x over baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Graph analytics workloads: SSSP, PageRank and BC under load balancing.
+
+Reproduces the §III.B story on a small scale: pick an application and a
+load-balancing threshold, and see how the delayed-buffer templates move
+hub vertices into block-mapped processing.  Also demonstrates that every
+template computes identical results (verified against scipy/networkx
+references in the test suite).
+
+Run:  python examples/graph_analytics.py
+"""
+
+import numpy as np
+
+from repro.apps import BCApp, PageRankApp, SSSPApp
+from repro.core import TemplateParams
+from repro.gpusim import KEPLER_K20
+from repro.graphs import citeseer_like, fraction_above_threshold, wiki_vote_like
+
+
+def main() -> None:
+    citeseer = citeseer_like(scale=0.02, seed=0)
+    wiki = wiki_vote_like(seed=0)
+
+    print("How much work does lbTHRES move to the block-mapped phase?")
+    for lbt in (32, 128, 1024):
+        nodes, edges = fraction_above_threshold(citeseer, lbt)
+        print(f"  lbTHRES={lbt:5d}: {nodes:6.1%} of nodes hold "
+              f"{edges:6.1%} of the edges")
+    print()
+
+    apps = {
+        "SSSP": SSSPApp(citeseer),
+        "PageRank": PageRankApp(citeseer, n_iters=10),
+        "BC": BCApp(wiki, n_sources=4),
+    }
+    for name, app in apps.items():
+        base = app.run("baseline", KEPLER_K20)
+        dbuf = app.run("dbuf-shared", KEPLER_K20, TemplateParams(lb_threshold=32))
+        assert np.allclose(np.asarray(base.result, dtype=float),
+                           np.asarray(dbuf.result, dtype=float),
+                           equal_nan=True), "templates must agree!"
+        print(f"{name:9s} baseline {base.gpu_time_ms:8.3f} ms "
+              f"({base.speedup:4.1f}x vs CPU) | dbuf-shared "
+              f"{dbuf.gpu_time_ms:8.3f} ms "
+              f"({base.gpu_time_ms / dbuf.gpu_time_ms:4.2f}x vs baseline)")
+
+    print("\nResults are bit-identical across templates: load balancing")
+    print("changes the mapping of work to hardware, never the answer.")
+
+
+if __name__ == "__main__":
+    main()

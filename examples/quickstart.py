@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: run one irregular workload under every template.
+
+This is the 5-minute tour of the library: build a synthetic CiteSeer-like
+graph, wrap SpMV over it, and compare the paper's parallelization
+templates on the simulated K20 — timing, warp efficiency and memory
+efficiency, exactly the metrics the paper reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import SpMVApp
+from repro.core import NESTED_LOOP_TEMPLATES, TemplateParams
+from repro.gpusim import KEPLER_K20
+from repro.graphs import citeseer_like, degree_stats
+
+
+def main() -> None:
+    graph = citeseer_like(scale=0.03, seed=0)
+    print(f"dataset: {degree_stats(graph)}")
+    print(f"device:  {KEPLER_K20.name}\n")
+
+    app = SpMVApp(graph)
+    params = TemplateParams(lb_threshold=32)
+
+    header = (f"{'template':12s} {'time [ms]':>10s} {'speedup':>8s} "
+              f"{'warp eff':>9s} {'gld eff':>8s} {'kernels':>8s}")
+    print(header)
+    print("-" * len(header))
+    baseline_ms = None
+    for name in NESTED_LOOP_TEMPLATES:
+        run = app.run(name, KEPLER_K20, params)
+        if name == "baseline":
+            baseline_ms = run.gpu_time_ms
+        rel = baseline_ms / run.gpu_time_ms
+        m = run.metrics
+        print(f"{name:12s} {run.gpu_time_ms:10.3f} {rel:7.2f}x "
+              f"{m.warp_execution_efficiency:8.1%} {m.gld_efficiency:7.1%} "
+              f"{m.kernel_calls:8d}")
+
+    print("\nThe paper's story in one table: the thread-mapped baseline")
+    print("wastes most of each warp on the irregular inner loops; the")
+    print("load-balancing templates fix the divergence AND coalesce the")
+    print("adjacency loads; dpar-naive drowns in nested-launch overhead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` on offline environments whose
+setuptools lacks the `wheel` package required by the PEP-517 editable path.
+All project metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

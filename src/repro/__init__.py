@@ -1,0 +1,39 @@
+"""Reproduction of *Nested Parallelism on GPU: Exploring Parallelization
+Templates for Irregular Loops and Recursive Computations* (Li, Wu, Becchi —
+ICPP 2015).
+
+Subpackages
+-----------
+``repro.gpusim``
+    trace-driven SIMT GPU timing simulator (the hardware substitute).
+``repro.graphs`` / ``repro.trees``
+    graph and tree substrates: structures, generators, I/O.
+``repro.cpu``
+    serial CPU reference implementations + cost model (speedup baselines).
+``repro.core``
+    the paper's contribution: parallelization templates for irregular
+    nested loops and recursive computations.
+``repro.apps``
+    the seven evaluated applications plus the sort case study.
+``repro.bench``
+    experiment registry regenerating every paper table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ConfigError,
+    DatasetError,
+    ExperimentError,
+    GraphError,
+    LaunchError,
+    PlanError,
+    ReproError,
+    WorkloadError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError", "ConfigError", "LaunchError", "WorkloadError",
+    "PlanError", "GraphError", "DatasetError", "ExperimentError",
+]

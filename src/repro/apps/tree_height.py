@@ -1,0 +1,39 @@
+"""Tree Heights application (paper Fig. 8).
+
+"Each leaf node within the tree is assigned height 1, and the height of a
+non-leaf node is defined as 1 + the maximum height across its children."
+Same mapping structure as Tree Descendants (the paper generated the code
+from the same templates); only the reduction operator differs (max vs
+sum), which costs one extra compare per hop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.tree_desc import TreeDescendantsApp
+from repro.core.recursive import RecursiveTreeWorkload
+from repro.cpu.costmodel import XEON_E5_2620, CPUConfig
+from repro.cpu.trees import best_serial_heights
+from repro.trees.metrics import node_heights
+
+__all__ = ["TreeHeightsApp"]
+
+
+class TreeHeightsApp(TreeDescendantsApp):
+    """Tree heights under flat / rec-naive / rec-hier templates."""
+
+    name = "tree-heights"
+    kind = "heights"
+
+    def compute(self) -> np.ndarray:
+        """Node heights (template-invariant)."""
+        return node_heights(self.tree)
+
+    def workload(self) -> RecursiveTreeWorkload:
+        """The recursive workload descriptor (max-reduction flavor)."""
+        return RecursiveTreeWorkload(self.tree, self.kind, inner_insts=7.0)
+
+    def cpu_baseline(self, cpu: CPUConfig = XEON_E5_2620) -> float:
+        """Serial time of the better CPU variant (ms)."""
+        return cpu.time_ms(best_serial_heights(self.tree).ops)

@@ -1,0 +1,19 @@
+"""``repro.bench`` — experiment registry regenerating every paper artifact."""
+
+from repro.bench.registry import (
+    EXPERIMENTS,
+    Experiment,
+    ExperimentConfig,
+    all_experiments,
+    get_experiment,
+    register,
+    run_experiment,
+)
+from repro.bench.plots import ascii_chart, plottable
+from repro.bench.table import ResultTable
+
+__all__ = [
+    "ResultTable", "Experiment", "ExperimentConfig", "EXPERIMENTS",
+    "register", "get_experiment", "run_experiment", "all_experiments",
+    "ascii_chart", "plottable",
+]

@@ -1,0 +1,131 @@
+"""Ablation studies: which modelled mechanisms carry the paper's results.
+
+The reproduction's conclusions should follow from its *mechanisms*, not
+from tuned constants.  Each ablation disables or sweeps one mechanism and
+shows which paper finding it carries:
+
+* **launch-overhead sweep** — scale the grid-management unit's nested
+  launch throughput: dpar-naive's catastrophic cost must come from launch
+  machinery (it recovers as launches get cheaper), while dbuf-shared must
+  not care at all.
+* **dataset-locality sweep** — regenerate the CiteSeer profile with and
+  without target-id locality: the block-mapped phases' load efficiency
+  (Table I's high gld numbers) must come from the data's locality, not
+  from the template.
+* **latency-hiding ablation** — give single-warp kernels full latency
+  hiding: dpar-naive's penalty shrinks, showing how much of it is the
+  tiny-grid memory-latency exposure vs. launch machinery.
+* **device sweep** — run the same workload on K20 / K40 / Fermi: the
+  delayed buffers deliver load balancing even where dynamic parallelism
+  does not exist (the paper's motivation for them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.spmv import SpMVApp
+from repro.bench.registry import ExperimentConfig, register
+from repro.bench.table import ResultTable
+from repro.bench.experiments.common import citeseer_for, params_for
+from repro.gpusim.config import FERMI_C2050, KEPLER_K20, KEPLER_K40
+from repro.graphs.generators import degree_sequence_graph, lognormal_degrees
+
+
+@register(
+    id="ablations",
+    title="Mechanism ablations (launch overhead, locality, latency, device)",
+    paper_ref="DESIGN.md §5 / §7",
+    description="Shows which modelled mechanism carries each conclusion.",
+)
+def run(config: ExperimentConfig) -> list[ResultTable]:
+    """Regenerate this artifact\'s result tables (see module docstring)."""
+    app = SpMVApp(citeseer_for(config), seed=config.seed)
+    params = params_for(32)
+
+    # ---------------------------------------------- 1. launch-overhead sweep
+    launch_tbl = ResultTable(
+        title="ablation: GMU launch throughput vs dpar speedups",
+        columns=["launches/us", "dpar-naive", "dpar-opt", "dbuf-shared"],
+    )
+    for thr in (0.1, 0.5, 2.0, 10.0):
+        device = KEPLER_K20.replace(device_launch_throughput_per_us=thr)
+        base = app.run("baseline", device).gpu_time_ms
+        row = [thr]
+        for tmpl in ("dpar-naive", "dpar-opt", "dbuf-shared"):
+            row.append(base / app.run(tmpl, device, params).gpu_time_ms)
+        launch_tbl.add_row(*row)
+    launch_tbl.add_note(
+        "dpar-naive recovers as nested launches get cheaper; dbuf-shared "
+        "is launch-machinery-free and must stay flat"
+    )
+
+    # ---------------------------------------------- 2. dataset-locality sweep
+    locality_tbl = ResultTable(
+        title="ablation: dataset locality vs load efficiency (dbuf-shared)",
+        columns=["locality", "gld efficiency %", "speedup over baseline"],
+    )
+    n = max(2000, int(434_000 * config.scale))
+    degrees = lognormal_degrees(n, 73.9, 1188, 1, sigma=1.0, seed=config.seed)
+    for locality in (0.0, 0.3, 0.6, 0.9):
+        graph = degree_sequence_graph(
+            degrees, seed=config.seed + 1, locality=locality,
+            name=f"citeseer-loc{locality:g}",
+        )
+        rng = np.random.default_rng(config.seed + 2)
+        graph.weights = rng.integers(1, 11, size=graph.n_edges).astype(float)
+        local_app = SpMVApp(graph, seed=config.seed)
+        base = local_app.run("baseline", config.device).gpu_time_ms
+        run_ = local_app.run("dbuf-shared", config.device, params)
+        locality_tbl.add_row(
+            locality,
+            round(run_.metrics.gld_efficiency * 100, 1),
+            base / run_.gpu_time_ms,
+        )
+    locality_tbl.add_note(
+        "block-mapped gather coalescing (Table I's high gld) requires the "
+        "dataset's id locality; the divergence fix alone persists at 0.0"
+    )
+
+    # ---------------------------------------------- 3. latency-hiding ablation
+    latency_tbl = ResultTable(
+        title="ablation: tiny-grid latency exposure (absolute times, ms)",
+        columns=["model", "baseline", "dbuf-shared", "dpar-naive"],
+    )
+    for label, device in (
+        ("latency exposed (default)", KEPLER_K20),
+        ("latency fully hidden",
+         KEPLER_K20.replace(memory_parallelism_per_warp=1000.0)),
+    ):
+        latency_tbl.add_row(
+            label,
+            app.run("baseline", device).gpu_time_ms,
+            app.run("dbuf-shared", device, params).gpu_time_ms,
+            app.run("dpar-naive", device, params).gpu_time_ms,
+        )
+    latency_tbl.add_note(
+        "hiding latency speeds up the memory-bound kernels (baseline, "
+        "dbuf) but barely moves dpar-naive: its cost is launch machinery, "
+        "and part of each child's remaining time is the latency its "
+        "2-warp grid cannot hide"
+    )
+
+    # ------------------------------------------------------- 4. device sweep
+    device_tbl = ResultTable(
+        title="ablation: devices (dbuf works without dynamic parallelism)",
+        columns=["device", "dbuf-shared speedup", "dpar-opt speedup"],
+    )
+    for device in (KEPLER_K20, KEPLER_K40, FERMI_C2050):
+        base = app.run("baseline", device).gpu_time_ms
+        dbuf = base / app.run("dbuf-shared", device, params).gpu_time_ms
+        try:
+            dpar = base / app.run("dpar-opt", device, params).gpu_time_ms
+            dpar_cell: object = round(dpar, 3)
+        except Exception:
+            dpar_cell = "unsupported"
+        device_tbl.add_row(device.name, dbuf, dpar_cell)
+    device_tbl.add_note(
+        "the paper's motivation for the delayed buffers: load balancing "
+        "'also for devices that do not support nested kernel invocations'"
+    )
+    return [launch_tbl, locality_tbl, latency_tbl, device_tbl]

@@ -1,0 +1,51 @@
+"""Figure 2: execution time of the three sort implementations.
+
+Paper: Simple QuickSort and Advanced QuickSort (recursive, dynamic
+parallelism) vs. a flat MergeSort kernel, arrays of 300k-2M elements,
+y-axis log10.  Expected shape: MergeSort fastest at every size; Advanced
+beats Simple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.sort import SORT_VARIANTS, SortApp
+from repro.bench.registry import ExperimentConfig, register
+from repro.bench.table import ResultTable
+from repro.bench.experiments.common import scaled
+
+#: the paper's array sizes
+PAPER_SIZES = (300_000, 500_000, 1_000_000, 2_000_000)
+
+
+@register(
+    id="fig2",
+    title="Sort execution time (Simple/Advanced QuickSort vs MergeSort)",
+    paper_ref="Figure 2",
+    description="Flat MergeSort beats both dynamic-parallelism QuickSorts.",
+)
+def run(config: ExperimentConfig) -> list[ResultTable]:
+    """Regenerate this artifact\'s result tables (see module docstring)."""
+    table = ResultTable(
+        title="fig2: sort execution time [ms]",
+        columns=["elements", "quicksort-simple", "quicksort-advanced",
+                 "mergesort"],
+    )
+    rng = np.random.default_rng(config.seed)
+    for full_size in PAPER_SIZES:
+        n = scaled(full_size, config, reference=0.15)
+        values = rng.integers(0, 1 << 31, size=n)
+        app = SortApp(values)
+        times = {v: app.run(v, config.device).time_ms for v in SORT_VARIANTS}
+        table.add_row(n, times["quicksort-simple"],
+                      times["quicksort-advanced"], times["mergesort"])
+    table.add_note(
+        "paper shape: mergesort < advanced quicksort < simple quicksort "
+        "at every size (log10 y-axis)"
+    )
+    table.add_note(
+        f"array sizes scaled by {config.scale:g}/0.15 of the paper's "
+        "300k-2M range"
+    )
+    return [table]

@@ -1,0 +1,24 @@
+"""Figure 8: Tree Heights on the same synthetic trees as Fig. 7.
+
+Same sweeps and expected shapes as Tree Descendants, with the max
+reduction instead of the sum; the paper's Fig. 8 numbers track Fig. 7
+closely, which this experiment reproduces by construction.
+"""
+
+from __future__ import annotations
+
+from repro.apps.tree_height import TreeHeightsApp
+from repro.bench.registry import ExperimentConfig, register
+from repro.bench.table import ResultTable
+from repro.bench.experiments.fig7_tree_descendants import _run_tree_experiment
+
+
+@register(
+    id="fig8",
+    title="Tree Heights: speedups and profiling",
+    paper_ref="Figure 8 (a-c)",
+    description="Recursive templates on synthetic trees (heights).",
+)
+def run(config: ExperimentConfig) -> list[ResultTable]:
+    """Regenerate this artifact\'s result tables (see module docstring)."""
+    return _run_tree_experiment(TreeHeightsApp, config, "fig8")

@@ -1,0 +1,69 @@
+"""Figure 9: recursive BFS slowdowns over recursive serial CPU.
+
+Paper: random graphs of 50,000 nodes, out-degree uniform in a growing
+range (1.6M-27M edges); y-axis is the *slowdown* of the GPU recursive
+variants (naive / hierarchical, with and without one extra stream per
+block) over the recursive serial CPU implementation.  Expected shapes:
+
+* the flat GPU variant beats recursive serial CPU by 11-14x;
+* both recursive GPU variants are catastrophically slower (the paper
+  reports 700-14,000x);
+* one extra stream per block helps the naive variant but not (or hurts)
+  the hierarchical one.
+"""
+
+from __future__ import annotations
+
+from repro.apps.bfs import BFSApp, RecursiveBFSApp
+from repro.bench.registry import ExperimentConfig, register
+from repro.bench.table import ResultTable
+from repro.core.params import TemplateParams
+from repro.bench.experiments.common import random_graph_for
+from repro.cpu.costmodel import XEON_E5_2620
+from repro.cpu.reference import bfs_recursive_serial
+
+DEGREE_RANGES = ((16, 48), (32, 96), (64, 192), (128, 384))
+
+
+@register(
+    id="fig9",
+    title="Recursive BFS: slowdown over recursive serial CPU",
+    paper_ref="Figure 9",
+    description="Naive/hierarchical recursive BFS, +- extra streams.",
+)
+def run(config: ExperimentConfig) -> list[ResultTable]:
+    """Regenerate this artifact\'s result tables (see module docstring)."""
+    table = ResultTable(
+        title="fig9: recursive BFS slowdown over recursive serial CPU",
+        columns=["degree range", "edges", "flat speedup",
+                 "naive", "naive+stream", "hier", "hier+stream"],
+    )
+    for rng_lo, rng_hi in DEGREE_RANGES:
+        graph = random_graph_for(config, (rng_lo, rng_hi))
+        cpu_rec_ms = XEON_E5_2620.time_ms(bfs_recursive_serial(graph).ops)
+        flat = BFSApp(graph).run("baseline", config.device)
+        rec = RecursiveBFSApp(graph)
+        one = TemplateParams(streams_per_block=1)
+        two = TemplateParams(streams_per_block=2)
+        naive = rec.run("rec-naive", config.device, one)
+        naive_s = rec.run("rec-naive", config.device, two)
+        hier = rec.run("rec-hier", config.device, one)
+        hier_s = rec.run("rec-hier", config.device, two)
+        table.add_row(
+            f"{rng_lo}-{rng_hi}",
+            graph.n_edges,
+            cpu_rec_ms / flat.gpu_time_ms,
+            naive.gpu_time_ms / cpu_rec_ms,
+            naive_s.gpu_time_ms / cpu_rec_ms,
+            hier.gpu_time_ms / cpu_rec_ms,
+            hier_s.gpu_time_ms / cpu_rec_ms,
+        )
+    table.add_note(
+        "paper shape: flat 11-14x faster than recursive serial CPU; both "
+        "recursive variants 700-14,000x slower; extra streams help naive, "
+        "not hier"
+    )
+    table.add_note(
+        f"graphs scaled to {config.scale:g}/0.15 of the paper's 50k nodes"
+    )
+    return [table]

@@ -1,0 +1,56 @@
+"""Table I: SSSP profiling data at lbTHRES = 32.
+
+Paper values (Nvidia Visual Profiler, CiteSeer):
+
+    variant      warp eff   gld eff   gst eff
+    baseline       35.6%     15.8%      3.2%
+    dual-queue     74.9%     79.1%      4.8%
+    dbuf-shared    75.7%     94.3%     50.4%
+    dbuf-global    72.3%     89.1%      8.5%
+    dpar-naive     25.3%     45.5%     16.3%
+    dpar-opt       70.2%     63.2%     10.9%
+
+Expected shape: every template but dpar-naive raises warp efficiency over
+the baseline; dbuf-shared posts the best store efficiency thanks to its
+shared-memory staging.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sssp import SSSPApp
+from repro.bench.registry import ExperimentConfig, register
+from repro.bench.table import ResultTable
+from repro.bench.experiments.common import citeseer_for, params_for
+
+VARIANTS = ("baseline", "dual-queue", "dbuf-shared", "dbuf-global",
+            "dpar-naive", "dpar-opt")
+
+
+@register(
+    id="table1",
+    title="SSSP profiling data (lbTHRES=32)",
+    paper_ref="Table I",
+    description="Warp/gld/gst efficiency of every template on SSSP.",
+)
+def run(config: ExperimentConfig) -> list[ResultTable]:
+    """Regenerate this artifact\'s result tables (see module docstring)."""
+    app = SSSPApp(citeseer_for(config))
+    table = ResultTable(
+        title="table1: SSSP profiling (lbTHRES=32)",
+        columns=["variant", "warp efficiency", "gld efficiency",
+                 "gst efficiency"],
+    )
+    for variant in VARIANTS:
+        run_ = app.run(variant, config.device, params_for(32))
+        m = run_.metrics
+        table.add_row(
+            variant,
+            round(m.warp_execution_efficiency * 100, 1),
+            round(m.gld_efficiency * 100, 1),
+            round(m.gst_efficiency * 100, 1),
+        )
+    table.add_note(
+        "paper: baseline 35.6/15.8/3.2; dbuf-shared 75.7/94.3/50.4; "
+        "dpar-naive is the only variant below baseline warp efficiency"
+    )
+    return [table]

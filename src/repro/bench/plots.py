@@ -1,0 +1,120 @@
+"""Terminal plots: render ResultTables as ASCII charts.
+
+The paper's artifacts are mostly *figures*; `python -m repro.bench
+<id> --plot` renders each numeric table as a multi-series ASCII chart so
+trends (speedup vs lbTHRES, time vs size) are visible without leaving the
+terminal.  CSV/JSON exports remain the machine-readable path.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.table import ResultTable
+from repro.errors import ExperimentError
+
+__all__ = ["ascii_chart", "plottable"]
+
+#: series markers, assigned in column order
+_MARKS = "o+x*#@%&"
+
+
+def plottable(table: ResultTable) -> bool:
+    """A table is chartable if it has >= 2 rows and >= 1 numeric series."""
+    if len(table.rows) < 2 or len(table.columns) < 2:
+        return False
+    return any(
+        all(isinstance(row[c], (int, float)) for row in table.rows)
+        for c in range(1, len(table.columns))
+    )
+
+
+def ascii_chart(
+    table: ResultTable,
+    height: int = 12,
+    width: int = 60,
+    log_y: bool = False,
+) -> str:
+    """Render a table as an ASCII line/point chart.
+
+    The first column provides x labels; every numeric column becomes a
+    series.  ``log_y`` uses a log10 axis (the paper's Fig. 2/9 style).
+    """
+    if height < 4 or width < 20:
+        raise ExperimentError("chart must be at least 4x20 characters")
+    if not plottable(table):
+        raise ExperimentError(f"table {table.title!r} is not plottable")
+
+    series: dict[str, list[float]] = {}
+    for c in range(1, len(table.columns)):
+        values = [row[c] for row in table.rows]
+        if all(isinstance(v, (int, float)) for v in values):
+            series[table.columns[c]] = [float(v) for v in values]
+    n_points = len(table.rows)
+
+    flat = [v for vals in series.values() for v in vals]
+    if log_y:
+        flat = [v for v in flat if v > 0]
+        if not flat:
+            raise ExperimentError("log axis needs positive values")
+        lo, hi = math.log10(min(flat)), math.log10(max(flat))
+    else:
+        lo, hi = min(flat), max(flat)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    def y_of(value: float) -> int | None:
+        if log_y:
+            if value <= 0:
+                return None
+            value = math.log10(value)
+        frac = (value - lo) / (hi - lo)
+        return int(round((height - 1) * (1.0 - frac)))
+
+    grid = [[" "] * width for _ in range(height)]
+    xs = [
+        int(round(i * (width - 1) / max(n_points - 1, 1)))
+        for i in range(n_points)
+    ]
+    for s_idx, (name, values) in enumerate(series.items()):
+        mark = _MARKS[s_idx % len(_MARKS)]
+        for i, v in enumerate(values):
+            y = y_of(v)
+            if y is not None:
+                grid[y][xs[i]] = mark
+
+    def fmt_axis(v: float) -> str:
+        if log_y:
+            v = 10 ** v
+        if abs(v) >= 100:
+            return f"{v:,.0f}"
+        return f"{v:.2f}"
+
+    top_label = fmt_axis(hi)
+    bottom_label = fmt_axis(lo)
+    margin = max(len(top_label), len(bottom_label)) + 1
+    lines = [f"{table.title}" + ("  [log10 y]" if log_y else "")]
+    for y in range(height):
+        if y == 0:
+            label = top_label.rjust(margin)
+        elif y == height - 1:
+            label = bottom_label.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label}|{''.join(grid[y])}")
+    x_labels = [str(row[0]) for row in table.rows]
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    label_line = [" "] * (width + margin + 1)
+    for i, x in enumerate(xs):
+        text = x_labels[i]
+        start = min(x + margin + 1, width + margin + 1 - len(text))
+        for k, ch in enumerate(text):
+            if 0 <= start + k < len(label_line):
+                label_line[start + k] = ch
+    lines.append("".join(label_line).rstrip())
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * margin} {legend}")
+    return "\n".join(lines) + "\n"

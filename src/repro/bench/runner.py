@@ -1,0 +1,97 @@
+"""Command-line benchmark runner.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench fig5
+    python -m repro.bench fig5 fig6 --scale 0.05 --out results/
+    python -m repro.bench all --scale 0.02
+
+(also installed as the ``repro-bench`` console script.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.registry import (
+    ExperimentConfig,
+    all_experiments,
+    get_experiment,
+)
+from repro.gpusim.config import preset
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures on the "
+                    "simulated device.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (fig2..fig9, table1, table2, baselines) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="dataset scale vs the paper (default 0.05)")
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    parser.add_argument("--device", default="k20",
+                        help="device preset: k20 (default), k40, c2050")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to write CSV/JSON results into")
+    parser.add_argument("--plot", action="store_true",
+                        help="render numeric tables as ASCII charts")
+    parser.add_argument("--log-y", action="store_true",
+                        help="log10 y-axis for --plot (Fig. 2/9 style)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    registry = all_experiments()
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for exp in registry.values():
+            print(f"  {exp.id:10s} {exp.paper_ref:16s} {exp.title}")
+        return 0
+
+    ids = list(registry) if args.experiments == ["all"] else args.experiments
+    config = ExperimentConfig(
+        scale=args.scale, seed=args.seed, device=preset(args.device),
+    )
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+    status = 0
+    for exp_id in ids:
+        exp = get_experiment(exp_id)
+        print(f"\n### {exp.id}: {exp.title} ({exp.paper_ref})")
+        start = time.perf_counter()
+        tables = exp.run(config)
+        elapsed = time.perf_counter() - start
+        for i, table in enumerate(tables):
+            print()
+            print(table.format(), end="")
+            if args.plot:
+                from repro.bench.plots import ascii_chart, plottable
+
+                if plottable(table):
+                    print()
+                    print(ascii_chart(table, log_y=args.log_y), end="")
+            if args.out:
+                stem = f"{exp.id}_{i}" if len(tables) > 1 else exp.id
+                table.to_csv(args.out / f"{stem}.csv")
+                (args.out / f"{stem}.json").write_text(table.to_json())
+        print(f"  [{exp.id} completed in {elapsed:.1f}s]")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

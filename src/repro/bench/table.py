@@ -1,0 +1,113 @@
+"""Result tables: the rows/series the paper's figures and tables report.
+
+Each experiment produces one or more :class:`ResultTable` objects whose
+columns match the corresponding paper artifact (e.g. Fig. 5's bars become
+rows of speedups per lbTHRES).  Tables render as aligned ASCII and export
+to CSV/JSON for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ExperimentError
+
+__all__ = ["ResultTable"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A labelled table of experiment results."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ExperimentError(
+                f"row has {len(values)} values, table {self.title!r} has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note (paper expectation, scaling caveat)."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ExperimentError(
+                f"table {self.title!r} has no column {name!r}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def format(self) -> str:
+        """Render as an aligned ASCII table with title and notes."""
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        out.write(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        out.write("\n")
+        out.write("-+-".join("-" * w for w in widths))
+        out.write("\n")
+        for row in cells:
+            out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+            out.write("\n")
+        for note in self.notes:
+            out.write(f"  note: {note}\n")
+        return out.getvalue()
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the table as CSV (notes become # comments)."""
+        with open(path, "w", newline="") as fh:
+            for note in self.notes:
+                fh.write(f"# {note}\n")
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+
+    def to_json(self) -> str:
+        """Serialize the table as a JSON document."""
+        return json.dumps({
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "notes": self.notes,
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultTable":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        return cls(
+            title=data["title"],
+            columns=data["columns"],
+            rows=data["rows"],
+            notes=data.get("notes", []),
+        )

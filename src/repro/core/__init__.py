@@ -1,0 +1,45 @@
+"""``repro.core`` — the paper's contribution: parallelization templates."""
+
+from repro.core.autotune import autotune, sweep
+from repro.core.codegen import SUPPORTED_TEMPLATES, LoopNestSpec, generate_cuda
+from repro.core.base import NestedLoopTemplate, TemplateRun, check_schedule
+from repro.core.delayed_buffer import (
+    DelayedBufferGlobalTemplate,
+    DelayedBufferSharedTemplate,
+)
+from repro.core.dual_queue import DualQueueTemplate, split_by_threshold
+from repro.core.dynamic_par import DparNaiveTemplate, DparOptTemplate
+from repro.core.params import (
+    DEFAULT_LB_BLOCK,
+    DEFAULT_THREAD_BLOCK,
+    TemplateParams,
+)
+from repro.core.recursive import (
+    TREE_TEMPLATES,
+    FlatTreeTemplate,
+    RecHierTreeTemplate,
+    RecNaiveTreeTemplate,
+    RecursiveTreeWorkload,
+)
+from repro.core.registry import (
+    LOAD_BALANCING_TEMPLATES,
+    NESTED_LOOP_TEMPLATES,
+    get_template,
+)
+from repro.core.thread_mapped import BlockMappedTemplate, ThreadMappedTemplate
+from repro.core.workload import AccessStream, NestedLoopWorkload
+
+__all__ = [
+    "TemplateParams", "DEFAULT_THREAD_BLOCK", "DEFAULT_LB_BLOCK",
+    "AccessStream", "NestedLoopWorkload",
+    "NestedLoopTemplate", "TemplateRun", "check_schedule",
+    "ThreadMappedTemplate", "BlockMappedTemplate",
+    "DualQueueTemplate", "split_by_threshold",
+    "DelayedBufferGlobalTemplate", "DelayedBufferSharedTemplate",
+    "DparNaiveTemplate", "DparOptTemplate",
+    "RecursiveTreeWorkload", "FlatTreeTemplate", "RecNaiveTreeTemplate",
+    "RecHierTreeTemplate", "TREE_TEMPLATES",
+    "NESTED_LOOP_TEMPLATES", "LOAD_BALANCING_TEMPLATES", "get_template",
+    "autotune", "sweep",
+    "LoopNestSpec", "generate_cuda", "SUPPORTED_TEMPLATES",
+]

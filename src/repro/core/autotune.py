@@ -1,0 +1,63 @@
+"""Template + threshold auto-tuning.
+
+The paper frames the templates as compiler-emitted code variants and notes
+that "the optimal load balancing threshold will depend on the underlying
+dataset and algorithm".  This module performs the selection a compiler
+runtime would: sweep (template, lbTHRES) on the simulated device and keep
+the fastest combination.  Templates requiring dynamic parallelism are
+skipped automatically on devices without it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.base import TemplateRun
+from repro.core.params import TemplateParams
+from repro.core.registry import LOAD_BALANCING_TEMPLATES, get_template
+from repro.core.workload import NestedLoopWorkload
+from repro.errors import PlanError
+from repro.gpusim.config import DeviceConfig, supports_dynamic_parallelism
+
+__all__ = ["autotune", "sweep"]
+
+#: default lbTHRES candidates (the paper's sweep, warp size upward)
+DEFAULT_THRESHOLDS = (32, 64, 128, 256)
+
+
+def sweep(
+    workload: NestedLoopWorkload,
+    config: DeviceConfig,
+    templates: Iterable[str] = LOAD_BALANCING_TEMPLATES,
+    thresholds: Iterable[int] = DEFAULT_THRESHOLDS,
+    base_params: TemplateParams | None = None,
+) -> list[TemplateRun]:
+    """Run every (template, threshold) combination; returns all runs."""
+    base_params = base_params or TemplateParams()
+    runs: list[TemplateRun] = []
+    for name in templates:
+        template = get_template(name)
+        if (template.uses_dynamic_parallelism
+                and not supports_dynamic_parallelism(config)):
+            continue
+        for lbt in thresholds:
+            params = base_params.replace(lb_threshold=int(lbt))
+            runs.append(template.run(workload, config, params))
+    if not runs:
+        raise PlanError(
+            "no (template, threshold) combination is runnable on "
+            f"{config.name}"
+        )
+    return runs
+
+
+def autotune(
+    workload: NestedLoopWorkload,
+    config: DeviceConfig,
+    templates: Iterable[str] = LOAD_BALANCING_TEMPLATES,
+    thresholds: Iterable[int] = DEFAULT_THRESHOLDS,
+    base_params: TemplateParams | None = None,
+) -> TemplateRun:
+    """The fastest (template, threshold) combination for a workload."""
+    runs = sweep(workload, config, templates, thresholds, base_params)
+    return min(runs, key=lambda run: run.time_ms)

@@ -1,0 +1,116 @@
+"""Template base classes and the run wrapper."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.params import TemplateParams
+from repro.core.workload import NestedLoopWorkload
+from repro.errors import PlanError
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.executor import ExecutionResult, GpuExecutor
+from repro.gpusim.kernels import LaunchGraph
+from repro.gpusim.profiler import ProfileMetrics, profile
+
+__all__ = ["TemplateRun", "NestedLoopTemplate", "check_schedule"]
+
+
+@dataclass
+class TemplateRun:
+    """Everything one template execution produced."""
+
+    template: str
+    workload: str
+    graph: LaunchGraph
+    result: ExecutionResult
+    metrics: ProfileMetrics
+    #: phase name -> outer iteration ids handled by that phase
+    schedule: dict[str, np.ndarray] = field(default_factory=dict)
+    params: TemplateParams | None = None
+
+    @property
+    def time_ms(self) -> float:
+        """End-to-end simulated time."""
+        return self.result.time_ms
+
+
+def check_schedule(schedule: dict[str, np.ndarray], outer_size: int) -> None:
+    """Every outer iteration must be scheduled exactly once across phases.
+
+    This is the work-conservation invariant templates must uphold: load
+    balancing may *move* iterations between phases, never drop or
+    duplicate them.
+    """
+    if not schedule:
+        raise PlanError("schedule is empty")
+    allx = np.concatenate([np.asarray(v, dtype=np.int64) for v in schedule.values()])
+    if allx.size != outer_size:
+        raise PlanError(
+            f"schedule covers {allx.size} iterations, expected {outer_size}"
+        )
+    seen = np.zeros(outer_size, dtype=bool)
+    if allx.size and (allx.min() < 0 or allx.max() >= outer_size):
+        raise PlanError("schedule contains out-of-range iterations")
+    seen[allx] = True
+    if allx.size != np.count_nonzero(seen):
+        raise PlanError("schedule assigns some iteration twice")
+    if not seen.all():
+        raise PlanError("schedule drops iterations")
+
+
+class NestedLoopTemplate(ABC):
+    """A parallelization template for irregular nested loops (Fig. 1)."""
+
+    #: template identifier (paper name)
+    name: str = "abstract"
+    #: whether the template needs CC >= 3.5 nested launches
+    uses_dynamic_parallelism: bool = False
+
+    @abstractmethod
+    def build(
+        self,
+        workload: NestedLoopWorkload,
+        config: DeviceConfig,
+        params: TemplateParams,
+    ) -> tuple[LaunchGraph, dict[str, np.ndarray]]:
+        """Produce the launch graph + phase schedule for a workload."""
+
+    def run(
+        self,
+        workload: NestedLoopWorkload,
+        config: DeviceConfig,
+        params: TemplateParams | None = None,
+        executor: GpuExecutor | None = None,
+    ) -> TemplateRun:
+        """Build, validate, execute and profile in one call."""
+        params = params or TemplateParams()
+        graph, schedule = self.build(workload, config, params)
+        check_schedule(schedule, workload.outer_size)
+        executor = executor or GpuExecutor(config)
+        result = executor.run(graph)
+        metrics = profile(graph, result, config)
+        return TemplateRun(
+            template=self.name,
+            workload=workload.name,
+            graph=graph,
+            result=result,
+            metrics=metrics,
+            schedule=schedule,
+            params=params,
+        )
+
+    # convenience used by all subclasses
+    @staticmethod
+    def _grid_for(n_threads: int, block_size: int, max_blocks: int) -> int:
+        if n_threads <= 0:
+            raise PlanError("grid needs at least one thread")
+        blocks = -(-n_threads // block_size)
+        if blocks > max_blocks:
+            raise PlanError(
+                f"grid of {blocks} blocks exceeds the configured clamp "
+                f"({max_blocks}); enlarge TemplateParams.max_grid_blocks"
+            )
+        return blocks

@@ -1,0 +1,270 @@
+"""Dynamic-parallelism templates (Fig. 1(d)-(e)): dpar-naive and dpar-opt.
+
+dpar-naive launches one nested (single-block) grid per large iteration,
+straight from the owning *thread*; the flood of small grids pays grid-
+management service + launch latency per child, children of one block
+serialize in the block's NULL stream, and tiny grids cannot hide memory
+latency — the three mechanisms behind its consistent losses in the paper.
+
+dpar-opt delays large iterations into a per-block buffer and launches a
+*single*, larger child grid per block (one block per buffered iteration):
+far fewer, far bigger children, matching dbuf-shared's performance while
+still using nested parallelism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import NestedLoopTemplate
+from repro.core.dual_queue import split_by_threshold
+from repro.core.mapping import (
+    _sequence_within,
+    add_block_mapped_inner,
+    add_outer_setup,
+    add_thread_mapped_inner,
+)
+from repro.core.params import TemplateParams
+from repro.core.workload import NestedLoopWorkload
+from repro.gpusim.atomics import AtomicStats, flat_atomic_cycles
+from repro.gpusim.coalesce import MemoryTraffic, transaction_counts
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.costmodel import (
+    KernelCostBuilder,
+    effective_segment_cycles,
+    resident_warps_estimate,
+)
+from repro.gpusim.dynpar import require_device_support
+from repro.gpusim.kernels import KernelCosts, Launch, LaunchGraph
+from repro.gpusim.warps import WarpExecStats
+
+__all__ = ["DparNaiveTemplate", "DparOptTemplate"]
+
+
+def _parent_phase(
+    workload: NestedLoopWorkload,
+    config: DeviceConfig,
+    params: TemplateParams,
+    small: np.ndarray,
+    large: np.ndarray,
+    launches_per_large: bool,
+) -> KernelCostBuilder:
+    """Thread-mapped parent kernel: small inline, large spawn/buffer."""
+    n = workload.outer_size
+    blocks = NestedLoopTemplate._grid_for(n, params.thread_block,
+                                          params.max_grid_blocks)
+    builder = KernelCostBuilder(
+        config, f"{workload.name}/dpar-parent",
+        block_size=params.thread_block, n_blocks=blocks,
+        registers_per_thread=params.registers_per_thread,
+        shared_mem_per_block=0 if launches_per_large else params.thread_block * 4,
+    )
+    add_outer_setup(builder, workload, n)
+    if small.size:
+        add_thread_mapped_inner(builder, workload, small, small)
+    if large.size:
+        if launches_per_large:
+            # each large lane marshals and enqueues one child grid
+            spawn = np.zeros(n, dtype=np.int64)
+            spawn[large] = 1
+            builder.add_loop(
+                spawn, insts_per_iter=config.device_launch_issue_cycles
+            )
+        else:
+            flags = np.zeros(n, dtype=np.int64)
+            flags[large] = 1
+            builder.add_loop(flags, insts_per_iter=4.0)
+            builder.add_shared_accesses(int(large.size))
+    return builder
+
+
+def _bulk_single_block_children(
+    workload: NestedLoopWorkload,
+    large: np.ndarray,
+    config: DeviceConfig,
+    params: TemplateParams,
+) -> tuple[np.ndarray, WarpExecStats, list[MemoryTraffic], "object"]:
+    """Vectorized per-child costs for one-iteration single-block grids.
+
+    Computes, for every large iteration, the SM-cycles of the child grid
+    that block-maps it (64-thread block striding over its inner loop) —
+    all children at once, without instantiating per-child builders.
+    Returns (block_cycles, warp stats, [load traffic, store traffic],
+    atomic stats).
+    """
+    B = params.lb_block
+    wpb = -(-B // config.warp_size)
+    n_children = large.size
+    trips = workload.subset_trips(large)
+
+    # divergence: lane L runs ceil(max(f - L, 0) / B) strided iterations
+    lanes = np.arange(B, dtype=np.int64)[None, :]
+    per_lane = -(-(trips[:, None] - lanes).clip(min=0) // B)
+    active = per_lane.sum(axis=1)
+    issued = per_lane.reshape(n_children, wpb, config.warp_size).max(axis=2)
+    stats = WarpExecStats(warp_size=config.warp_size)
+    stats.add_counts(
+        int(round(issued.sum() * workload.inner_insts)),
+        int(round(active.sum() * workload.inner_insts)),
+    )
+    compute_slots = issued.sum(axis=1) * workload.inner_insts + workload.outer_insts
+
+    # memory: exact coalescing per (child, chunk, warp) issue slot
+    pair_idx, steps = workload.pairs_of(large)
+    child = np.repeat(np.arange(n_children, dtype=np.int64), trips)
+    chunk = steps // B
+    warp_in_child = (steps % B) // config.warp_size
+    max_chunk = int(chunk.max()) + 1 if chunk.size else 1
+    group = (child * max_chunk + chunk) * wpb + warp_in_child
+    tx_per_child = np.zeros(n_children, dtype=np.float64)
+    load_traffic = MemoryTraffic(segment_bytes=config.mem_segment_bytes)
+    store_traffic = MemoryTraffic(segment_bytes=config.mem_segment_bytes)
+    for stream in workload.streams:
+        addr = stream.addresses[pair_idx]
+        tx = transaction_counts(child, group, addr, n_children)
+        tx_per_child += tx
+        record = MemoryTraffic(
+            requested_bytes=int(pair_idx.size) * stream.element_bytes,
+            transactions=int(tx.sum()),
+            segment_bytes=config.mem_segment_bytes,
+        )
+        if stream.kind == "load":
+            load_traffic = load_traffic.merge(record)
+        else:
+            store_traffic = store_traffic.merge(record)
+
+    atomic_cycles = np.zeros(n_children)
+    atomic_stats = AtomicStats()
+    if workload.atomic_targets is not None:
+        targets = workload.atomic_targets[pair_idx]
+        live = targets >= 0
+        if np.any(live):
+            atomic_cycles, atomic_stats = flat_atomic_cycles(
+                child[live], group[live], targets[live], n_children, config,
+            )
+
+    # tiny grids: latency hiding only from concurrently resident siblings
+    resident = resident_warps_estimate(
+        config, B, 1,
+        registers_per_thread=params.registers_per_thread,
+        concurrent_grids=min(n_children, config.max_concurrent_kernels),
+    )
+    seg_cycles = effective_segment_cycles(config, resident)
+    block_cycles = (
+        compute_slots / config.warp_throughput_per_cycle
+        + tx_per_child * seg_cycles
+        + atomic_cycles
+    )
+    return block_cycles, stats, [load_traffic, store_traffic], atomic_stats
+
+
+class DparNaiveTemplate(NestedLoopTemplate):
+    """One single-block child grid per large iteration, per thread."""
+
+    name = "dpar-naive"
+    uses_dynamic_parallelism = True
+
+    def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
+              params: TemplateParams):
+        require_device_support(config, self.name)
+        small, large = split_by_threshold(workload.trip_counts, params.lb_threshold)
+        graph = LaunchGraph()
+        parent_builder = _parent_phase(
+            workload, config, params, small, large, launches_per_large=True
+        )
+        if large.size:
+            block_cycles, child_stats, traffic, atomic_stats = (
+                _bulk_single_block_children(workload, large, config, params)
+            )
+            # children's counters are absorbed into the parent record so
+            # the per-child Launch objects stay lightweight
+            parent_builder.counters.warp.merge(child_stats)
+            parent_builder.counters.load_traffic = (
+                parent_builder.counters.load_traffic.merge(traffic[0])
+            )
+            parent_builder.counters.store_traffic = (
+                parent_builder.counters.store_traffic.merge(traffic[1])
+            )
+            parent_builder.counters.atomic.merge(atomic_stats)
+            parent_builder.counters.device_launches += int(large.size)
+        parent = graph.add(parent_builder.build())
+        if large.size:
+            owner_block = (large // params.thread_block).astype(np.int64)
+            rank_in_block = _sequence_within(owner_block)
+            wpb = -(-params.lb_block // config.warp_size)
+            resident_hint = resident_warps_estimate(
+                config, params.lb_block, 1,
+                registers_per_thread=params.registers_per_thread,
+                concurrent_grids=min(int(large.size),
+                                     config.max_concurrent_kernels),
+            )
+            # A lone 2-warp block issues at wpb warps/cycle, not the SM's
+            # full width: its standalone duration exceeds its SM-cycle work.
+            floor_scale = config.warp_throughput_per_cycle / wpb
+            for k in range(large.size):
+                costs = KernelCosts(
+                    block_cycles=np.array([block_cycles[k]]),
+                    block_floor=np.array([block_cycles[k] * floor_scale]),
+                )
+                graph.add(Launch(
+                    name=f"{workload.name}/dpar-child",
+                    block_size=params.lb_block,
+                    costs=costs,
+                    registers_per_thread=params.registers_per_thread,
+                    parent=parent,
+                    parent_block=int(owner_block[k]),
+                    device_stream=int(rank_in_block[k]) % params.streams_per_block,
+                    resident_warps_hint=resident_hint,
+                ))
+        return graph, {"inline": small, "nested": large}
+
+
+class DparOptTemplate(NestedLoopTemplate):
+    """One aggregated child grid per parent block (Fig. 1(e))."""
+
+    name = "dpar-opt"
+    uses_dynamic_parallelism = True
+
+    def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
+              params: TemplateParams):
+        require_device_support(config, self.name)
+        small, large = split_by_threshold(workload.trip_counts, params.lb_threshold)
+        graph = LaunchGraph()
+        parent_builder = _parent_phase(
+            workload, config, params, small, large, launches_per_large=False
+        )
+        spawning_blocks = np.zeros(0, dtype=np.int64)
+        buffered_counts = np.zeros(0, dtype=np.int64)
+        owner_block = np.zeros(0, dtype=np.int64)
+        if large.size:
+            owner_block = (large // params.thread_block).astype(np.int64)
+            spawning_blocks, buffered_counts = np.unique(
+                owner_block, return_counts=True
+            )
+            # one launch per spawning block, charged to its lead thread
+            spawn = np.zeros(workload.outer_size, dtype=np.int64)
+            lead_threads = spawning_blocks * params.thread_block
+            lead_threads = lead_threads[lead_threads < workload.outer_size]
+            spawn[lead_threads] = 1
+            parent_builder.add_loop(
+                spawn, insts_per_iter=config.device_launch_issue_cycles
+            )
+        parent = graph.add(parent_builder.build())
+        for b, count in zip(spawning_blocks.tolist(), buffered_counts.tolist()):
+            members = large[owner_block == b]
+            child = KernelCostBuilder(
+                config,
+                f"{workload.name}/dpar-opt-child",
+                block_size=params.lb_block,
+                n_blocks=int(count),
+                registers_per_thread=params.registers_per_thread,
+                concurrent_grids=min(int(spawning_blocks.size),
+                                     config.max_concurrent_kernels),
+            )
+            add_outer_setup(child, workload, int(count), indirect=True)
+            add_block_mapped_inner(
+                child, workload, members,
+                np.arange(members.size, dtype=np.int64),
+            )
+            graph.add(child.build(parent=parent, parent_block=int(b)))
+        return graph, {"inline": small, "nested": large}

@@ -1,0 +1,268 @@
+"""Shared mapping machinery: from (outer -> hardware) assignments to costs.
+
+Every nested-loop template is a composition of three mapping moves:
+
+* **thread-mapped inner loops** — outer iteration ``i`` runs entirely on
+  one thread; the thread loops ``f(i)`` times (warp divergence!);
+* **block-mapped inner loops** — outer iteration ``i`` owns a block whose
+  threads stride over the inner iterations (``lane, lane+B, ...``);
+* **evenly-partitioned pair streams** — a concatenated stream of inner
+  iterations split fairly across blocks (dbuf-global's second phase).
+
+The functions here translate each move into the cost builder's language:
+per-thread trip counts (divergence), exact (warp, step)-grouped
+transactions (coalescing) and grouped atomic conflicts.  They are the only
+place where the pair-trace encoding is interpreted, so every template
+shares one implementation of the memory model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.core.workload import NestedLoopWorkload
+from repro.gpusim.atomics import flat_atomic_cycles
+from repro.gpusim.coalesce import contiguous_transactions, transaction_counts
+from repro.gpusim.costmodel import KernelCostBuilder
+
+__all__ = [
+    "add_outer_setup",
+    "add_thread_mapped_inner",
+    "add_block_mapped_inner",
+    "add_partitioned_pairs",
+]
+
+
+def _apply_streams(
+    builder: KernelCostBuilder,
+    workload: NestedLoopWorkload,
+    pair_idx: np.ndarray,
+    warp_ids: np.ndarray,
+    group_ids: np.ndarray,
+    coalesce_stores: bool = False,
+) -> None:
+    """Cost every access stream + atomics of the selected pairs."""
+    n = pair_idx.size
+    if n == 0:
+        return
+    for stream in workload.streams:
+        if coalesce_stores and stream.kind == "store" and stream.staged_in_shared:
+            # Staged through shared memory and written back coalesced: the
+            # global traffic becomes contiguous in pair order.
+            addr = pair_idx * stream.element_bytes
+            builder.add_shared_accesses(2 * n)  # stage in + flush out
+        else:
+            addr = stream.addresses[pair_idx]
+        tx = transaction_counts(warp_ids, group_ids, addr, builder.n_warps)
+        builder.add_traffic(tx, n * stream.element_bytes, stream.kind)
+    if workload.atomic_targets is not None:
+        targets = workload.atomic_targets[pair_idx]
+        live = targets >= 0
+        if np.any(live):
+            cycles, stats = flat_atomic_cycles(
+                warp_ids[live], group_ids[live], targets[live],
+                builder.n_warps, builder.config,
+            )
+            builder.add_atomic_cycles(cycles, stats)
+
+
+def add_outer_setup(
+    builder: KernelCostBuilder,
+    workload: NestedLoopWorkload,
+    n_outer: int,
+    indirect: bool = False,
+) -> None:
+    """Per-outer-iteration setup: instructions + coalesced offset loads.
+
+    ``indirect`` adds one extra scattered load per iteration (queue- or
+    buffer-driven phases first fetch the iteration id they own).
+    """
+    if n_outer <= 0:
+        return
+    insts = workload.outer_insts + (2.0 if indirect else 0.0)
+    builder.add_uniform(min(n_outer, builder.n_threads), insts=insts)
+    tx = int(
+        contiguous_transactions(
+            n_outer,
+            element_bytes=workload.outer_load_bytes,
+            lanes_per_warp=builder.config.warp_size,
+            segment_bytes=builder.config.mem_segment_bytes,
+        ).sum()
+    )
+    per_warp = np.zeros(builder.n_warps)
+    used_warps = max(1, -(-n_outer // builder.config.warp_size))
+    used_warps = min(used_warps, builder.n_warps)
+    per_warp[:used_warps] = tx / used_warps
+    extra = n_outer if indirect else 0
+    if extra:
+        # scattered 4-byte id fetches: approximately one segment each
+        per_warp[:used_warps] += extra / used_warps
+    builder.add_traffic(
+        per_warp, n_outer * workload.outer_load_bytes + extra * 4, "load"
+    )
+    if workload.outer_store_bytes:
+        store_tx = int(
+            contiguous_transactions(
+                n_outer,
+                element_bytes=workload.outer_store_bytes,
+                lanes_per_warp=builder.config.warp_size,
+                segment_bytes=builder.config.mem_segment_bytes,
+            ).sum()
+        )
+        store_per_warp = np.zeros(builder.n_warps)
+        store_per_warp[:used_warps] = store_tx / used_warps
+        builder.add_traffic(
+            store_per_warp, n_outer * workload.outer_store_bytes, "store"
+        )
+
+
+def add_thread_mapped_inner(
+    builder: KernelCostBuilder,
+    workload: NestedLoopWorkload,
+    outer_ids: np.ndarray,
+    thread_ids: np.ndarray,
+    trips: np.ndarray | None = None,
+) -> None:
+    """Inner loops run one-outer-per-thread (Fig. 1(a) baseline mapping).
+
+    ``outer_ids[k]`` is executed by linear thread ``thread_ids[k]`` of the
+    builder's grid; ``trips`` optionally caps the iterations executed in
+    this phase.
+    """
+    outer_ids = np.asarray(outer_ids, dtype=np.int64)
+    thread_ids = np.asarray(thread_ids, dtype=np.int64)
+    if outer_ids.shape != thread_ids.shape:
+        raise PlanError("outer_ids and thread_ids must align")
+    if outer_ids.size == 0:
+        return
+    if np.unique(thread_ids).size != thread_ids.size:
+        raise PlanError("a thread cannot own two outer iterations in one phase")
+    eff_trips = workload.subset_trips(outer_ids) if trips is None else np.asarray(trips, np.int64)
+
+    per_thread = np.zeros(builder.n_threads, dtype=np.int64)
+    per_thread[thread_ids] = eff_trips
+    builder.add_loop(per_thread, insts_per_iter=workload.inner_insts)
+
+    pair_idx, steps = workload.pairs_of(outer_ids, eff_trips)
+    if pair_idx.size == 0:
+        return
+    pair_threads = np.repeat(thread_ids, eff_trips)
+    warp_ids = builder.warp_of_thread(pair_threads)
+    max_step = int(steps.max()) + 1
+    group_ids = warp_ids * max_step + steps
+    _apply_streams(builder, workload, pair_idx, warp_ids, group_ids)
+
+
+def add_block_mapped_inner(
+    builder: KernelCostBuilder,
+    workload: NestedLoopWorkload,
+    outer_ids: np.ndarray,
+    block_ids: np.ndarray,
+    coalesce_stores: bool = False,
+) -> None:
+    """Inner loops run one-outer-per-block: threads stride over f(i).
+
+    ``outer_ids[k]`` is executed by block ``block_ids[k]``; inner iteration
+    ``j`` lands on thread ``j % B`` at loop step ``j // B``.  Multiple
+    outer iterations may share a block (dbuf-shared's per-block buffer) —
+    they are then processed sequentially by that block.
+    """
+    outer_ids = np.asarray(outer_ids, dtype=np.int64)
+    block_ids = np.asarray(block_ids, dtype=np.int64)
+    if outer_ids.shape != block_ids.shape:
+        raise PlanError("outer_ids and block_ids must align")
+    if outer_ids.size == 0:
+        return
+    if block_ids.size and (block_ids.min() < 0 or block_ids.max() >= builder.n_blocks):
+        raise PlanError("block_ids out of range for the builder's grid")
+    B = builder.block_size
+    trips = workload.subset_trips(outer_ids)
+
+    # Per-thread divergence: lane L of block b runs ceil((f - L) / B)
+    # iterations of each outer it hosts; accumulate over hosted outers.
+    lanes = np.arange(B, dtype=np.int64)[None, :]
+    lane_trips = np.clip((trips[:, None] - lanes + B - 1) // B, 0, None)
+    per_thread = np.zeros(builder.n_threads, dtype=np.int64)
+    flat_threads = (block_ids[:, None] * B + lanes).ravel()
+    np.add.at(per_thread, flat_threads, lane_trips.ravel())
+    builder.add_loop(per_thread, insts_per_iter=workload.inner_insts)
+
+    pair_idx, steps = workload.pairs_of(outer_ids)
+    if pair_idx.size == 0:
+        return
+    pair_block = np.repeat(block_ids, trips)
+    lane = steps % B
+    chunk = steps // B
+    pair_threads = pair_block * B + lane
+    warp_ids = builder.warp_of_thread(pair_threads)
+    # Sequential outers within a block get distinct issue slots: include
+    # the position of the outer in its block's list.
+    outer_seq_in_block = _sequence_within(block_ids)
+    pair_seq = np.repeat(outer_seq_in_block, trips)
+    max_chunk = int(chunk.max()) + 1
+    max_seq = int(pair_seq.max()) + 1
+    group_ids = (warp_ids * max_seq + pair_seq) * max_chunk + chunk
+    _apply_streams(builder, workload, pair_idx, warp_ids, group_ids,
+                   coalesce_stores=coalesce_stores)
+
+
+def add_partitioned_pairs(
+    builder: KernelCostBuilder,
+    workload: NestedLoopWorkload,
+    outer_ids: np.ndarray,
+    coalesce_stores: bool = False,
+) -> None:
+    """The buffered pair stream split evenly across the builder's blocks.
+
+    dbuf-global's second phase: the delayed buffer lives in global memory,
+    so its total inner work can be repartitioned fairly — each block takes
+    a contiguous chunk of the concatenated pair stream regardless of which
+    outer iteration the pairs belong to.
+    """
+    outer_ids = np.asarray(outer_ids, dtype=np.int64)
+    if outer_ids.size == 0:
+        return
+    pair_idx, _ = workload.pairs_of(outer_ids)
+    P = pair_idx.size
+    if P == 0:
+        return
+    G = builder.n_blocks
+    B = builder.block_size
+    chunk_size = -(-P // G)
+    pos = np.arange(P, dtype=np.int64)
+    block = pos // chunk_size
+    within = pos % chunk_size
+    lane = within % B
+    step = within // B
+    per_thread = np.zeros(builder.n_threads, dtype=np.int64)
+    np.add.at(per_thread, block * B + lane, 1)
+    builder.add_loop(per_thread, insts_per_iter=workload.inner_insts + 1.0)
+
+    pair_threads = block * B + lane
+    warp_ids = builder.warp_of_thread(pair_threads)
+    max_step = int(step.max()) + 1
+    group_ids = warp_ids * max_step + step
+    _apply_streams(builder, workload, pair_idx, warp_ids, group_ids,
+                   coalesce_stores=coalesce_stores)
+
+
+def _sequence_within(ids: np.ndarray) -> np.ndarray:
+    """Occurrence index of each element within its id group.
+
+    ``_sequence_within([5, 5, 2, 5, 2]) == [0, 1, 0, 2, 1]``.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    new_group = np.ones(ids.size, dtype=bool)
+    new_group[1:] = sorted_ids[1:] != sorted_ids[:-1]
+    group_start = np.maximum.accumulate(
+        np.where(new_group, np.arange(ids.size), 0)
+    )
+    seq_sorted = np.arange(ids.size) - group_start
+    out = np.empty(ids.size, dtype=np.int64)
+    out[order] = seq_sorted
+    return out

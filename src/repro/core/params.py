@@ -1,0 +1,59 @@
+"""Template tuning parameters.
+
+Two knobs dominate the paper's evaluation: the load-balancing threshold
+``lbTHRES`` (how big an inner loop must be before it is moved to the
+block-mapped / nested phase — Figs. 4-6, Table II) and the block size used
+by the block-mapped portions (Fig. 4).  The thread-mapped phases use the
+paper's fixed 192-thread blocks (the core count of a Kepler SM).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["TemplateParams", "DEFAULT_THREAD_BLOCK", "DEFAULT_LB_BLOCK"]
+
+#: the paper's thread-mapped block size ("we use 192 threads per block,
+#: equaling the number of cores per streaming multiprocessor")
+DEFAULT_THREAD_BLOCK = 192
+#: the paper's block-mapped block size after the Fig. 4 study ("in the
+#: remaining experiments we use small blocks consisting of 64 threads")
+DEFAULT_LB_BLOCK = 64
+
+
+@dataclass(frozen=True)
+class TemplateParams:
+    """Knobs shared by all nested-loop parallelization templates."""
+
+    #: iterations with f(i) > lb_threshold go to the load-balanced phase
+    lb_threshold: int = 32
+    #: block size of thread-mapped kernels
+    thread_block: int = DEFAULT_THREAD_BLOCK
+    #: block size of block-mapped kernels
+    lb_block: int = DEFAULT_LB_BLOCK
+    #: registers per thread assumed for occupancy (paper: low usage)
+    registers_per_thread: int = 24
+    #: extra device streams per thread-block for nested launches
+    #: (1 = the per-block NULL stream only; Fig. 9's "stream" variants use 2)
+    streams_per_block: int = 1
+    #: maximum blocks a thread-mapped grid may use (grid-size clamp)
+    max_grid_blocks: int = 65_535
+
+    def __post_init__(self) -> None:
+        if self.lb_threshold < 1:
+            raise ConfigError("lb_threshold must be >= 1")
+        if self.thread_block < 32 or self.lb_block < 1:
+            raise ConfigError("block sizes out of range")
+        if self.registers_per_thread < 1:
+            raise ConfigError("registers_per_thread must be >= 1")
+        if self.streams_per_block < 1:
+            raise ConfigError("streams_per_block must be >= 1")
+        if self.max_grid_blocks < 1:
+            raise ConfigError("max_grid_blocks must be >= 1")
+
+    def replace(self, **changes: object) -> "TemplateParams":
+        """Copy with changes (revalidated)."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,45 @@
+"""Template registry: paper name -> template class."""
+
+from __future__ import annotations
+
+from repro.core.base import NestedLoopTemplate
+from repro.core.delayed_buffer import (
+    DelayedBufferGlobalTemplate,
+    DelayedBufferSharedTemplate,
+)
+from repro.core.dual_queue import DualQueueTemplate
+from repro.core.dynamic_par import DparNaiveTemplate, DparOptTemplate
+from repro.core.thread_mapped import BlockMappedTemplate, ThreadMappedTemplate
+from repro.errors import PlanError
+
+__all__ = [
+    "NESTED_LOOP_TEMPLATES",
+    "LOAD_BALANCING_TEMPLATES",
+    "get_template",
+]
+
+#: all nested-loop templates by paper name
+NESTED_LOOP_TEMPLATES: dict[str, type[NestedLoopTemplate]] = {
+    "baseline": ThreadMappedTemplate,
+    "block-mapped": BlockMappedTemplate,
+    "dual-queue": DualQueueTemplate,
+    "dbuf-global": DelayedBufferGlobalTemplate,
+    "dbuf-shared": DelayedBufferSharedTemplate,
+    "dpar-naive": DparNaiveTemplate,
+    "dpar-opt": DparOptTemplate,
+}
+
+#: the five load-balancing variants evaluated in Figs. 4-6
+LOAD_BALANCING_TEMPLATES = (
+    "dual-queue", "dbuf-global", "dbuf-shared", "dpar-naive", "dpar-opt",
+)
+
+
+def get_template(name: str) -> NestedLoopTemplate:
+    """Instantiate a nested-loop template by its paper name."""
+    try:
+        cls = NESTED_LOOP_TEMPLATES[name]
+    except KeyError:
+        known = ", ".join(sorted(NESTED_LOOP_TEMPLATES))
+        raise PlanError(f"unknown template {name!r}; known: {known}") from None
+    return cls()

@@ -1,0 +1,82 @@
+"""Baseline thread-mapped template (Fig. 1(a)) and pure block mapping.
+
+Thread mapping assigns every outer iteration to one thread: regular work
+parallelizes perfectly, but irregular inner loops leave most of a warp
+idle while its longest lane finishes — the paper's baseline and the
+denominator of every speedup in Figs. 4-6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import NestedLoopTemplate
+from repro.core.mapping import (
+    add_block_mapped_inner,
+    add_outer_setup,
+    add_thread_mapped_inner,
+)
+from repro.core.params import TemplateParams
+from repro.core.workload import NestedLoopWorkload
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.costmodel import KernelCostBuilder
+from repro.gpusim.kernels import LaunchGraph
+
+__all__ = ["ThreadMappedTemplate", "BlockMappedTemplate"]
+
+
+class ThreadMappedTemplate(NestedLoopTemplate):
+    """One outer iteration per thread, no load balancing (the baseline)."""
+
+    name = "baseline"
+
+    def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
+              params: TemplateParams):
+        n = workload.outer_size
+        blocks = self._grid_for(n, params.thread_block, params.max_grid_blocks)
+        builder = KernelCostBuilder(
+            config, f"{workload.name}/thread-mapped",
+            block_size=params.thread_block, n_blocks=blocks,
+            registers_per_thread=params.registers_per_thread,
+        )
+        outer = np.arange(n, dtype=np.int64)
+        add_outer_setup(builder, workload, n)
+        add_thread_mapped_inner(builder, workload, outer, outer)
+        graph = LaunchGraph()
+        graph.add(builder.build())
+        return graph, {"thread": outer}
+
+
+class BlockMappedTemplate(NestedLoopTemplate):
+    """One outer iteration per thread-block.
+
+    Good for huge inner loops, wasteful for small ones: a 64-thread block
+    processing a 3-iteration inner loop idles 61 threads — the paper's
+    "uneven block utilization".
+    """
+
+    name = "block-mapped"
+
+    def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
+              params: TemplateParams):
+        n = workload.outer_size
+        if n > params.max_grid_blocks:
+            # one block per iteration; chunk the grid like CUDA grids do
+            raise_n = params.max_grid_blocks
+            if n > raise_n:
+                from repro.errors import PlanError
+
+                raise PlanError(
+                    f"block mapping needs {n} blocks (> clamp {raise_n})"
+                )
+        builder = KernelCostBuilder(
+            config, f"{workload.name}/block-mapped",
+            block_size=params.lb_block, n_blocks=n,
+            registers_per_thread=params.registers_per_thread,
+        )
+        outer = np.arange(n, dtype=np.int64)
+        add_outer_setup(builder, workload, n)
+        add_block_mapped_inner(builder, workload, outer, outer)
+        graph = LaunchGraph()
+        graph.add(builder.build())
+        return graph, {"block": outer}

@@ -1,0 +1,141 @@
+"""Workload descriptions for the parallelization templates.
+
+A :class:`NestedLoopWorkload` is the Fig. 1(a) shape::
+
+    for i in range(outer_size):          # parallelizable outer loop
+        for j in range(f(i)):            # irregular inner loop
+            work(i, j)
+
+Templates never see application code — they see the *trace* of ``work``:
+per-(i, j) memory access streams (byte addresses in pair order), optional
+per-pair atomic targets, and instruction weights.  That is exactly the
+information a compiler emitting these templates would derive from the loop
+body, and it is what the simulator needs to cost a mapping.
+
+Pairs are stored row-major (all ``j`` of outer ``0``, then outer ``1``,
+...), matching CSR edge order for graph workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graphs.csr import concat_ranges
+
+__all__ = ["AccessStream", "NestedLoopWorkload"]
+
+
+@dataclass
+class AccessStream:
+    """One global-memory access performed by each inner iteration.
+
+    ``addresses[p]`` is the byte address touched by pair ``p`` (row-major
+    pair order).  ``staged_in_shared`` marks streams that a shared-memory
+    buffered phase can stage on-chip and write back coalesced — the
+    mechanism behind dbuf-shared's better store efficiency in Table I.
+    """
+
+    name: str
+    addresses: np.ndarray
+    kind: Literal["load", "store"] = "load"
+    element_bytes: int = 4
+    staged_in_shared: bool = False
+
+    def __post_init__(self) -> None:
+        self.addresses = np.asarray(self.addresses, dtype=np.int64)
+        if self.addresses.ndim != 1:
+            raise WorkloadError(f"stream {self.name!r}: addresses must be 1-D")
+        if self.addresses.size and self.addresses.min() < 0:
+            raise WorkloadError(f"stream {self.name!r}: negative addresses")
+        if self.kind not in ("load", "store"):
+            raise WorkloadError(f"stream {self.name!r}: kind must be load|store")
+        if self.element_bytes <= 0:
+            raise WorkloadError(f"stream {self.name!r}: element_bytes must be positive")
+
+
+@dataclass
+class NestedLoopWorkload:
+    """An irregular nested loop plus its memory/atomic trace."""
+
+    name: str
+    trip_counts: np.ndarray
+    streams: list[AccessStream] = field(default_factory=list)
+    #: element index each pair RMWs atomically (-1 = no atomic); length nnz
+    atomic_targets: np.ndarray | None = None
+    #: issued instructions per inner iteration (index math, compare, branch)
+    inner_insts: float = 6.0
+    #: issued instructions per outer iteration (setup, offsets, write-back)
+    outer_insts: float = 10.0
+    #: coalesced bytes read per outer iteration (row offsets and the like)
+    outer_load_bytes: int = 8
+    #: coalesced bytes written per outer iteration (per-row results)
+    outer_store_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        self.trip_counts = np.asarray(self.trip_counts, dtype=np.int64)
+        if self.trip_counts.ndim != 1 or self.trip_counts.size == 0:
+            raise WorkloadError("trip_counts must be a non-empty 1-D array")
+        if self.trip_counts.min() < 0:
+            raise WorkloadError("trip counts cannot be negative")
+        self.pair_offsets = np.zeros(self.trip_counts.size + 1, dtype=np.int64)
+        np.cumsum(self.trip_counts, out=self.pair_offsets[1:])
+        nnz = self.n_pairs
+        for stream in self.streams:
+            if stream.addresses.size != nnz:
+                raise WorkloadError(
+                    f"stream {stream.name!r} has {stream.addresses.size} "
+                    f"addresses but the workload has {nnz} pairs"
+                )
+        if self.atomic_targets is not None:
+            self.atomic_targets = np.asarray(self.atomic_targets, dtype=np.int64)
+            if self.atomic_targets.shape != (nnz,):
+                raise WorkloadError("atomic_targets must have one entry per pair")
+        if (
+            self.inner_insts < 0 or self.outer_insts < 0
+            or self.outer_load_bytes < 0 or self.outer_store_bytes < 0
+        ):
+            raise WorkloadError("instruction/byte weights cannot be negative")
+
+    @property
+    def outer_size(self) -> int:
+        """Number of outer-loop iterations."""
+        return self.trip_counts.size
+
+    @property
+    def n_pairs(self) -> int:
+        """Total inner iterations (sum of f(i))."""
+        return int(self.pair_offsets[-1])
+
+    def pairs_of(self, outer_ids: np.ndarray, trips: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Pair indices + local step ``j`` for a subset of outer iterations.
+
+        ``trips`` optionally caps the per-iteration trip counts (a phase
+        processing only the first ``lbTHRES`` iterations would pass the
+        capped counts).  Returns ``(pair_idx, steps)`` where the pairs of
+        ``outer_ids[k]`` appear consecutively.
+        """
+        outer_ids = np.asarray(outer_ids, dtype=np.int64)
+        if outer_ids.size and (
+            outer_ids.min() < 0 or outer_ids.max() >= self.outer_size
+        ):
+            raise WorkloadError("outer_ids out of range")
+        full = self.trip_counts[outer_ids]
+        if trips is None:
+            trips = full
+        else:
+            trips = np.asarray(trips, dtype=np.int64)
+            if trips.shape != outer_ids.shape:
+                raise WorkloadError("trips must match outer_ids shape")
+            if np.any(trips > full) or np.any(trips < 0):
+                raise WorkloadError("trip caps out of range")
+        pair_idx = concat_ranges(self.pair_offsets[outer_ids], trips)
+        steps = concat_ranges(np.zeros_like(trips), trips)
+        return pair_idx, steps
+
+    def subset_trips(self, outer_ids: np.ndarray) -> np.ndarray:
+        """Trip counts of a subset of outer iterations."""
+        return self.trip_counts[np.asarray(outer_ids, dtype=np.int64)]

@@ -1,0 +1,33 @@
+"""``repro.cpu`` — serial CPU baselines: cost model + reference algorithms."""
+
+from repro.cpu.costmodel import XEON_E5_2620, CPUConfig, OpCounts
+from repro.cpu.reference import (
+    SerialRun,
+    bc_serial,
+    bfs_recursive_serial,
+    bfs_serial,
+    pagerank_serial,
+    recursive_bfs_cpu_speedup,
+    spmv_serial,
+    sssp_serial,
+)
+from repro.cpu.trees import (
+    best_serial_descendants,
+    best_serial_heights,
+    descendants_iterative_serial,
+    descendants_recursive_py,
+    descendants_recursive_serial,
+    heights_iterative_serial,
+    heights_recursive_py,
+    heights_recursive_serial,
+)
+
+__all__ = [
+    "CPUConfig", "OpCounts", "XEON_E5_2620", "SerialRun",
+    "spmv_serial", "sssp_serial", "pagerank_serial", "bc_serial",
+    "bfs_serial", "bfs_recursive_serial", "recursive_bfs_cpu_speedup",
+    "descendants_iterative_serial", "descendants_recursive_serial",
+    "heights_iterative_serial", "heights_recursive_serial",
+    "descendants_recursive_py", "heights_recursive_py",
+    "best_serial_descendants", "best_serial_heights",
+]

@@ -1,0 +1,114 @@
+"""Serial-CPU cost model.
+
+The paper reports every GPU number as a speedup over *serial CPU code* run
+on a Xeon E5-2620.  The reproduction therefore needs a consistent serial
+cost for the same work.  We count operations by class — arithmetic,
+sequential loads (streamed, mostly cache-resident), random loads
+(pointer-chasing, mostly missing), stores, branches and function calls —
+and convert with per-class cycle costs.
+
+Costs are first-order Xeon-like constants; like every absolute number in
+this reproduction, they matter only through the *ratios* they induce
+(EXPERIMENTS.md compares shapes, and ``tests/test_calibration.py`` pins
+the headline bands).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["CPUConfig", "OpCounts", "XEON_E5_2620"]
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Per-operation-class cycle costs of a serial CPU."""
+
+    name: str = "Xeon E5-2620"
+    clock_ghz: float = 2.0
+    #: cycles per arithmetic/logic op (superscalar issue folded in)
+    cpi_alu: float = 0.4
+    #: cycles per streamed (prefetchable) load
+    cpi_seq_load: float = 0.6
+    #: cycles per irregular load (weighted cache-miss cost)
+    cpi_rand_load: float = 18.0
+    #: cycles per store (write-combining assumed)
+    cpi_store: float = 1.0
+    #: cycles per data-dependent branch (misprediction amortized)
+    cpi_branch: float = 1.5
+    #: cycles per function call/return (recursive baselines)
+    cpi_call: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "clock_ghz", "cpi_alu", "cpi_seq_load", "cpi_rand_load",
+            "cpi_store", "cpi_branch", "cpi_call",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"CPUConfig.{name} must be positive")
+
+    def replace(self, **changes: object) -> "CPUConfig":
+        """Copy with changes (revalidated)."""
+        return dataclasses.replace(self, **changes)
+
+    def time_ms(self, ops: "OpCounts") -> float:
+        """Serial wall-clock estimate for an operation mix."""
+        cycles = (
+            ops.alu * self.cpi_alu
+            + ops.seq_loads * self.cpi_seq_load
+            + ops.rand_loads * self.cpi_rand_load
+            + ops.stores * self.cpi_store
+            + ops.branches * self.cpi_branch
+            + ops.calls * self.cpi_call
+        )
+        return cycles / (self.clock_ghz * 1e9) * 1e3
+
+
+@dataclass
+class OpCounts:
+    """Operation counts by class for a serial execution."""
+
+    alu: float = 0.0
+    seq_loads: float = 0.0
+    rand_loads: float = 0.0
+    stores: float = 0.0
+    branches: float = 0.0
+    calls: float = 0.0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            alu=self.alu + other.alu,
+            seq_loads=self.seq_loads + other.seq_loads,
+            rand_loads=self.rand_loads + other.rand_loads,
+            stores=self.stores + other.stores,
+            branches=self.branches + other.branches,
+            calls=self.calls + other.calls,
+        )
+
+    def scaled(self, factor: float) -> "OpCounts":
+        """All counts multiplied by a factor (e.g. iteration count)."""
+        if factor < 0:
+            raise ConfigError("scale factor cannot be negative")
+        return OpCounts(
+            alu=self.alu * factor,
+            seq_loads=self.seq_loads * factor,
+            rand_loads=self.rand_loads * factor,
+            stores=self.stores * factor,
+            branches=self.branches * factor,
+            calls=self.calls * factor,
+        )
+
+    @property
+    def total(self) -> float:
+        """Total operation count (all classes)."""
+        return (
+            self.alu + self.seq_loads + self.rand_loads
+            + self.stores + self.branches + self.calls
+        )
+
+
+#: The paper's CPU.
+XEON_E5_2620 = CPUConfig()

@@ -1,0 +1,134 @@
+"""Serial CPU references for the tree-traversal applications.
+
+Fig. 3 of the paper shows two serial variants of tree descendants: the
+plain recursive code (Fig. 3(a)) and the recursion-eliminated iterative
+version (Fig. 3(b)).  Tree heights has the same pair.  The paper's tree
+speedups are measured "over the better one between recursive and iterative
+serial CPU code" — both are implemented and costed here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.costmodel import OpCounts
+from repro.cpu.reference import SerialRun
+from repro.trees.metrics import node_heights, subtree_sizes
+from repro.trees.structure import Tree
+
+__all__ = [
+    "descendants_iterative_serial",
+    "descendants_recursive_serial",
+    "heights_iterative_serial",
+    "heights_recursive_serial",
+    "descendants_recursive_py",
+    "heights_recursive_py",
+    "best_serial_descendants",
+    "best_serial_heights",
+]
+
+
+def descendants_iterative_serial(tree: Tree) -> SerialRun:
+    """Recursion-eliminated serial tree descendants (Fig. 3(b)).
+
+    Walks nodes bottom-up adding each node's count into its parent: one
+    pass over all non-root nodes.
+    """
+    sizes = subtree_sizes(tree)
+    n = tree.n_nodes
+    ops = OpCounts(
+        alu=2.0 * (n - 1) + n,
+        seq_loads=2.0 * (n - 1),   # node order + parent id (BFS layout streams)
+        rand_loads=1.0 * (n - 1),  # parent counter
+        stores=1.0 * (n - 1) + n,
+        branches=1.0 * n,
+    )
+    return SerialRun(result=sizes, ops=ops, meta={"variant": "iterative"})
+
+
+def descendants_recursive_serial(tree: Tree) -> SerialRun:
+    """Plain recursive serial tree descendants (Fig. 3(a)).
+
+    Same result as the iterative version, plus one call/return per node
+    and the child-slice bookkeeping of the recursion.
+    """
+    base = descendants_iterative_serial(tree)
+    n = tree.n_nodes
+    ops = base.ops + OpCounts(calls=1.0 * n, branches=1.0 * n, alu=1.0 * n)
+    return SerialRun(result=base.result, ops=ops, meta={"variant": "recursive"})
+
+
+def heights_iterative_serial(tree: Tree) -> SerialRun:
+    """Recursion-eliminated serial tree heights."""
+    heights = node_heights(tree)
+    n = tree.n_nodes
+    ops = OpCounts(
+        alu=2.0 * (n - 1) + n,
+        seq_loads=2.0 * (n - 1),
+        rand_loads=1.0 * (n - 1),
+        stores=1.0 * (n - 1) + n,
+        branches=2.0 * n,  # extra compare for the max
+    )
+    return SerialRun(result=heights, ops=ops, meta={"variant": "iterative"})
+
+
+def heights_recursive_serial(tree: Tree) -> SerialRun:
+    """Plain recursive serial tree heights."""
+    base = heights_iterative_serial(tree)
+    n = tree.n_nodes
+    ops = base.ops + OpCounts(calls=1.0 * n, branches=1.0 * n, alu=1.0 * n)
+    return SerialRun(result=base.result, ops=ops, meta={"variant": "recursive"})
+
+
+def best_serial_descendants(tree: Tree) -> SerialRun:
+    """The paper's baseline: the faster of the two serial variants."""
+    it = descendants_iterative_serial(tree)
+    rec = descendants_recursive_serial(tree)
+    return it if it.ops.total <= rec.ops.total else rec
+
+
+def best_serial_heights(tree: Tree) -> SerialRun:
+    """The paper's baseline: the faster of the two serial variants."""
+    it = heights_iterative_serial(tree)
+    rec = heights_recursive_serial(tree)
+    return it if it.ops.total <= rec.ops.total else rec
+
+
+# ---------------------------------------------------------- executable refs
+def descendants_recursive_py(tree: Tree) -> np.ndarray:
+    """Actually-recursive Python implementation of Fig. 3(a).
+
+    Used as the ground-truth oracle in tests (explicit stack; CPython's
+    recursion limit is no match for even mid-sized trees).  Matches the
+    paper's convention that every node counts itself as a descendant.
+    """
+    sizes = np.ones(tree.n_nodes, dtype=np.int64)
+    # post-order via two-phase stack
+    stack: list[tuple[int, bool]] = [(0, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            for child in tree.children_of(node).tolist():
+                sizes[node] += sizes[child]
+        else:
+            stack.append((node, True))
+            for child in tree.children_of(node).tolist():
+                stack.append((child, False))
+    return sizes
+
+
+def heights_recursive_py(tree: Tree) -> np.ndarray:
+    """Actually-recursive Python implementation of tree heights."""
+    heights = np.ones(tree.n_nodes, dtype=np.int64)
+    stack: list[tuple[int, bool]] = [(0, False)]
+    while stack:
+        node, processed = stack.pop()
+        children = tree.children_of(node).tolist()
+        if processed:
+            if children:
+                heights[node] = 1 + max(heights[c] for c in children)
+        else:
+            stack.append((node, True))
+            for child in children:
+                stack.append((child, False))
+    return heights

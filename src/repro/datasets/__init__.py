@@ -1,0 +1,15 @@
+"""``repro.datasets`` — named dataset catalog.
+
+One place to resolve the paper's dataset names into graphs/trees, whether
+generated (offline default) or loaded from the real files when available.
+"""
+
+from repro.datasets.catalog import (
+    DATASETS,
+    DatasetInfo,
+    list_datasets,
+    load,
+    load_file,
+)
+
+__all__ = ["DATASETS", "DatasetInfo", "list_datasets", "load", "load_file"]

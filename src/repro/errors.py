@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid device/CPU configuration or kernel configuration."""
+
+
+class LaunchError(ReproError):
+    """A kernel launch violates device limits (grid size, block size,
+    shared memory, pending-launch pool, recursion depth)."""
+
+
+class WorkloadError(ReproError):
+    """A workload description is inconsistent (negative trip counts,
+    mismatched array lengths, out-of-range indices)."""
+
+
+class PlanError(ReproError):
+    """A mapping plan is internally inconsistent (iterations dropped or
+    duplicated, lane assignments out of range)."""
+
+
+class GraphError(ReproError):
+    """An invalid graph or tree structure (malformed CSR, bad indices)."""
+
+
+class DatasetError(ReproError):
+    """A dataset cannot be parsed or generated with the given parameters."""
+
+
+class ExperimentError(ReproError):
+    """A benchmark experiment is unknown or was given invalid parameters."""

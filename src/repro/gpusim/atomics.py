@@ -1,0 +1,175 @@
+"""Atomic-operation serialization model.
+
+Global atomics on Kepler are performed by the L2/atomic units; lanes of a
+warp targeting the *same* address serialize, and across warps a heavily
+contended ("hot") address serializes the whole kernel tail.  Atomics are
+what make the paper's flat tree-traversal kernels saturate (Fig. 7/8) and
+what sink the recursive BFS variants (Fig. 9), so the model needs both an
+intra-warp conflict term and a global hot-address term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.warps import WarpShape
+
+__all__ = [
+    "AtomicStats",
+    "warp_atomic_cycles",
+    "hot_address_degree",
+    "grouped_conflict_degree",
+    "flat_atomic_cycles",
+]
+
+
+@dataclass
+class AtomicStats:
+    """Aggregate atomic counters for a launch (profiler-visible)."""
+
+    n_atomics: int = 0
+    #: largest number of atomics aimed at one address within the launch
+    max_address_multiplicity: int = 0
+    #: cycles charged on the critical path for the hottest address
+    hot_serialization_cycles: float = 0.0
+
+    def merge(self, other: "AtomicStats") -> None:
+        """Fold another record into this one."""
+        self.n_atomics += other.n_atomics
+        self.max_address_multiplicity = max(
+            self.max_address_multiplicity, other.max_address_multiplicity
+        )
+        self.hot_serialization_cycles += other.hot_serialization_cycles
+
+
+def grouped_conflict_degree(shape: WarpShape) -> np.ndarray:
+    """Per-warp maximum same-address multiplicity for one atomic access.
+
+    ``shape.values`` holds the target addresses (any consistent unit —
+    conflicts are equality-based); inactive lanes never conflict.  Returns
+    an ``(n_warps,)`` int64 array of the worst run length per warp (0 for
+    warps with no active lane).
+    """
+    values = np.asarray(shape.values, dtype=np.int64)
+    active = np.asarray(shape.active, dtype=bool)
+    if values.shape != active.shape or values.ndim != 2:
+        raise WorkloadError("shape.values and shape.active must be matching 2-D arrays")
+    if values.size == 0:
+        return np.zeros(values.shape[0], dtype=np.int64)
+    n_warps, lanes = values.shape
+    # Give every inactive lane a unique sentinel below any valid address so
+    # inactive lanes can never form a run.
+    lane_idx = np.arange(lanes, dtype=np.int64)[None, :]
+    lowest = values.min() if values.size else 0
+    sentinel = (lowest - 1) - lane_idx  # distinct per lane
+    keyed = np.where(active, values, sentinel)
+    ordered = np.sort(keyed, axis=1)
+    idx = np.broadcast_to(np.arange(lanes, dtype=np.int64), ordered.shape)
+    change = np.ones_like(ordered, dtype=bool)
+    change[:, 1:] = ordered[:, 1:] != ordered[:, :-1]
+    last_change = np.maximum.accumulate(np.where(change, idx, -1), axis=1)
+    run_len = idx - last_change + 1
+    # Sentinels are pairwise distinct, so their runs have length 1 and never
+    # dominate; a warp with no active lane must still report 0.
+    max_run = run_len.max(axis=1)
+    has_active = active.any(axis=1)
+    return np.where(has_active, max_run, 0).astype(np.int64)
+
+
+def warp_atomic_cycles(
+    shape: WarpShape, config: DeviceConfig
+) -> tuple[np.ndarray, AtomicStats]:
+    """Cycles each warp spends on one warp-wide atomic access.
+
+    Cost per warp = one atomic issue (``atomic_cycles``) plus
+    ``atomic_conflict_cycles`` for every extra lane serialized behind the
+    most contended address in the warp.
+    """
+    degree = grouped_conflict_degree(shape)
+    active_counts = np.asarray(shape.active, dtype=np.int64).sum(axis=1)
+    cycles = np.where(
+        active_counts > 0,
+        config.atomic_cycles + (degree - 1).clip(min=0) * config.atomic_conflict_cycles,
+        0,
+    ).astype(np.float64)
+    values = np.asarray(shape.values, dtype=np.int64)
+    flat = values[np.asarray(shape.active, dtype=bool)]
+    stats = AtomicStats(
+        n_atomics=int(active_counts.sum()),
+        max_address_multiplicity=hot_address_degree(flat),
+    )
+    return cycles, stats
+
+
+def flat_atomic_cycles(
+    agg_ids: np.ndarray,
+    group_ids: np.ndarray,
+    addresses: np.ndarray,
+    n_agg: int,
+    config: DeviceConfig,
+) -> tuple[np.ndarray, AtomicStats]:
+    """Atomic serialization cost for a flat access stream, in one pass.
+
+    Each entry is one atomic issued at issue slot ``group_ids[k]`` (a
+    (warp, loop-step) pair encoded by the caller), aggregated into bucket
+    ``agg_ids[k]`` (the warp).  Within one group, lanes hitting the same
+    address serialize: the group's cost is
+    ``atomic_cycles + (max multiplicity - 1) * atomic_conflict_cycles``.
+    Returns per-bucket cycles and launch-wide stats — the flat-stream twin
+    of :func:`warp_atomic_cycles`, sized for whole-loop-nest traces.
+    """
+    agg_ids = np.asarray(agg_ids, dtype=np.int64)
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if not (agg_ids.shape == group_ids.shape == addresses.shape) or agg_ids.ndim != 1:
+        raise WorkloadError(
+            "agg_ids, group_ids and addresses must be 1-D arrays of equal length"
+        )
+    if n_agg < 0:
+        raise WorkloadError("n_agg cannot be negative")
+    cycles = np.zeros(n_agg, dtype=np.float64)
+    if agg_ids.size == 0:
+        return cycles, AtomicStats()
+    if np.any(agg_ids >= n_agg) or np.any(agg_ids < 0) or np.any(group_ids < 0):
+        raise WorkloadError("ids out of range")
+    if np.any(addresses < 0):
+        raise WorkloadError("atomic addresses cannot be negative")
+
+    order = np.lexsort((addresses, group_ids))
+    g = group_ids[order]
+    a = addresses[order]
+    # run lengths of equal (group, address)
+    new_pair = np.ones(g.size, dtype=bool)
+    new_pair[1:] = (g[1:] != g[:-1]) | (a[1:] != a[:-1])
+    pair_starts = np.flatnonzero(new_pair)
+    pair_lengths = np.diff(np.append(pair_starts, g.size))
+    pair_group = g[pair_starts]
+    # per group: max multiplicity
+    new_group = np.ones(pair_group.size, dtype=bool)
+    new_group[1:] = pair_group[1:] != pair_group[:-1]
+    group_starts = np.flatnonzero(new_group)
+    max_mult = np.maximum.reduceat(pair_lengths, group_starts)
+    group_cost = (
+        config.atomic_cycles
+        + (max_mult - 1).clip(min=0) * config.atomic_conflict_cycles
+    )
+    agg_of_group = agg_ids[order][pair_starts[group_starts]]
+    np.add.at(cycles, agg_of_group, group_cost)
+    stats = AtomicStats(
+        n_atomics=int(addresses.size),
+        max_address_multiplicity=hot_address_degree(addresses),
+    )
+    return cycles, stats
+
+
+def hot_address_degree(addresses: np.ndarray) -> int:
+    """Largest multiplicity of a single address in a flat access stream."""
+    addresses = np.asarray(addresses)
+    if addresses.size == 0:
+        return 0
+    _, counts = np.unique(addresses, return_counts=True)
+    return int(counts.max())

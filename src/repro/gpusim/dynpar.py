@@ -1,0 +1,87 @@
+"""Dynamic-parallelism helpers for template authors.
+
+The executor implements the mechanics of nested launches (GMU queue,
+latency, pool, per-stream serialization); this module provides what the
+*parent* kernel must account for — the cycles its threads spend issuing
+nested launches — plus validation and aggregate overhead estimation used
+by the analysis in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchError
+from repro.gpusim.config import DeviceConfig, supports_dynamic_parallelism
+
+__all__ = [
+    "require_device_support",
+    "issue_cost_cycles",
+    "DynParOverheadEstimate",
+    "estimate_bulk_overhead",
+]
+
+
+def require_device_support(config: DeviceConfig, template_name: str) -> None:
+    """Raise if the device cannot perform nested kernel launches.
+
+    Mirrors the paper's motivation for the dbuf templates: they provide
+    the same load balancing "also for devices that do not support nested
+    kernel invocations".
+    """
+    if not supports_dynamic_parallelism(config):
+        raise LaunchError(
+            f"template {template_name!r} requires dynamic parallelism, but "
+            f"{config.name} (cc {config.compute_capability[0]}."
+            f"{config.compute_capability[1]}) does not support nested launches; "
+            "use a delayed-buffer template instead"
+        )
+
+
+def issue_cost_cycles(config: DeviceConfig, n_launches: int) -> float:
+    """Cycles a parent thread/block spends issuing ``n_launches`` children.
+
+    Parameter marshalling, stream selection and enqueueing into the
+    pending-launch pool all happen on the *parent's* clock — a first-order
+    reason dpar-naive underperforms when every thread launches.
+    """
+    if n_launches < 0:
+        raise LaunchError("n_launches cannot be negative")
+    return n_launches * config.device_launch_issue_cycles
+
+
+@dataclass(frozen=True)
+class DynParOverheadEstimate:
+    """Closed-form overhead of a bulk nested-launch wave."""
+
+    n_launches: int
+    issue_cycles: float
+    gmu_drain_us: float
+    latency_us: float
+    pool_overflow: bool
+
+    @property
+    def total_us_lower_bound(self) -> float:
+        """Launch-machinery time even if children did zero work."""
+        return self.gmu_drain_us + self.latency_us
+
+
+def estimate_bulk_overhead(
+    config: DeviceConfig, n_launches: int
+) -> DynParOverheadEstimate:
+    """Estimate the launch-machinery cost of ``n_launches`` nested grids.
+
+    Used by the EXPERIMENTS analysis to sanity-check executor output: a
+    quarter-million nested launches (the paper's rec-naive at outdegree
+    512) cost seconds in GMU drain alone regardless of the work inside.
+    """
+    if n_launches < 0:
+        raise LaunchError("n_launches cannot be negative")
+    drain_us = n_launches / config.device_launch_throughput_per_us
+    return DynParOverheadEstimate(
+        n_launches=n_launches,
+        issue_cycles=issue_cost_cycles(config, n_launches),
+        gmu_drain_us=drain_us,
+        latency_us=config.device_launch_latency_us,
+        pool_overflow=n_launches > config.pending_launch_limit,
+    )

@@ -1,0 +1,573 @@
+"""Event-driven execution engine: SMs, streams and nested launches.
+
+The executor runs a :class:`~repro.gpusim.kernels.LaunchGraph` on a
+simulated device and produces wall-clock timing plus utilization traces.
+
+Model
+-----
+* Each SM is a **processor-sharing server**: all resident blocks share its
+  issue bandwidth equally (work conservation), so total SM throughput is
+  one SM-cycle of work per cycle regardless of how many blocks are
+  resident.  A block additionally cannot retire before its *floor* (its
+  critical warp's standalone time); it lingers holding resources until
+  then.  Processor sharing is simulated exactly with the virtual-time
+  technique, so the whole run costs O(events log events).
+* Blocks are dispatched FIFO per launch, to the SM with the most free
+  warps, subject to the real resource footprints (warps, block slots,
+  shared memory, registers) and the concurrent-kernel limit.
+* Host launches in one stream serialize (plus launch overhead); different
+  streams are independent.
+* Device (dynamic-parallelism) launches are *issued* when their issuing
+  parent block completes, then pass through a single-server grid
+  management unit (GMU) with fixed service rate and latency; overflowing
+  the pending-launch pool virtualizes the queue (large penalty).  Launches
+  sharing a device stream key (same parent block + stream) execute
+  sequentially — the semantics behind the paper's "one additional stream
+  per thread-block" experiments.
+* A parent kernel is tree-complete only when all its descendants are —
+  CUDA's parent/child completion rule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import LaunchError
+from repro.gpusim.config import DeviceConfig, supports_dynamic_parallelism
+from repro.gpusim.kernels import Launch, LaunchGraph, ProfileCounters
+from repro.gpusim.occupancy import occupancy
+
+__all__ = ["GpuExecutor", "ExecutionResult", "LaunchRecord"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class LaunchRecord:
+    """Timing record of one launch instance."""
+
+    name: str
+    start_cycles: float
+    end_cycles: float
+    n_blocks: int
+    device: bool
+
+    @property
+    def duration_cycles(self) -> float:
+        """End minus start, in SM-cycles."""
+        return self.end_cycles - self.start_cycles
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing a launch graph."""
+
+    cycles: float
+    time_ms: float
+    counters: ProfileCounters
+    sm_busy_cycles: float
+    sm_count: int
+    n_launches: int
+    n_device_launches: int
+    pool_overflows: int
+    records: list[LaunchRecord] = field(default_factory=list)
+
+    @property
+    def sm_utilization(self) -> float:
+        """Busy SM-cycles over available SM-cycles (0.0 - 1.0)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.sm_busy_cycles / (self.cycles * self.sm_count)
+
+
+class _Block:
+    """A dispatched thread-block being served by an SM."""
+
+    __slots__ = ("launch", "index", "work", "floor", "admit_time", "target_v", "done_service")
+
+    def __init__(self, launch: "_LaunchState", index: int, work: float, floor: float):
+        self.launch = launch
+        self.index = index
+        self.work = work
+        self.floor = floor
+        self.admit_time = 0.0
+        self.target_v = 0.0
+        self.done_service = False
+
+
+class _SM:
+    """Processor-sharing SM with resource accounting."""
+
+    __slots__ = (
+        "index", "free_warps", "free_blocks", "free_smem", "free_regs",
+        "serving", "virtual", "t_last", "version", "busy_cycles",
+    )
+
+    def __init__(self, index: int, config: DeviceConfig):
+        self.index = index
+        self.free_warps = config.max_warps_per_sm
+        self.free_blocks = config.max_blocks_per_sm
+        self.free_smem = config.shared_mem_per_sm
+        self.free_regs = config.registers_per_sm
+        self.serving: list[tuple[float, int, _Block]] = []  # heap by target_v
+        self.virtual = 0.0
+        self.t_last = 0.0
+        self.version = 0
+        self.busy_cycles = 0.0
+
+    def advance(self, now: float) -> None:
+        """Accrue service up to ``now`` (call before changing residency)."""
+        if now < self.t_last - _EPS:
+            raise LaunchError("simulation time went backwards")
+        dt = max(0.0, now - self.t_last)
+        k = len(self.serving)
+        if k:
+            self.virtual += dt / k
+            self.busy_cycles += dt
+        self.t_last = now
+
+    def next_completion(self) -> float:
+        """Predicted absolute time of the earliest service completion."""
+        if not self.serving:
+            return math.inf
+        target = self.serving[0][0]
+        k = len(self.serving)
+        return self.t_last + max(0.0, target - self.virtual) * k
+
+
+@dataclass
+class _Footprint:
+    warps: int
+    smem: int
+    regs: int
+
+
+class _LaunchState:
+    """Mutable execution state of one launch instance."""
+
+    __slots__ = (
+        "spec", "graph_index", "replica", "footprint", "n_blocks",
+        "next_block", "outstanding_blocks", "outstanding_children",
+        "ready", "dispatch_started", "start_time", "end_time",
+        "tree_completed", "parent_state", "group_key", "tail_elapsed",
+    )
+
+    def __init__(self, spec: Launch, graph_index: int, replica: int, footprint: _Footprint):
+        self.spec = spec
+        self.graph_index = graph_index
+        self.replica = replica
+        self.footprint = footprint
+        self.n_blocks = spec.costs.n_blocks
+        self.next_block = 0
+        self.outstanding_blocks = self.n_blocks
+        self.outstanding_children = 0
+        self.ready = False
+        self.dispatch_started = False
+        self.start_time = math.inf
+        self.end_time = 0.0
+        self.tree_completed = False
+        self.parent_state: _LaunchState | None = None
+        self.group_key: tuple[int, int, int] | None = None
+        self.tail_elapsed = False
+
+    @property
+    def fully_dispatched(self) -> bool:
+        return self.next_block >= self.n_blocks
+
+
+class GpuExecutor:
+    """Executes launch graphs on a simulated device.
+
+    Parameters
+    ----------
+    config:
+        the device to simulate.
+    record_timeline:
+        keep per-launch timing records (off by default: launch graphs with
+        hundreds of thousands of nested launches would bloat the result).
+    max_launch_instances:
+        safety valve against runaway dynamic parallelism in experiments.
+    """
+
+    def __init__(
+        self,
+        config: DeviceConfig,
+        record_timeline: bool = False,
+        max_launch_instances: int = 2_000_000,
+    ) -> None:
+        self.config = config
+        self.record_timeline = record_timeline
+        self.max_launch_instances = max_launch_instances
+
+    # ------------------------------------------------------------------- API
+    def run(self, graph: LaunchGraph) -> ExecutionResult:
+        """Simulate the graph; returns timing + aggregated counters."""
+        graph.validate(self.config)
+        if not graph.launches:
+            return ExecutionResult(
+                cycles=0.0, time_ms=0.0, counters=ProfileCounters(),
+                sm_busy_cycles=0.0, sm_count=self.config.sm_count,
+                n_launches=0, n_device_launches=0, pool_overflows=0,
+            )
+        has_device = any(l.is_device for l in graph.launches)
+        if has_device and not supports_dynamic_parallelism(self.config):
+            raise LaunchError(
+                f"{self.config.name} does not support dynamic parallelism"
+            )
+        sim = _Simulation(self.config, graph, self.record_timeline,
+                          self.max_launch_instances)
+        return sim.run()
+
+
+class _Simulation:
+    """One executor run (separate from GpuExecutor so the executor object
+    stays reusable and stateless between runs)."""
+
+    def __init__(
+        self,
+        config: DeviceConfig,
+        graph: LaunchGraph,
+        record_timeline: bool,
+        max_instances: int,
+    ) -> None:
+        self.config = config
+        self.graph = graph
+        self.record_timeline = record_timeline
+        self.max_instances = max_instances
+
+        self.now = 0.0
+        self.events: list[tuple[float, int, str, object]] = []
+        self._seq = 0
+        self.sms = [_SM(i, config) for i in range(config.sm_count)]
+        self.records: list[LaunchRecord] = []
+
+        # Launch instances (bulk launches expand into replicas).
+        self.instances: list[_LaunchState] = []
+        #: children registered on (parent graph_index, parent block) —
+        #: replicas of a bulk parent only get children on replica 0.
+        self.children_of: dict[tuple[int, int], list[int]] = {}
+
+        # streams / GMU
+        self.gmu_free = 0.0
+        self.gmu_pending = 0
+        self.pool_overflows = 0
+        self.device_stream_tail: dict[tuple[int, int, int], _LaunchState | None] = {}
+        self.device_stream_queue: dict[tuple[int, int, int], list[_LaunchState]] = {}
+
+        self.ready_list: list[_LaunchState] = []
+        self.n_device_instances = 0
+        self._footprints: dict[int, _Footprint] = {}
+
+    # ----------------------------------------------------------------- setup
+    def _footprint(self, spec: Launch, graph_index: int) -> _Footprint:
+        fp = self._footprints.get(graph_index)
+        if fp is None:
+            cfg = self.config
+            occ = occupancy(cfg, spec.block_size, spec.registers_per_thread,
+                            spec.shared_mem_per_block)
+            wpb = occ.warps_per_block
+            regs = spec.registers_per_thread * wpb * cfg.warp_size
+            regs = -(-regs // cfg.register_alloc_granularity) * cfg.register_alloc_granularity
+            smem = spec.shared_mem_per_block
+            if smem:
+                smem = -(-smem // cfg.shared_mem_alloc_granularity) * cfg.shared_mem_alloc_granularity
+            fp = _Footprint(warps=wpb, smem=smem, regs=regs)
+            self._footprints[graph_index] = fp
+        return fp
+
+    def _push_event(self, time: float, kind: str, payload: object) -> None:
+        self._seq += 1
+        heapq.heappush(self.events, (time, self._seq, kind, payload))
+
+    def _new_instance(self, spec: Launch, graph_index: int, replica: int) -> _LaunchState:
+        if len(self.instances) >= self.max_instances:
+            raise LaunchError(
+                f"launch-instance limit {self.max_instances} exceeded — "
+                "runaway dynamic parallelism?"
+            )
+        state = _LaunchState(spec, graph_index, replica, self._footprint(spec, graph_index))
+        self.instances.append(state)
+        return state
+
+    def _setup(self) -> None:
+        host_overhead = self.config.us_to_cycles(self.config.host_launch_overhead_us)
+        # Build instances for host launches immediately; device launches are
+        # instantiated per replica and wait for their parent block.
+        for gi, spec in enumerate(self.graph.launches):
+            if not spec.is_device:
+                if spec.count != 1:
+                    raise LaunchError("bulk (count > 1) host launches are not supported")
+                state = self._new_instance(spec, gi, 0)
+                # The first launch of each stream becomes ready after the
+                # host launch overhead; successors are released when their
+                # predecessor's launch tree completes.
+                self._chain_host(state, host_overhead)
+            else:
+                self.children_of.setdefault((spec.parent, spec.parent_block), []).append(gi)
+
+    # Host stream chaining: keep a per-stream list of pending launches; a
+    # launch becomes ready when its predecessor's tree completes.
+    def _chain_host(self, state: _LaunchState, ready_hint: float) -> None:
+        stream = state.spec.stream
+        queue = self._host_queues.setdefault(stream, [])
+        queue.append(state)
+        if len(queue) == 1:
+            self._push_event(ready_hint, "host_ready", state)
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> ExecutionResult:
+        self._host_queues: dict[int, list[_LaunchState]] = {}
+        self._setup()
+        while self.events:
+            time, _, kind, payload = heapq.heappop(self.events)
+            self.now = max(self.now, time)
+            if kind == "host_ready":
+                self._on_ready(payload)  # type: ignore[arg-type]
+            elif kind == "gmu_done":
+                self._on_gmu_done(payload)  # type: ignore[arg-type]
+            elif kind == "sm_check":
+                sm, version = payload  # type: ignore[misc]
+                if sm.version == version:
+                    self._service_sm(sm)
+            elif kind == "linger_done":
+                sm, block = payload  # type: ignore[misc]
+                self._retire_block(sm, block)
+            elif kind == "tail_done":
+                state = payload  # type: ignore[assignment]
+                state.tail_elapsed = True
+                self._maybe_tree_complete(state)
+            while self._dispatch():
+                pass
+        makespan = self.now
+        for sm in self.sms:
+            sm.advance(makespan)
+        counters = self.graph.aggregate_counters()
+        busy = sum(sm.busy_cycles for sm in self.sms)
+        return ExecutionResult(
+            cycles=makespan,
+            time_ms=self.config.cycles_to_ms(makespan),
+            counters=counters,
+            sm_busy_cycles=busy,
+            sm_count=self.config.sm_count,
+            n_launches=len(self.instances),
+            n_device_launches=self.n_device_instances,
+            pool_overflows=self.pool_overflows,
+            records=self.records,
+        )
+
+    # ---------------------------------------------------------------- events
+    def _on_ready(self, state: _LaunchState) -> None:
+        state.ready = True
+        self.ready_list.append(state)
+
+    def _issue_children(self, parent: _LaunchState, block_index: int) -> None:
+        """A parent block completed: issue its registered device launches."""
+        if parent.replica != 0:
+            return  # children are attached to replica 0 of bulk parents
+        key = (parent.graph_index, block_index)
+        child_graph_ids = self.children_of.get(key)
+        if not child_graph_ids:
+            return
+        cfg = self.config
+        latency = cfg.us_to_cycles(cfg.device_launch_latency_us)
+        # GMU service: launches per microsecond -> cycles per launch
+        service = cfg.us_to_cycles(1.0 / cfg.device_launch_throughput_per_us)
+        for gi in child_graph_ids:
+            spec = self.graph.launches[gi]
+            for replica in range(spec.count):
+                child = self._new_instance(spec, gi, replica)
+                child.parent_state = parent
+                parent.outstanding_children += 1
+                self.n_device_instances += 1
+                key3 = (parent.graph_index, block_index, spec.device_stream)
+                child.group_key = key3
+                # GMU single-server FIFO
+                self.gmu_pending += 1
+                penalty = 1.0
+                if self.gmu_pending > cfg.pending_launch_limit:
+                    penalty = 10.0
+                    self.pool_overflows += 1
+                start_service = max(self.now, self.gmu_free)
+                self.gmu_free = start_service + service * penalty
+                done = self.gmu_free + latency
+                self._push_event(done, "gmu_done", child)
+
+    def _on_gmu_done(self, child: _LaunchState) -> None:
+        self.gmu_pending -= 1
+        key = child.group_key
+        assert key is not None
+        tail = self.device_stream_tail.get(key)
+        if tail is None:
+            self.device_stream_tail[key] = child
+            self._on_ready(child)
+        else:
+            self.device_stream_queue.setdefault(key, []).append(child)
+
+    def _service_sm(self, sm: _SM) -> None:
+        """Handle (predicted) completions on one SM."""
+        sm.advance(self.now)
+        tol = 1e-6 * (1.0 + abs(sm.virtual))
+        while sm.serving and sm.serving[0][0] <= sm.virtual + tol:
+            _, _, block = heapq.heappop(sm.serving)
+            sm.version += 1
+            block.done_service = True
+            floor_time = block.admit_time + block.floor
+            if floor_time > self.now + _EPS:
+                # Holds resources (registers, smem, warp slots) until its
+                # critical warp drains, but consumes no further issue slots.
+                self._push_event(floor_time, "linger_done", (sm, block))
+            else:
+                self._retire_block(sm, block)
+        self._schedule_sm_check(sm)
+
+    def _schedule_sm_check(self, sm: _SM) -> None:
+        nxt = sm.next_completion()
+        if nxt is not math.inf:
+            self._push_event(nxt, "sm_check", (sm, sm.version))
+
+    def _retire_block(self, sm: _SM, block: _Block) -> None:
+        state = block.launch
+        fp = state.footprint
+        sm.free_warps += fp.warps
+        sm.free_blocks += 1
+        sm.free_smem += fp.smem
+        sm.free_regs += fp.regs
+        state.outstanding_blocks -= 1
+        self._issue_children(state, block.index)
+        if state.outstanding_blocks == 0:
+            self._on_blocks_done(state)
+
+    def _on_blocks_done(self, state: _LaunchState) -> None:
+        """All blocks retired; apply serial tail, then check tree completion."""
+        tail = state.spec.costs.serial_tail
+        end = self.now + tail
+        state.end_time = end
+        if self.record_timeline:
+            self.records.append(LaunchRecord(
+                name=state.spec.name,
+                start_cycles=state.start_time,
+                end_cycles=end,
+                n_blocks=state.n_blocks,
+                device=state.spec.is_device,
+            ))
+        if tail > 0:
+            self._push_event(end, "tail_done", state)
+        else:
+            state.tail_elapsed = True
+            self._maybe_tree_complete(state)
+
+    def _maybe_tree_complete(self, state: _LaunchState) -> None:
+        if state.tree_completed:
+            return
+        if (
+            state.outstanding_blocks > 0
+            or state.outstanding_children > 0
+            or not state.tail_elapsed
+        ):
+            return
+        state.tree_completed = True
+        # release device-stream successor
+        if state.group_key is not None:
+            key = state.group_key
+            queue = self.device_stream_queue.get(key)
+            if queue:
+                nxt = queue.pop(0)
+                self.device_stream_tail[key] = nxt
+                self._on_ready(nxt)
+            else:
+                self.device_stream_tail[key] = None
+        # notify parent
+        parent = state.parent_state
+        if parent is not None:
+            parent.outstanding_children -= 1
+            self._maybe_tree_complete(parent)
+        else:
+            # host launch: release its stream successor
+            stream = state.spec.stream
+            queue = self._host_queues.get(stream)
+            if queue and queue[0] is state:
+                queue.pop(0)
+                if queue:
+                    overhead = self.config.us_to_cycles(self.config.host_launch_overhead_us)
+                    self._push_event(self.now + overhead, "host_ready", queue[0])
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self) -> bool:
+        """Place ready blocks onto SMs; returns True if anything moved."""
+        if not self.ready_list:
+            return False
+        cfg = self.config
+        queue = self.ready_list
+        self.ready_list = []
+        progress = False
+        active = 0
+        leftover: list[_LaunchState] = []
+        changed_sms: set[int] = set()
+        for state in queue:
+            if state.fully_dispatched:
+                continue
+            if active >= cfg.max_concurrent_kernels:
+                leftover.append(state)
+                continue
+            active += 1
+            fp = state.footprint
+            costs = state.spec.costs
+            while not state.fully_dispatched:
+                sm = self._find_sm(fp)
+                if sm is None:
+                    break
+                progress = True
+                bi = state.next_block
+                state.next_block += 1
+                if not state.dispatch_started:
+                    state.dispatch_started = True
+                    state.start_time = self.now
+                block = _Block(
+                    state, bi,
+                    work=float(costs.block_cycles[bi]),
+                    floor=float(costs.block_floor[bi]),
+                )
+                sm.advance(self.now)
+                block.admit_time = self.now
+                sm.free_warps -= fp.warps
+                sm.free_blocks -= 1
+                sm.free_smem -= fp.smem
+                sm.free_regs -= fp.regs
+                if block.work <= _EPS:
+                    # Zero-work block: never enters service; complete
+                    # immediately (respecting its floor).
+                    block.done_service = True
+                    floor_time = block.admit_time + block.floor
+                    if floor_time > self.now + _EPS:
+                        self._push_event(floor_time, "linger_done", (sm, block))
+                    else:
+                        self._retire_block(sm, block)
+                else:
+                    block.target_v = sm.virtual + block.work
+                    self._seq += 1
+                    heapq.heappush(sm.serving, (block.target_v, self._seq, block))
+                    sm.version += 1
+                    changed_sms.add(sm.index)
+            if not state.fully_dispatched:
+                leftover.append(state)
+        # Anything that became ready while dispatching stays queued for the
+        # next pass (the caller loops until no progress).
+        self.ready_list.extend(leftover)
+        for i in changed_sms:
+            self._schedule_sm_check(self.sms[i])
+        return progress
+
+    def _find_sm(self, fp: _Footprint) -> _SM | None:
+        best: _SM | None = None
+        for sm in self.sms:
+            if (
+                sm.free_warps >= fp.warps
+                and sm.free_blocks >= 1
+                and sm.free_smem >= fp.smem
+                and sm.free_regs >= fp.regs
+            ):
+                if best is None or sm.free_warps > best.free_warps:
+                    best = sm
+        return best

@@ -1,0 +1,255 @@
+"""Kernel, launch and profiling descriptors consumed by the executor.
+
+A *kernel launch* is described by its grid shape, its resource footprint
+(which bounds SM residency via :mod:`repro.gpusim.occupancy`), a per-block
+work array in **SM-cycles** produced by :mod:`repro.gpusim.costmodel`, and
+profiler counters.  Launch graphs — host launches ordered by stream plus
+device-side (dynamic parallelism) launches hanging off parent launches —
+are what templates hand to :class:`repro.gpusim.executor.GpuExecutor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LaunchError, WorkloadError
+from repro.gpusim.atomics import AtomicStats
+from repro.gpusim.coalesce import MemoryTraffic
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.occupancy import OccupancyResult, occupancy
+from repro.gpusim.warps import WarpExecStats
+
+__all__ = [
+    "ProfileCounters",
+    "KernelCosts",
+    "Launch",
+    "LaunchGraph",
+    "HOST",
+]
+
+#: sentinel parent id for host-side launches
+HOST = -1
+
+
+@dataclass
+class ProfileCounters:
+    """Visual-Profiler-style counters for one launch (or aggregated).
+
+    The three Table-I metrics come straight out of here:
+    ``warp.warp_execution_efficiency``, ``load_traffic.efficiency`` (gld)
+    and ``store_traffic.efficiency`` (gst).
+    """
+
+    warp: WarpExecStats = field(default_factory=WarpExecStats)
+    load_traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+    store_traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+    atomic: AtomicStats = field(default_factory=AtomicStats)
+    shared_accesses: int = 0
+    host_launches: int = 0
+    device_launches: int = 0
+
+    def merge(self, other: "ProfileCounters") -> None:
+        """Fold another counter record into this one."""
+        self.warp.merge(other.warp)
+        self.load_traffic = self.load_traffic.merge(other.load_traffic)
+        self.store_traffic = self.store_traffic.merge(other.store_traffic)
+        self.atomic.merge(other.atomic)
+        self.shared_accesses += other.shared_accesses
+        self.host_launches += other.host_launches
+        self.device_launches += other.device_launches
+
+    @property
+    def total_launches(self) -> int:
+        """Host plus device kernel invocations."""
+        return self.host_launches + self.device_launches
+
+
+@dataclass
+class KernelCosts:
+    """Per-block work of one kernel, in SM-cycles.
+
+    ``block_cycles[b]`` is the total work block ``b`` contributes to
+    whichever SM it lands on; ``block_floor[b]`` is the duration the block
+    cannot beat even on an idle SM (its critical warp).  ``serial_tail``
+    models kernel-wide serialization (e.g. a globally hot atomic address)
+    appended after the last block retires.
+    """
+
+    block_cycles: np.ndarray
+    block_floor: np.ndarray | None = None
+    serial_tail: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.block_cycles = np.asarray(self.block_cycles, dtype=np.float64)
+        if self.block_cycles.ndim != 1:
+            raise WorkloadError("block_cycles must be a 1-D array")
+        if np.any(self.block_cycles < 0):
+            raise WorkloadError("block cycles cannot be negative")
+        if self.block_floor is None:
+            self.block_floor = np.zeros_like(self.block_cycles)
+        else:
+            self.block_floor = np.asarray(self.block_floor, dtype=np.float64)
+            if self.block_floor.shape != self.block_cycles.shape:
+                raise WorkloadError("block_floor must match block_cycles shape")
+            if np.any(self.block_floor < 0):
+                raise WorkloadError("block floors cannot be negative")
+        if self.serial_tail < 0:
+            raise WorkloadError("serial_tail cannot be negative")
+
+    @property
+    def n_blocks(self) -> int:
+        """Grid size in blocks."""
+        return int(self.block_cycles.shape[0])
+
+    @property
+    def total_cycles(self) -> float:
+        """Total SM-cycles of work in the grid."""
+        return float(self.block_cycles.sum())
+
+
+@dataclass
+class Launch:
+    """One kernel launch node in a :class:`LaunchGraph`.
+
+    Host launches (``parent == HOST``) execute in stream order; device
+    launches become *pending* at a fraction ``issue_point`` of their issuing
+    parent block's execution, then pass through the grid-management queue.
+    Launches sharing a ``device_stream`` key (the same parent block and
+    CUDA stream) serialize with each other in issue order — the semantics
+    the paper's "multiple streams per thread-block" experiments toggle.
+    """
+
+    name: str
+    block_size: int
+    costs: KernelCosts
+    registers_per_thread: int = 24
+    shared_mem_per_block: int = 0
+    stream: int = 0
+    parent: int = HOST
+    parent_block: int = 0
+    issue_point: float = 1.0
+    device_stream: int = 0
+    counters: ProfileCounters = field(default_factory=ProfileCounters)
+    #: replicate this launch N times (bulk dynamic-parallelism fan-out);
+    #: replicas share the cost/counters description
+    count: int = 1
+    #: cost-model estimate of warps resident per SM while this kernel runs;
+    #: feeds the profiler's achieved-occupancy metric
+    resident_warps_hint: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise LaunchError(f"block_size must be positive, got {self.block_size}")
+        if self.count <= 0:
+            raise LaunchError(f"launch count must be positive, got {self.count}")
+        if not (0.0 <= self.issue_point <= 1.0):
+            raise LaunchError("issue_point must lie in [0, 1]")
+        if self.costs.n_blocks == 0:
+            raise LaunchError(f"launch {self.name!r} has an empty grid")
+
+    @property
+    def is_device(self) -> bool:
+        """Whether this is a nested (dynamic-parallelism) launch."""
+        return self.parent != HOST
+
+    def residency(self, config: DeviceConfig) -> OccupancyResult:
+        """SM residency of this kernel's blocks on ``config``."""
+        return occupancy(
+            config,
+            self.block_size,
+            self.registers_per_thread,
+            self.shared_mem_per_block,
+        )
+
+
+@dataclass
+class LaunchGraph:
+    """A complete program: host launches plus nested device launches.
+
+    ``launches[i].parent`` indexes into the same list; parents must appear
+    before children (topological order by construction).
+    """
+
+    launches: list[Launch] = field(default_factory=list)
+
+    def add(self, launch: Launch) -> int:
+        """Append a launch, validating parent linkage; returns its id."""
+        if launch.parent != HOST:
+            if not (0 <= launch.parent < len(self.launches)):
+                raise LaunchError(
+                    f"launch {launch.name!r} references unknown parent {launch.parent}"
+                )
+            parent = self.launches[launch.parent]
+            n_parent_blocks = parent.costs.n_blocks
+            if not (0 <= launch.parent_block < n_parent_blocks):
+                raise LaunchError(
+                    f"launch {launch.name!r} issued from block {launch.parent_block} "
+                    f"but parent grid has {n_parent_blocks} blocks"
+                )
+        self.launches.append(launch)
+        return len(self.launches) - 1
+
+    def __len__(self) -> int:
+        return len(self.launches)
+
+    def depth_of(self, index: int) -> int:
+        """Nesting depth of a launch (0 for host launches)."""
+        depth = 0
+        launch = self.launches[index]
+        while launch.parent != HOST:
+            depth += 1
+            launch = self.launches[launch.parent]
+        return depth
+
+    def validate(self, config: DeviceConfig) -> None:
+        """Check device limits: nesting depth and grid sizes."""
+        for i, launch in enumerate(self.launches):
+            if launch.costs.n_blocks > config.max_grid_dim_x:
+                raise LaunchError(f"launch {launch.name!r} grid exceeds device limit")
+            if launch.is_device and self.depth_of(i) > config.max_launch_depth:
+                raise LaunchError(
+                    f"launch {launch.name!r} exceeds max nesting depth "
+                    f"{config.max_launch_depth}"
+                )
+
+    def aggregate_counters(self) -> ProfileCounters:
+        """Merge all launches' counters (bulk launches weighted by count)."""
+        total = ProfileCounters()
+        for launch in self.launches:
+            if launch.count == 1:
+                total.merge(launch.counters)
+            else:
+                total.merge(_scale_counters(launch.counters, launch.count))
+        return total
+
+
+def _scale_counters(counters: ProfileCounters, factor: int) -> ProfileCounters:
+    """Scale a counter record by an integer replica count."""
+    scaled = ProfileCounters()
+    scaled.warp = WarpExecStats(
+        warp_size=counters.warp.warp_size,
+        issued_steps=counters.warp.issued_steps * factor,
+        active_slots=counters.warp.active_slots * factor,
+        warps_launched=counters.warp.warps_launched * factor,
+    )
+    scaled.load_traffic = MemoryTraffic(
+        requested_bytes=counters.load_traffic.requested_bytes * factor,
+        transactions=counters.load_traffic.transactions * factor,
+        segment_bytes=counters.load_traffic.segment_bytes,
+    )
+    scaled.store_traffic = MemoryTraffic(
+        requested_bytes=counters.store_traffic.requested_bytes * factor,
+        transactions=counters.store_traffic.transactions * factor,
+        segment_bytes=counters.store_traffic.segment_bytes,
+    )
+    scaled.atomic = AtomicStats(
+        n_atomics=counters.atomic.n_atomics * factor,
+        max_address_multiplicity=counters.atomic.max_address_multiplicity,
+        hot_serialization_cycles=counters.atomic.hot_serialization_cycles * factor,
+    )
+    scaled.shared_accesses = counters.shared_accesses * factor
+    scaled.host_launches = counters.host_launches * factor
+    scaled.device_launches = counters.device_launches * factor
+    return scaled

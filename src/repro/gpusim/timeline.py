@@ -1,0 +1,109 @@
+"""Execution timelines: utilization traces and ASCII Gantt rendering.
+
+The executor optionally records per-launch start/end times
+(``GpuExecutor(record_timeline=True)``).  This module turns those records
+into the views the paper's analysis reasons about: when did nested
+launches actually run relative to their parents, how much of the run was
+spent with the device idle waiting on launch machinery, and what the
+kernel-level concurrency looked like over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.gpusim.executor import ExecutionResult, LaunchRecord
+
+__all__ = ["Timeline", "build_timeline"]
+
+
+@dataclass
+class Timeline:
+    """Sorted launch records plus derived aggregate views."""
+
+    records: list[LaunchRecord]
+    makespan_cycles: float
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def n_launches(self) -> int:
+        """Number of recorded launches."""
+        return len(self.records)
+
+    @property
+    def device_launch_fraction(self) -> float:
+        """Fraction of launches that were nested (device-side)."""
+        if not self.records:
+            return 0.0
+        return sum(r.device for r in self.records) / len(self.records)
+
+    def concurrency(self, n_bins: int = 64) -> np.ndarray:
+        """Average number of in-flight launches per time bin."""
+        if n_bins < 1:
+            raise WorkloadError("n_bins must be >= 1")
+        if not self.records or self.makespan_cycles <= 0:
+            return np.zeros(n_bins)
+        edges = np.linspace(0.0, self.makespan_cycles, n_bins + 1)
+        busy = np.zeros(n_bins)
+        starts = np.array([r.start_cycles for r in self.records])
+        ends = np.array([r.end_cycles for r in self.records])
+        for b in range(n_bins):
+            lo, hi = edges[b], edges[b + 1]
+            overlap = np.clip(np.minimum(ends, hi) - np.maximum(starts, lo),
+                              0.0, None)
+            busy[b] = overlap.sum() / max(hi - lo, 1e-12)
+        return busy
+
+    def idle_fraction(self, n_bins: int = 256) -> float:
+        """Fraction of the makespan with no launch in flight.
+
+        Launch-machinery gaps (host overhead, GMU latency, stream
+        serialization) show up here — it is the dpar-naive signature.
+        """
+        return float((self.concurrency(n_bins) <= 1e-9).mean())
+
+    # ------------------------------------------------------------- rendering
+    def gantt(self, width: int = 72, max_rows: int = 24) -> str:
+        """Render the timeline as an ASCII Gantt chart.
+
+        One row per launch ('=' spans its lifetime; host launches are
+        upper-case 'H', device launches 'd' at the start marker).  Long
+        timelines are truncated to ``max_rows`` rows.
+        """
+        if width < 10:
+            raise WorkloadError("width must be >= 10")
+        if not self.records:
+            return "(empty timeline)\n"
+        span = max(self.makespan_cycles, 1e-9)
+        lines = []
+        shown = self.records[:max_rows]
+        name_w = min(24, max(len(r.name) for r in shown))
+        for rec in shown:
+            lo = int(rec.start_cycles / span * (width - 1))
+            hi = max(int(rec.end_cycles / span * (width - 1)), lo)
+            row = [" "] * width
+            for i in range(lo, hi + 1):
+                row[i] = "="
+            row[lo] = "d" if rec.device else "H"
+            lines.append(f"{rec.name[:name_w]:{name_w}s} |{''.join(row)}|")
+        if len(self.records) > max_rows:
+            lines.append(f"... {len(self.records) - max_rows} more launches")
+        return "\n".join(lines) + "\n"
+
+
+def build_timeline(result: ExecutionResult) -> Timeline:
+    """Build a :class:`Timeline` from an execution result.
+
+    Requires the executor to have been created with
+    ``record_timeline=True``.
+    """
+    if result.n_launches > 0 and not result.records:
+        raise WorkloadError(
+            "execution has no launch records; run the executor with "
+            "record_timeline=True"
+        )
+    records = sorted(result.records, key=lambda r: r.start_cycles)
+    return Timeline(records=records, makespan_cycles=result.cycles)

@@ -1,0 +1,208 @@
+"""Compressed Sparse Row graph structure.
+
+All graph applications in the paper (SSSP, BC, PageRank, SpMV, BFS) encode
+their graph/matrix in CSR, which is exactly why their traversal loops take
+the irregular nested-loop shape of Fig. 1(a): the outer loop walks rows
+(nodes) and the inner loop walks each row's adjacency slice, whose length
+``f(i)`` varies per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["CSRGraph", "expand_rows", "inner_steps", "concat_ranges"]
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Vectorized concatenation of integer ranges [start, start+length).
+
+    ``concat_ranges([5, 0], [2, 3]) == [5, 6, 0, 1, 2]``.  This is the
+    core primitive for gathering CSR slices of a node subset without a
+    Python loop (frontier expansion, queue processing, delayed buffers).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if starts.shape != lengths.shape or starts.ndim != 1:
+        raise GraphError("starts and lengths must be matching 1-D arrays")
+    if np.any(lengths < 0):
+        raise GraphError("range lengths cannot be negative")
+    nz = lengths > 0
+    starts, lengths = starts[nz], lengths[nz]
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.zeros(starts.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    if starts.size > 1:
+        out[offsets[1:]] = starts[1:] - (starts[:-1] + lengths[:-1]) + 1
+    return np.cumsum(out)
+
+
+@dataclass
+class CSRGraph:
+    """A directed graph (or sparse matrix pattern) in CSR form.
+
+    ``row_offsets`` has ``n_nodes + 1`` entries; the neighbors of node
+    ``i`` are ``col_indices[row_offsets[i]:row_offsets[i + 1]]``.
+    ``weights`` is optional (SSSP and SpMV use it).
+    """
+
+    row_offsets: np.ndarray
+    col_indices: np.ndarray
+    weights: np.ndarray | None = None
+    name: str = "graph"
+
+    def __post_init__(self) -> None:
+        self.row_offsets = np.asarray(self.row_offsets, dtype=np.int64)
+        self.col_indices = np.asarray(self.col_indices, dtype=np.int64)
+        if self.row_offsets.ndim != 1 or self.row_offsets.size < 1:
+            raise GraphError("row_offsets must be a 1-D array with >= 1 entry")
+        if self.col_indices.ndim != 1:
+            raise GraphError("col_indices must be 1-D")
+        if self.row_offsets[0] != 0:
+            raise GraphError("row_offsets must start at 0")
+        if np.any(np.diff(self.row_offsets) < 0):
+            raise GraphError("row_offsets must be non-decreasing")
+        if self.row_offsets[-1] != self.col_indices.size:
+            raise GraphError(
+                f"row_offsets end ({self.row_offsets[-1]}) must equal "
+                f"nnz ({self.col_indices.size})"
+            )
+        n = self.n_nodes
+        if self.col_indices.size and (
+            self.col_indices.min() < 0 or self.col_indices.max() >= n
+        ):
+            raise GraphError("col_indices out of range")
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+            if self.weights.shape != self.col_indices.shape:
+                raise GraphError("weights must match col_indices shape")
+
+    # ------------------------------------------------------------- properties
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes (rows)."""
+        return self.row_offsets.size - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges (nonzeros)."""
+        return self.col_indices.size
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node: the paper's ``f(i)`` trip counts."""
+        return np.diff(self.row_offsets)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Adjacency slice of one node."""
+        if not (0 <= node < self.n_nodes):
+            raise GraphError(f"node {node} out of range")
+        return self.col_indices[self.row_offsets[node]: self.row_offsets[node + 1]]
+
+    # ------------------------------------------------------------ conversions
+    @classmethod
+    def from_edges(
+        cls,
+        n_nodes: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Build a CSR graph from (source, target) edge arrays."""
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape or sources.ndim != 1:
+            raise GraphError("sources and targets must be matching 1-D arrays")
+        if n_nodes < 0:
+            raise GraphError("n_nodes cannot be negative")
+        if sources.size and (
+            sources.min() < 0 or sources.max() >= n_nodes
+            or targets.min() < 0 or targets.max() >= n_nodes
+        ):
+            raise GraphError("edge endpoints out of range")
+        order = np.argsort(sources, kind="stable")
+        sources = sources[order]
+        targets = targets[order]
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)[order]
+        counts = np.bincount(sources, minlength=n_nodes)
+        offsets = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return cls(offsets, targets, weights, name=name)
+
+    def to_scipy(self):
+        """Convert to a ``scipy.sparse.csr_matrix`` (weights default 1)."""
+        from scipy.sparse import csr_matrix
+
+        data = self.weights if self.weights is not None else np.ones(self.n_edges)
+        return csr_matrix(
+            (data, self.col_indices, self.row_offsets),
+            shape=(self.n_nodes, self.n_nodes),
+        )
+
+    def to_networkx(self):
+        """Convert to a ``networkx.DiGraph`` (small graphs / tests only)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.n_nodes))
+        rows = expand_rows(self.row_offsets)
+        if self.weights is not None:
+            g.add_weighted_edges_from(
+                zip(rows.tolist(), self.col_indices.tolist(), self.weights.tolist())
+            )
+        else:
+            g.add_edges_from(zip(rows.tolist(), self.col_indices.tolist()))
+        return g
+
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (in-edges become out-edges)."""
+        rows = expand_rows(self.row_offsets)
+        return CSRGraph.from_edges(
+            self.n_nodes, self.col_indices, rows, self.weights,
+            name=f"{self.name}^T",
+        )
+
+    def with_unit_weights(self) -> "CSRGraph":
+        """Copy with all-ones weights."""
+        return CSRGraph(
+            self.row_offsets, self.col_indices,
+            np.ones(self.n_edges), name=self.name,
+        )
+
+
+def expand_rows(row_offsets: np.ndarray) -> np.ndarray:
+    """Row id of every nonzero: inverse of ``row_offsets`` (vectorized).
+
+    ``expand_rows([0, 2, 2, 5]) == [0, 0, 2, 2, 2]``.
+    """
+    row_offsets = np.asarray(row_offsets, dtype=np.int64)
+    nnz = int(row_offsets[-1])
+    degrees = np.diff(row_offsets)
+    if np.any(degrees < 0):
+        raise GraphError("row_offsets must be non-decreasing")
+    return np.repeat(np.arange(row_offsets.size - 1, dtype=np.int64), degrees)
+
+
+def inner_steps(row_offsets: np.ndarray) -> np.ndarray:
+    """Position of every nonzero within its row (vectorized).
+
+    For each edge ``e`` in row ``i``, returns ``e - row_offsets[i]`` — the
+    inner-loop step index at which a thread-mapped kernel touches it.
+    ``inner_steps([0, 2, 2, 5]) == [0, 1, 0, 1, 2]``.
+    """
+    row_offsets = np.asarray(row_offsets, dtype=np.int64)
+    nnz = int(row_offsets[-1])
+    if nnz == 0:
+        return np.zeros(0, dtype=np.int64)
+    rows = expand_rows(row_offsets)
+    return np.arange(nnz, dtype=np.int64) - row_offsets[rows]

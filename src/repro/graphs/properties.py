@@ -1,0 +1,70 @@
+"""Degree statistics and irregularity measures.
+
+These are the dataset properties the paper's analysis keys on: the span of
+``f(i)`` (out-degree) determines how much warp divergence a thread-mapped
+kernel suffers, and how much work crosses the ``lbTHRES`` threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["DegreeStats", "degree_stats", "fraction_above_threshold"]
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of an out-degree distribution."""
+
+    n_nodes: int
+    n_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    median_degree: float
+    std_degree: float
+    #: coefficient of variation — the irregularity measure
+    cv: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.n_nodes} nodes, {self.n_edges} edges, degree "
+            f"[{self.min_degree}, {self.max_degree}] mean {self.mean_degree:.1f} "
+            f"cv {self.cv:.2f}"
+        )
+
+
+def degree_stats(graph: CSRGraph) -> DegreeStats:
+    """Compute out-degree statistics for a graph."""
+    deg = graph.out_degrees
+    mean = float(deg.mean()) if deg.size else 0.0
+    std = float(deg.std()) if deg.size else 0.0
+    return DegreeStats(
+        n_nodes=graph.n_nodes,
+        n_edges=graph.n_edges,
+        min_degree=int(deg.min()) if deg.size else 0,
+        max_degree=int(deg.max()) if deg.size else 0,
+        mean_degree=mean,
+        median_degree=float(np.median(deg)) if deg.size else 0.0,
+        std_degree=std,
+        cv=std / mean if mean > 0 else 0.0,
+    )
+
+
+def fraction_above_threshold(graph: CSRGraph, threshold: int) -> tuple[float, float]:
+    """(fraction of nodes, fraction of edges) above an lbTHRES threshold.
+
+    This is what determines how much work each load-balancing template
+    moves into its block-mapped phase.
+    """
+    deg = graph.out_degrees
+    if deg.size == 0:
+        return 0.0, 0.0
+    mask = deg > threshold
+    node_frac = float(mask.mean())
+    edge_frac = float(deg[mask].sum() / max(deg.sum(), 1))
+    return node_frac, edge_frac

@@ -1,0 +1,22 @@
+"""``repro.trees`` — tree substrate: structure, generator, metrics."""
+
+from repro.trees.generator import (
+    branch_probability,
+    expected_level_sizes,
+    generate_tree,
+)
+from repro.trees.metrics import (
+    ancestor_pairs,
+    flat_atomic_count,
+    node_heights,
+    rec_hier_kernel_calls,
+    rec_naive_kernel_calls,
+    subtree_sizes,
+)
+from repro.trees.structure import Tree
+
+__all__ = [
+    "Tree", "generate_tree", "branch_probability", "expected_level_sizes",
+    "ancestor_pairs", "flat_atomic_count", "subtree_sizes", "node_heights",
+    "rec_naive_kernel_calls", "rec_hier_kernel_calls",
+]

@@ -1,0 +1,95 @@
+"""Closed-form tree metrics used by the experiments and as test oracles.
+
+The paper's Figs. 7(c)/8(c) report, per tree shape, the number of atomic
+operations of the flat kernel and the number of kernel calls of the
+recursive templates.  Both have exact combinatorial forms on a given tree,
+so the simulator's counters can be checked against them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trees.structure import Tree
+
+__all__ = [
+    "ancestor_pairs",
+    "flat_atomic_count",
+    "rec_naive_kernel_calls",
+    "rec_hier_kernel_calls",
+    "subtree_sizes",
+    "node_heights",
+]
+
+def ancestor_pairs(tree: Tree) -> int:
+    """Number of (node, proper-ancestor) pairs = sum of node levels.
+
+    For the paper's full-scale tree (depth 4, outdegree 512):
+    512*1 + 512^2*2 + 512^3*3 = ~403M — the "403 m" atomics in Fig. 7(c).
+    """
+    return int(tree.levels.sum())
+
+
+def flat_atomic_count(tree: Tree) -> int:
+    """Atomics issued by the flat tree-traversal kernel.
+
+    Each thread owns one non-root node and walks its ancestor chain doing
+    one atomic RMW per hop (atomicAdd for descendants, atomicMax for
+    heights), i.e. exactly :func:`ancestor_pairs`.
+    """
+    return ancestor_pairs(tree)
+
+
+def rec_naive_kernel_calls(tree: Tree) -> int:
+    """Kernel calls of the naive recursive template.
+
+    One host launch for the root plus one nested launch per internal
+    (has-children) node below the root: each thread handling a child
+    spawns a kernel for that child's subtree if it has children.
+    Full-scale check (depth 4, outdegree 512): 1 + 512 + 512^2 = 262,657
+    — the "263k" in Fig. 7(c).
+    """
+    internal_below_root = int(np.count_nonzero(tree.out_degrees[1:] > 0))
+    return 1 + internal_below_root
+
+
+def rec_hier_kernel_calls(tree: Tree) -> int:
+    """Kernel calls of the hierarchical recursive template.
+
+    The hierarchical kernel covers two tree levels per launch (children as
+    blocks, grandchildren as threads), so a node spawns a nested launch
+    only if it has grandchildren.  Full-scale check (depth 4, outdegree
+    512): 1 + 512 = 513 — Fig. 7(c).
+    """
+    has_grandchildren = np.zeros(tree.n_nodes, dtype=bool)
+    # a node has grandchildren iff any of its children has children
+    child_deg = tree.out_degrees[tree.children]
+    owner = np.repeat(
+        np.arange(tree.n_nodes, dtype=np.int64), tree.out_degrees
+    )
+    np.logical_or.at(has_grandchildren, owner, child_deg > 0)
+    count_below_root = int(np.count_nonzero(has_grandchildren[1:]))
+    return 1 + count_below_root
+
+
+def subtree_sizes(tree: Tree) -> np.ndarray:
+    """Descendant count per node, **including** the node itself.
+
+    Bottom-up level sweep (the recursion-eliminated reference the paper's
+    Fig. 3(b) describes): vectorized with one scatter-add per level.
+    """
+    sizes = np.ones(tree.n_nodes, dtype=np.int64)
+    for level in range(tree.depth - 1, 0, -1):
+        nodes = tree.level_nodes(level)
+        np.add.at(sizes, tree.parents[nodes], sizes[nodes])
+    return sizes
+
+
+def node_heights(tree: Tree) -> np.ndarray:
+    """Height per node: leaves have height 1; internal nodes
+    1 + max(child heights) — the paper's Tree Heights definition."""
+    heights = np.ones(tree.n_nodes, dtype=np.int64)
+    for level in range(tree.depth - 1, 0, -1):
+        nodes = tree.level_nodes(level)
+        np.maximum.at(heights, tree.parents[nodes], heights[nodes] + 1)
+    return heights

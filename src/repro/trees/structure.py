@@ -1,0 +1,124 @@
+"""Level-array tree representation.
+
+Trees are stored in BFS order: node ids are assigned level by level, so
+each level is a contiguous id range and each node's children form a
+contiguous slice.  This makes both the functional level sweeps (tree
+descendants / heights) and the simulator trace generation fully
+vectorizable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["Tree"]
+
+
+@dataclass
+class Tree:
+    """A rooted tree in BFS (level) order.
+
+    ``parents[i]`` is the parent id of node ``i`` (-1 for the root);
+    ``level_offsets`` delimits levels (nodes of level ``L`` are ids
+    ``level_offsets[L] .. level_offsets[L+1]``); ``child_offsets`` /
+    ``children`` form a CSR adjacency over children.
+    """
+
+    parents: np.ndarray
+    level_offsets: np.ndarray
+    child_offsets: np.ndarray
+    children: np.ndarray
+    name: str = "tree"
+
+    def __post_init__(self) -> None:
+        self.parents = np.asarray(self.parents, dtype=np.int64)
+        self.level_offsets = np.asarray(self.level_offsets, dtype=np.int64)
+        self.child_offsets = np.asarray(self.child_offsets, dtype=np.int64)
+        self.children = np.asarray(self.children, dtype=np.int64)
+        n = self.parents.size
+        if n == 0:
+            raise GraphError("a tree needs at least a root node")
+        if self.parents[0] != -1:
+            raise GraphError("node 0 must be the root (parent -1)")
+        if np.count_nonzero(self.parents == -1) != 1:
+            raise GraphError("exactly one root expected")
+        if self.level_offsets[0] != 0 or self.level_offsets[-1] != n:
+            raise GraphError("level_offsets must span [0, n_nodes]")
+        if np.any(np.diff(self.level_offsets) < 0):
+            raise GraphError("level_offsets must be non-decreasing")
+        if self.child_offsets.size != n + 1:
+            raise GraphError("child_offsets must have n_nodes + 1 entries")
+        if self.child_offsets[-1] != self.children.size:
+            raise GraphError("child_offsets end must equal len(children)")
+        if self.children.size != n - 1:
+            raise GraphError(
+                f"a tree over {n} nodes must have exactly {n - 1} child edges, "
+                f"got {self.children.size}"
+            )
+        if self.children.size and (
+            self.children.min() < 1 or self.children.max() >= n
+        ):
+            raise GraphError("children ids out of range")
+        # children of node i must agree with parents[]
+        owner = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self.child_offsets)
+        )
+        if not np.array_equal(self.parents[self.children], owner):
+            raise GraphError("child_offsets/children disagree with parents[]")
+
+    # ------------------------------------------------------------- properties
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        return self.parents.size
+
+    @property
+    def depth(self) -> int:
+        """Number of levels (root = level 0)."""
+        return self.level_offsets.size - 1
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Children count per node."""
+        return np.diff(self.child_offsets)
+
+    @property
+    def levels(self) -> np.ndarray:
+        """Level of every node (vectorized from the level offsets)."""
+        counts = np.diff(self.level_offsets)
+        return np.repeat(np.arange(self.depth, dtype=np.int64), counts)
+
+    def level_nodes(self, level: int) -> np.ndarray:
+        """Node ids of one level."""
+        if not (0 <= level < self.depth):
+            raise GraphError(f"level {level} out of range [0, {self.depth})")
+        return np.arange(
+            self.level_offsets[level], self.level_offsets[level + 1],
+            dtype=np.int64,
+        )
+
+    def level_size(self, level: int) -> int:
+        """Number of nodes at one level."""
+        if not (0 <= level < self.depth):
+            raise GraphError(f"level {level} out of range [0, {self.depth})")
+        return int(self.level_offsets[level + 1] - self.level_offsets[level])
+
+    def children_of(self, node: int) -> np.ndarray:
+        """Children slice of one node."""
+        if not (0 <= node < self.n_nodes):
+            raise GraphError(f"node {node} out of range")
+        return self.children[self.child_offsets[node]: self.child_offsets[node + 1]]
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of nodes without children."""
+        return int(np.count_nonzero(self.out_degrees == 0))
+
+    @property
+    def n_internal(self) -> int:
+        """Number of nodes with at least one child."""
+        return self.n_nodes - self.n_leaves

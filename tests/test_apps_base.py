@@ -1,0 +1,82 @@
+"""Tests for AppRun and multi-round metric aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AppRun, combine_rounds
+from repro.core import NestedLoopWorkload, TemplateParams, get_template
+from repro.core.workload import AccessStream
+from repro.gpusim import KEPLER_K20
+from repro.gpusim.profiler import ProfileMetrics
+
+
+def make_run(seed=0, n=500):
+    rng = np.random.default_rng(seed)
+    trips = rng.integers(0, 40, size=n)
+    nnz = int(trips.sum())
+    wl = NestedLoopWorkload(
+        name="wl", trip_counts=trips,
+        streams=[AccessStream("g", rng.integers(0, nnz, size=nnz) * 4)],
+    )
+    return get_template("baseline").run(wl, KEPLER_K20, TemplateParams())
+
+
+class TestAppRun:
+    def test_speedup(self):
+        run = AppRun(
+            app="a", template="t", dataset="d", result=np.zeros(1),
+            gpu_time_ms=2.0, cpu_time_ms=8.0,
+            metrics=ProfileMetrics(1, 1, 1, 0.5, 0, 1, 0, 2.0, 0.5),
+        )
+        assert run.speedup == pytest.approx(4.0)
+
+    def test_zero_gpu_time_is_infinite_speedup(self):
+        run = AppRun(
+            app="a", template="t", dataset="d", result=np.zeros(1),
+            gpu_time_ms=0.0, cpu_time_ms=8.0,
+            metrics=ProfileMetrics(1, 1, 1, 0.5, 0, 1, 0, 0.0, 0.5),
+        )
+        assert run.speedup == float("inf")
+
+
+class TestCombineRounds:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_rounds([])
+
+    def test_single_round_is_identity(self):
+        run = make_run(seed=1)
+        total, metrics = combine_rounds([run])
+        assert total == pytest.approx(run.time_ms)
+        assert metrics.warp_execution_efficiency == pytest.approx(
+            run.metrics.warp_execution_efficiency
+        )
+        assert metrics.kernel_calls == run.metrics.kernel_calls
+
+    def test_times_sum(self):
+        a, b = make_run(seed=2), make_run(seed=3)
+        total, _ = combine_rounds([a, b])
+        assert total == pytest.approx(a.time_ms + b.time_ms)
+
+    def test_counters_sum(self):
+        a, b = make_run(seed=4), make_run(seed=5)
+        _, metrics = combine_rounds([a, b])
+        assert metrics.kernel_calls == (
+            a.metrics.kernel_calls + b.metrics.kernel_calls
+        )
+        assert metrics.atomic_ops == a.metrics.atomic_ops + b.metrics.atomic_ops
+
+    def test_efficiency_is_work_weighted(self):
+        a, b = make_run(seed=6), make_run(seed=7)
+        _, metrics = combine_rounds([a, b])
+        lo = min(a.metrics.warp_execution_efficiency,
+                 b.metrics.warp_execution_efficiency)
+        hi = max(a.metrics.warp_execution_efficiency,
+                 b.metrics.warp_execution_efficiency)
+        assert lo <= metrics.warp_execution_efficiency <= hi
+
+    def test_occupancy_bounded(self):
+        runs = [make_run(seed=s) for s in range(3)]
+        _, metrics = combine_rounds(runs)
+        assert 0.0 <= metrics.warp_occupancy <= 1.0
+        assert 0.0 <= metrics.sm_utilization <= 1.0

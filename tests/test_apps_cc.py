@@ -1,0 +1,82 @@
+"""Tests for the bonus connected-components application."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import CCApp, cc_serial
+from repro.core import TemplateParams
+from repro.errors import GraphError
+from repro.gpusim import KEPLER_K20
+from repro.graphs import CSRGraph, citeseer_like, uniform_random_graph
+
+
+def components_from_labels(labels):
+    """Group node ids by label for order-independent comparison."""
+    groups = {}
+    for node, lbl in enumerate(labels.tolist()):
+        groups.setdefault(lbl, set()).add(node)
+    return sorted(map(frozenset, groups.values()), key=min)
+
+
+class TestCCSerial:
+    def test_matches_networkx_weak_components(self):
+        g = uniform_random_graph(300, (0, 3), seed=21)
+        run = cc_serial(g)
+        expected = list(nx.weakly_connected_components(g.to_networkx()))
+        expected = sorted(map(frozenset, expected), key=min)
+        assert components_from_labels(run.result) == expected
+
+    def test_isolated_nodes_keep_own_label(self):
+        g = CSRGraph.from_edges(4, np.array([0]), np.array([1]))
+        labels = cc_serial(g).result
+        assert labels[2] == 2
+        assert labels[3] == 3
+        assert labels[0] == labels[1] == 0
+
+    def test_label_is_component_minimum(self):
+        g = CSRGraph.from_edges(5, np.array([4, 3]), np.array([3, 2]))
+        labels = cc_serial(g).result
+        assert labels[4] == labels[3] == labels[2] == 2
+
+    def test_fully_connected_single_label(self):
+        n = 50
+        src = np.arange(n - 1)
+        dst = np.arange(1, n)
+        g = CSRGraph.from_edges(n, src, dst)
+        labels = cc_serial(g).result
+        assert np.all(labels == 0)
+
+
+class TestCCApp:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return citeseer_like(scale=0.005, seed=22)
+
+    def test_result_matches_serial(self, graph):
+        app = CCApp(graph)
+        run = app.run("baseline", KEPLER_K20)
+        np.testing.assert_array_equal(run.result, cc_serial(graph).result)
+
+    def test_templates_agree(self, graph):
+        app = CCApp(graph)
+        a = app.run("baseline", KEPLER_K20).result
+        b = app.run("dbuf-shared", KEPLER_K20,
+                    TemplateParams(lb_threshold=32)).result
+        np.testing.assert_array_equal(a, b)
+
+    def test_load_balancing_helps(self, graph):
+        app = CCApp(graph)
+        base = app.run("baseline", KEPLER_K20)
+        dbuf = app.run("dbuf-global", KEPLER_K20, TemplateParams(lb_threshold=32))
+        assert dbuf.gpu_time_ms < base.gpu_time_ms
+
+    def test_meta_reports_components(self, graph):
+        run = CCApp(graph).run("baseline", KEPLER_K20)
+        assert run.meta["components"] >= 1
+        assert run.meta["rounds"] >= 1
+
+    def test_empty_graph_rejected(self):
+        empty = CSRGraph(np.array([0]), np.array([], dtype=np.int64))
+        with pytest.raises(GraphError):
+            CCApp(empty)

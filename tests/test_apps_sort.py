@@ -1,0 +1,159 @@
+"""Tests for the Fig. 2 sort case study."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.sort import (
+    SORT_VARIANTS,
+    PartitionRecord,
+    SortApp,
+    merge_sort,
+    quicksort,
+)
+from repro.errors import LaunchError, WorkloadError
+from repro.gpusim import FERMI_C2050, KEPLER_K20
+
+
+class TestMergeSort:
+    def test_sorts_random(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 1 << 31, size=10_000)
+        out, widths = merge_sort(arr)
+        np.testing.assert_array_equal(out, np.sort(arr))
+        assert widths[-1] >= arr.size
+
+    def test_sorts_already_sorted(self):
+        arr = np.arange(1000)
+        out, _ = merge_sort(arr)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_sorts_reverse(self):
+        arr = np.arange(1000)[::-1]
+        out, _ = merge_sort(arr)
+        np.testing.assert_array_equal(out, np.arange(1000))
+
+    def test_duplicates(self):
+        arr = np.array([3, 1, 3, 1, 3, 1, 2, 2])
+        out, _ = merge_sort(arr)
+        np.testing.assert_array_equal(out, np.sort(arr))
+
+    def test_empty(self):
+        out, widths = merge_sort(np.array([], dtype=np.int64))
+        assert out.size == 0
+        assert widths == []
+
+    def test_single(self):
+        out, _ = merge_sort(np.array([7]))
+        assert out.tolist() == [7]
+
+    def test_non_power_of_two(self):
+        rng = np.random.default_rng(1)
+        arr = rng.integers(0, 1000, size=777)
+        out, _ = merge_sort(arr)
+        np.testing.assert_array_equal(out, np.sort(arr))
+
+    def test_rejects_2d(self):
+        with pytest.raises(WorkloadError):
+            merge_sort(np.zeros((2, 2)))
+
+    @given(st.lists(st.integers(0, 2**31 - 1), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_sort(self, values):
+        arr = np.array(values, dtype=np.int64)
+        out, _ = merge_sort(arr)
+        np.testing.assert_array_equal(out, np.sort(arr))
+
+
+class TestQuicksort:
+    def test_sorts_random(self):
+        rng = np.random.default_rng(2)
+        arr = rng.integers(0, 1 << 31, size=10_000)
+        out, records = quicksort(arr)
+        np.testing.assert_array_equal(out, np.sort(arr))
+        assert records[0].parent == -1
+        assert records[0].size == arr.size
+
+    def test_depth_limit_forces_leaves(self):
+        rng = np.random.default_rng(3)
+        arr = rng.integers(0, 1000, size=5000)
+        _, records = quicksort(arr, max_depth=2, leaf_size=4)
+        assert all(r.is_leaf for r in records if r.depth >= 2)
+
+    def test_leaf_size_respected(self):
+        rng = np.random.default_rng(4)
+        arr = rng.integers(0, 1 << 20, size=5000)
+        _, records = quicksort(arr, leaf_size=256)
+        for r in records:
+            if not r.is_leaf:
+                assert r.size > 256
+
+    def test_parents_precede_children(self):
+        rng = np.random.default_rng(5)
+        arr = rng.integers(0, 1 << 20, size=2000)
+        _, records = quicksort(arr)
+        for k, r in enumerate(records):
+            assert r.parent < k
+
+    def test_median_of_three_fewer_records_on_sorted(self):
+        arr = np.arange(20_000)
+        _, naive = quicksort(arr, median_of_three=False, max_depth=30)
+        _, med = quicksort(arr, median_of_three=True, max_depth=30)
+        assert len(med) <= len(naive) * 2  # both fine on sorted input
+
+    @given(st.lists(st.integers(0, 10_000), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_sort(self, values):
+        arr = np.array(values, dtype=np.int64)
+        if arr.size == 0:
+            return
+        out, _ = quicksort(arr, leaf_size=8)
+        np.testing.assert_array_equal(out, np.sort(arr))
+
+
+class TestSortApp:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        rng = np.random.default_rng(6)
+        arr = rng.integers(0, 1 << 31, size=50_000)
+        app = SortApp(arr)
+        return {v: app.run(v) for v in SORT_VARIANTS}
+
+    def test_all_variants_sort_correctly(self, runs):
+        for run in runs.values():
+            assert np.all(np.diff(run.result) >= 0)
+
+    def test_mergesort_wins(self, runs):
+        # Fig. 2's conclusion: the flat kernel beats both recursive sorts
+        assert runs["mergesort"].time_ms < runs["quicksort-advanced"].time_ms
+        assert runs["mergesort"].time_ms < runs["quicksort-simple"].time_ms
+
+    def test_advanced_beats_simple(self, runs):
+        assert (runs["quicksort-advanced"].time_ms
+                < runs["quicksort-simple"].time_ms)
+
+    def test_mergesort_has_no_device_launches(self, runs):
+        assert runs["mergesort"].device_kernel_calls == 0
+
+    def test_quicksorts_use_dynamic_parallelism(self, runs):
+        assert runs["quicksort-simple"].device_kernel_calls > 0
+        assert runs["quicksort-advanced"].device_kernel_calls > 0
+
+    def test_quicksort_rejected_on_fermi(self):
+        app = SortApp(np.arange(100)[::-1])
+        with pytest.raises(LaunchError):
+            app.run("quicksort-simple", FERMI_C2050)
+
+    def test_mergesort_runs_on_fermi(self):
+        app = SortApp(np.arange(100)[::-1])
+        run = app.run("mergesort", FERMI_C2050)
+        assert np.all(np.diff(run.result) >= 0)
+
+    def test_unknown_variant(self):
+        with pytest.raises(WorkloadError):
+            SortApp(np.arange(4)).run("heapsort")
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            SortApp(np.array([]))

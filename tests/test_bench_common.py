@@ -1,0 +1,58 @@
+"""Tests for the experiment helper utilities."""
+
+import pytest
+
+from repro.bench.experiments.common import (
+    FIG6_TEMPLATES,
+    LB_SWEEP,
+    citeseer_for,
+    params_for,
+    random_graph_for,
+    scaled,
+    wiki_vote_for,
+)
+from repro.bench.registry import ExperimentConfig
+
+
+class TestScaled:
+    def test_linear_scaling(self):
+        cfg = ExperimentConfig(scale=0.5)
+        assert scaled(1000, cfg) == 500
+
+    def test_reference_scale(self):
+        cfg = ExperimentConfig(scale=0.15)
+        assert scaled(50_000, cfg, reference=0.15) == 50_000
+
+    def test_minimum_floor(self):
+        cfg = ExperimentConfig(scale=0.001)
+        assert scaled(100, cfg, minimum=50) == 50
+
+
+class TestDatasetHelpers:
+    def test_citeseer_scales(self):
+        small = citeseer_for(ExperimentConfig(scale=0.005))
+        large = citeseer_for(ExperimentConfig(scale=0.01))
+        assert large.n_nodes > small.n_nodes
+
+    def test_wiki_vote_fixed_size(self):
+        g = wiki_vote_for(ExperimentConfig(scale=0.005))
+        assert g.n_nodes == 7115
+
+    def test_random_graph_scales_nodes(self):
+        g = random_graph_for(ExperimentConfig(scale=0.006), (2, 6))
+        assert g.n_nodes == 2000  # floor
+
+    def test_params_for(self):
+        p = params_for(64, lb_block=128)
+        assert p.lb_threshold == 64
+        assert p.lb_block == 128
+
+
+class TestConstants:
+    def test_sweep_covers_paper_range(self):
+        assert 32 in LB_SWEEP
+        assert 1024 in LB_SWEEP
+
+    def test_fig6_omits_dpar_naive(self):
+        assert "dpar-naive" not in FIG6_TEMPLATES
+        assert "dbuf-shared" in FIG6_TEMPLATES

@@ -1,0 +1,127 @@
+"""Tests for the benchmark harness: tables, registry, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.registry import (
+    ExperimentConfig,
+    all_experiments,
+    get_experiment,
+    run_experiment,
+)
+from repro.bench.table import ResultTable
+from repro.errors import ExperimentError
+
+
+class TestResultTable:
+    def test_add_row_and_column(self):
+        t = ResultTable("t", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row(3, 4.5)
+        assert t.column("a") == [1, 3]
+        assert t.column("b") == [2.5, 4.5]
+
+    def test_row_length_checked(self):
+        t = ResultTable("t", ["a"])
+        with pytest.raises(ExperimentError):
+            t.add_row(1, 2)
+
+    def test_unknown_column(self):
+        t = ResultTable("t", ["a"])
+        with pytest.raises(ExperimentError):
+            t.column("zzz")
+
+    def test_format_contains_everything(self):
+        t = ResultTable("my title", ["x", "speedup"])
+        t.add_row(32, 2.345)
+        t.add_note("shape holds")
+        text = t.format()
+        assert "my title" in text
+        assert "speedup" in text
+        assert "2.345" in text
+        assert "shape holds" in text
+
+    def test_json_roundtrip(self):
+        t = ResultTable("t", ["a"], rows=[[1], [2]], notes=["n"])
+        t2 = ResultTable.from_json(t.to_json())
+        assert t2.title == t.title
+        assert t2.rows == t.rows
+        assert t2.notes == t.notes
+
+    def test_csv_export(self, tmp_path):
+        t = ResultTable("t", ["a", "b"])
+        t.add_row(1, 2)
+        t.add_note("hello")
+        path = tmp_path / "t.csv"
+        t.to_csv(path)
+        content = path.read_text()
+        assert "# hello" in content
+        assert "a,b" in content
+        assert "1,2" in content
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                    "table1", "table2", "baselines"}
+        assert expected <= set(all_experiments())
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_config_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(scale=0.0)
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(scale=2.0)
+
+    def test_experiments_have_metadata(self):
+        for exp in all_experiments().values():
+            assert exp.title
+            assert exp.paper_ref
+            assert exp.description
+
+
+class TestSmallExperimentRuns:
+    """Tiny-scale smoke runs of the cheapest experiments."""
+
+    def test_baselines_runs(self):
+        tables = run_experiment("baselines", ExperimentConfig(scale=0.005))
+        (table,) = tables
+        assert set(table.column("app")) == {"SSSP", "BC", "PageRank", "SpMV"}
+        assert all(v > 0 for v in table.column("measured"))
+
+    def test_fig2_runs(self):
+        tables = run_experiment("fig2", ExperimentConfig(scale=0.005))
+        (table,) = tables
+        assert len(table.rows) == 4
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.bench.runner import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "table2" in out
+
+    def test_run_writes_output(self, tmp_path, capsys):
+        from repro.bench.runner import main
+
+        code = main(["baselines", "--scale", "0.005",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "baselines.csv").exists()
+        data = json.loads((tmp_path / "baselines.json").read_text())
+        assert data["title"].startswith("baselines")
+
+    def test_unknown_device(self):
+        from repro.bench.runner import main
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["baselines", "--device", "h100"])

@@ -1,0 +1,86 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.plots import ascii_chart, plottable
+from repro.bench.table import ResultTable
+from repro.errors import ExperimentError
+
+
+def table_with(rows, columns=("x", "a", "b")):
+    t = ResultTable("speedups", list(columns))
+    for row in rows:
+        t.add_row(*row)
+    return t
+
+
+class TestPlottable:
+    def test_numeric_series(self):
+        t = table_with([(32, 1.0, 2.0), (64, 1.5, 2.5)])
+        assert plottable(t)
+
+    def test_single_row_not_plottable(self):
+        t = table_with([(32, 1.0, 2.0)])
+        assert not plottable(t)
+
+    def test_text_only_not_plottable(self):
+        t = ResultTable("t", ["x", "verdict"])
+        t.add_row(1, "good")
+        t.add_row(2, "bad")
+        assert not plottable(t)
+
+    def test_mixed_columns_still_plottable(self):
+        t = ResultTable("t", ["x", "num", "text"])
+        t.add_row(1, 2.0, "a")
+        t.add_row(2, 4.0, "b")
+        assert plottable(t)
+
+
+class TestAsciiChart:
+    def test_contains_axis_and_legend(self):
+        t = table_with([(32, 1.0, 2.0), (64, 1.5, 2.5), (128, 2.0, 3.0)])
+        chart = ascii_chart(t)
+        assert "speedups" in chart
+        assert "o=a" in chart
+        assert "+=b" in chart
+        assert "+---" in chart  # x axis
+        assert "32" in chart and "128" in chart
+
+    def test_extremes_marked_on_edges(self):
+        t = table_with([(1, 0.0, 10.0), (2, 10.0, 0.0)])
+        lines = ascii_chart(t, height=6).splitlines()
+        # the top row holds the max, the last grid row the min
+        assert any(m in lines[1] for m in "o+")
+        assert any(m in lines[6] for m in "o+")
+
+    def test_log_axis(self):
+        t = table_with([(1, 1.0, 1000.0), (2, 10.0, 100.0)])
+        chart = ascii_chart(t, log_y=True)
+        assert "[log10 y]" in chart
+
+    def test_log_axis_rejects_all_nonpositive(self):
+        t = table_with([(1, 0.0, 0.0), (2, 0.0, 0.0)])
+        with pytest.raises(ExperimentError):
+            ascii_chart(t, log_y=True)
+
+    def test_constant_series_handled(self):
+        t = table_with([(1, 2.0, 2.0), (2, 2.0, 2.0)])
+        chart = ascii_chart(t)
+        assert "speedups" in chart
+
+    def test_size_validation(self):
+        t = table_with([(1, 1.0, 2.0), (2, 2.0, 3.0)])
+        with pytest.raises(ExperimentError):
+            ascii_chart(t, height=2)
+
+    def test_unplottable_rejected(self):
+        t = table_with([(1, 1.0, 2.0)])
+        with pytest.raises(ExperimentError):
+            ascii_chart(t)
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.bench.runner import main
+
+        assert main(["baselines", "--scale", "0.005", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "o=measured" in out

@@ -1,0 +1,185 @@
+"""Calibration tests: the paper's headline results as *bands*.
+
+These tests pin the reproduction to the paper's qualitative claims, not
+its absolute numbers (DESIGN.md §5).  If a cost-model constant drifts so
+far that a headline inverts — load balancing stops helping, dpar-naive
+starts winning, recursive BFS stops being catastrophic — these fail.
+
+They run on small datasets so the whole file stays under ~2 minutes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BFSApp,
+    PageRankApp,
+    RecursiveBFSApp,
+    SpMVApp,
+    SSSPApp,
+    SortApp,
+    TreeDescendantsApp,
+)
+from repro.core import TemplateParams
+from repro.cpu.costmodel import XEON_E5_2620
+from repro.cpu.reference import bfs_recursive_serial
+from repro.gpusim import KEPLER_K20
+from repro.graphs import citeseer_like, uniform_random_graph
+from repro.trees import generate_tree
+
+
+@pytest.fixture(scope="module")
+def citeseer():
+    return citeseer_like(scale=0.02, seed=0)
+
+
+class TestNestedLoopHeadlines:
+    """§III.B / Fig. 5: '2-6x over baseline GPU codes'."""
+
+    @pytest.fixture(scope="class")
+    def sssp_runs(self, citeseer):
+        app = SSSPApp(citeseer)
+        params = TemplateParams(lb_threshold=32)
+        return {
+            name: app.run(name, KEPLER_K20, params if name != "baseline" else None)
+            for name in ("baseline", "dbuf-shared", "dbuf-global",
+                         "dual-queue", "dpar-naive", "dpar-opt")
+        }
+
+    def test_load_balancing_speedup_band(self, sssp_runs):
+        base = sssp_runs["baseline"].gpu_time_ms
+        for name in ("dbuf-shared", "dbuf-global", "dpar-opt"):
+            speedup = base / sssp_runs[name].gpu_time_ms
+            assert 2.0 <= speedup <= 6.0, (name, speedup)
+
+    def test_dpar_naive_below_one(self, sssp_runs):
+        base = sssp_runs["baseline"].gpu_time_ms
+        assert base / sssp_runs["dpar-naive"].gpu_time_ms < 1.0
+
+    def test_dbuf_shared_among_best(self, sssp_runs):
+        times = {n: r.gpu_time_ms for n, r in sssp_runs.items()
+                 if n not in ("baseline", "dpar-naive")}
+        best = min(times.values())
+        assert times["dbuf-shared"] <= best * 1.2
+
+    def test_warp_efficiency_ordering(self, sssp_runs):
+        base = sssp_runs["baseline"].metrics.warp_execution_efficiency
+        for name in ("dbuf-shared", "dbuf-global", "dual-queue"):
+            assert sssp_runs[name].metrics.warp_execution_efficiency > 2 * base
+
+    def test_dbuf_shared_best_store_efficiency(self, sssp_runs):
+        gst = {n: r.metrics.gst_efficiency for n, r in sssp_runs.items()}
+        assert gst["dbuf-shared"] == max(gst.values())
+
+    def test_dbuf_global_higher_occupancy_than_shared(self, citeseer):
+        # paper §III.B: at lbTHRES=32 dbuf-global's warp occupancy (26.9%)
+        # exceeds dbuf-shared's (18.3%) because the second kernel
+        # redistributes the buffered work across blocks
+        app = SpMVApp(citeseer)
+        params = TemplateParams(lb_threshold=32)
+        shared = app.run("dbuf-shared", KEPLER_K20, params)
+        global_ = app.run("dbuf-global", KEPLER_K20, params)
+        assert global_.metrics.warp_occupancy > shared.metrics.warp_occupancy
+
+
+class TestBaselineSpeedups:
+    """§III.B text: baseline GPU beats serial CPU on every app."""
+
+    def test_sssp_baseline_band(self, citeseer):
+        run = SSSPApp(citeseer).run("baseline", KEPLER_K20)
+        assert 2.0 <= run.speedup <= 20.0  # paper: 8.2x
+
+    def test_pagerank_baseline_band(self, citeseer):
+        run = PageRankApp(citeseer, n_iters=5).run("baseline", KEPLER_K20)
+        assert 3.0 <= run.speedup <= 40.0  # paper: 15.8x
+
+    def test_spmv_baseline_band(self, citeseer):
+        run = SpMVApp(citeseer).run("baseline", KEPLER_K20)
+        assert 1.0 <= run.speedup <= 10.0  # paper: 2.4x
+
+
+class TestTreeHeadlines:
+    """Fig. 7/8: 'substantial speedups (up to 15-24x)' for rec-hier, and
+    rec-naive far below serial CPU."""
+
+    def test_rec_hier_beats_cpu_at_large_outdegree(self):
+        # the paper's headline: "substantial speedups (up to 15-24x)";
+        # at outdegree 64 (266k nodes) the curve is already inside the band
+        tree = generate_tree(4, 64, sparsity=0.0)
+        run = TreeDescendantsApp(tree).run("rec-hier", KEPLER_K20)
+        assert run.speedup > 10.0
+
+    def test_rec_hier_scales_with_outdegree(self):
+        speedups = []
+        for d in (16, 64):
+            tree = generate_tree(4, d, sparsity=0.0)
+            speedups.append(
+                TreeDescendantsApp(tree).run("rec-hier", KEPLER_K20).speedup
+            )
+        assert speedups[1] > speedups[0]
+
+    def test_rec_naive_far_below_cpu(self):
+        tree = generate_tree(4, 32, sparsity=0.0)
+        run = TreeDescendantsApp(tree).run("rec-naive", KEPLER_K20)
+        assert run.speedup < 0.5
+
+    def test_hier_outgrows_flat_with_outdegree(self):
+        # Fig. 7(a)'s crossover mechanism: flat is pinned by the hot-root
+        # atomic tail while rec-hier keeps scaling, so rec-hier's speedup
+        # grows much faster across an outdegree quadrupling.
+        flat, hier = {}, {}
+        for d in (16, 64):
+            tree = generate_tree(4, d, sparsity=0.0)
+            app = TreeDescendantsApp(tree)
+            flat[d] = app.run("flat", KEPLER_K20).speedup
+            hier[d] = app.run("rec-hier", KEPLER_K20).speedup
+        assert hier[64] / hier[16] > 1.5 * (flat[64] / flat[16])
+
+
+class TestRecursiveBFSHeadlines:
+    """Fig. 9: flat wins big; recursive variants are catastrophic."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = uniform_random_graph(8000, (16, 48), seed=0)
+        cpu_rec_ms = XEON_E5_2620.time_ms(bfs_recursive_serial(graph).ops)
+        return graph, cpu_rec_ms
+
+    def test_flat_beats_recursive_cpu(self, setup):
+        graph, cpu_rec_ms = setup
+        flat = BFSApp(graph).run("baseline", KEPLER_K20)
+        assert cpu_rec_ms / flat.gpu_time_ms > 1.5
+
+    def test_recursive_slowdown_band(self, setup):
+        graph, cpu_rec_ms = setup
+        rec = RecursiveBFSApp(graph)
+        naive = rec.run("rec-naive", KEPLER_K20)
+        hier = rec.run("rec-hier", KEPLER_K20)
+        # the paper's full-scale band is 700-14,000x; at this reduced
+        # scale we require "catastrophic", i.e. >= 50x
+        assert naive.gpu_time_ms / cpu_rec_ms > 50
+        assert hier.gpu_time_ms / cpu_rec_ms > 50
+
+    def test_streams_help_naive_only(self, setup):
+        graph, _ = setup
+        rec = RecursiveBFSApp(graph)
+        one = TemplateParams(streams_per_block=1)
+        two = TemplateParams(streams_per_block=2)
+        assert (rec.run("rec-naive", KEPLER_K20, two).gpu_time_ms
+                < rec.run("rec-naive", KEPLER_K20, one).gpu_time_ms)
+        # extra streams change nothing for hier (already per-block streams)
+        hier_one = rec.run("rec-hier", KEPLER_K20, one).gpu_time_ms
+        hier_two = rec.run("rec-hier", KEPLER_K20, two).gpu_time_ms
+        assert hier_two == pytest.approx(hier_one, rel=0.05)
+
+
+class TestSortHeadlines:
+    """Fig. 2: the flat MergeSort wins at every size."""
+
+    def test_mergesort_beats_quicksorts(self):
+        rng = np.random.default_rng(1)
+        app = SortApp(rng.integers(0, 1 << 31, size=100_000))
+        merge = app.run("mergesort", KEPLER_K20).time_ms
+        simple = app.run("quicksort-simple", KEPLER_K20).time_ms
+        advanced = app.run("quicksort-advanced", KEPLER_K20).time_ms
+        assert merge < advanced < simple

@@ -1,0 +1,66 @@
+"""Tests for the (template, lbTHRES) autotuner."""
+
+import numpy as np
+import pytest
+
+from repro.core import NestedLoopWorkload, TemplateParams, autotune, sweep
+from repro.core.workload import AccessStream
+from repro.errors import PlanError
+from repro.gpusim import FERMI_C2050, KEPLER_K20
+
+
+def workload(seed=0, n=1500):
+    rng = np.random.default_rng(seed)
+    trips = rng.zipf(1.8, size=n).clip(max=500).astype(np.int64)
+    nnz = int(trips.sum())
+    return NestedLoopWorkload(
+        name="wl",
+        trip_counts=trips,
+        streams=[
+            AccessStream("seq", np.arange(nnz) * 4, "load", 4),
+            AccessStream("gather", rng.integers(0, nnz, size=nnz) * 4, "load", 4),
+        ],
+    )
+
+
+class TestSweep:
+    def test_produces_all_combinations(self):
+        runs = sweep(workload(), KEPLER_K20,
+                     templates=("dbuf-shared", "dual-queue"),
+                     thresholds=(32, 128))
+        assert len(runs) == 4
+        seen = {(r.template, r.params.lb_threshold) for r in runs}
+        assert ("dbuf-shared", 32) in seen
+        assert ("dual-queue", 128) in seen
+
+    def test_skips_dpar_on_fermi(self):
+        runs = sweep(workload(), FERMI_C2050,
+                     templates=("dbuf-shared", "dpar-opt"),
+                     thresholds=(32,))
+        assert {r.template for r in runs} == {"dbuf-shared"}
+
+    def test_raises_when_nothing_runnable(self):
+        with pytest.raises(PlanError):
+            sweep(workload(), FERMI_C2050,
+                  templates=("dpar-naive", "dpar-opt"), thresholds=(32,))
+
+
+class TestAutotune:
+    def test_returns_fastest(self):
+        runs = sweep(workload(), KEPLER_K20,
+                     templates=("dbuf-shared", "dpar-naive"),
+                     thresholds=(32,))
+        best = autotune(workload(), KEPLER_K20,
+                        templates=("dbuf-shared", "dpar-naive"),
+                        thresholds=(32,))
+        assert best.time_ms == min(r.time_ms for r in runs)
+        assert best.template == "dbuf-shared"  # naive never wins
+
+    def test_respects_base_params(self):
+        best = autotune(
+            workload(), KEPLER_K20,
+            templates=("dbuf-shared",), thresholds=(64,),
+            base_params=TemplateParams(lb_block=128),
+        )
+        assert best.params.lb_block == 128
+        assert best.params.lb_threshold == 64

@@ -1,0 +1,170 @@
+"""Brute-force verification of the template mapping machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import (
+    _sequence_within,
+    add_block_mapped_inner,
+    add_outer_setup,
+    add_partitioned_pairs,
+    add_thread_mapped_inner,
+)
+from repro.core.workload import AccessStream, NestedLoopWorkload
+from repro.errors import PlanError
+from repro.gpusim.config import KEPLER_K20
+from repro.gpusim.costmodel import KernelCostBuilder
+
+
+def make_workload(trips, seed=0):
+    trips = np.asarray(trips, dtype=np.int64)
+    nnz = int(trips.sum())
+    rng = np.random.default_rng(seed)
+    return NestedLoopWorkload(
+        name="wl",
+        trip_counts=trips,
+        streams=[AccessStream("g", rng.integers(0, max(nnz, 1), size=nnz) * 4)],
+        atomic_targets=rng.integers(0, max(trips.size, 1), size=nnz),
+    )
+
+
+class TestSequenceWithin:
+    def test_example(self):
+        out = _sequence_within(np.array([5, 5, 2, 5, 2]))
+        assert out.tolist() == [0, 1, 0, 2, 1]
+
+    def test_empty(self):
+        assert _sequence_within(np.array([], dtype=np.int64)).size == 0
+
+    @given(st.lists(st.integers(0, 5), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_per_group(self, ids):
+        ids = np.array(ids, dtype=np.int64)
+        seq = _sequence_within(ids)
+        for g in set(ids.tolist()):
+            got = sorted(seq[ids == g].tolist())
+            assert got == list(range(len(got)))
+
+
+class TestThreadMapped:
+    def test_divergence_matches_manual(self):
+        wl = make_workload([10, 1, 1, 1])
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=32, n_blocks=1)
+        add_thread_mapped_inner(b, wl, np.arange(4), np.arange(4))
+        # one warp: issued steps = max trips = 10; active = 13
+        eff = b.counters.warp.warp_execution_efficiency
+        assert eff == pytest.approx(13 / (10 * 32))
+
+    def test_rejects_duplicate_threads(self):
+        wl = make_workload([1, 1])
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=32, n_blocks=1)
+        with pytest.raises(PlanError):
+            add_thread_mapped_inner(b, wl, np.array([0, 1]), np.array([3, 3]))
+
+    def test_rejects_misaligned(self):
+        wl = make_workload([1, 1])
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=32, n_blocks=1)
+        with pytest.raises(PlanError):
+            add_thread_mapped_inner(b, wl, np.array([0, 1]), np.array([0]))
+
+    def test_empty_selection_is_noop(self):
+        wl = make_workload([1, 1])
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=32, n_blocks=1)
+        add_thread_mapped_inner(b, wl, np.array([], dtype=np.int64),
+                                np.array([], dtype=np.int64))
+        assert b.counters.warp.issued_steps == 0
+
+    def test_atomics_accounted(self):
+        wl = make_workload([4, 4])
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=32, n_blocks=1)
+        add_thread_mapped_inner(b, wl, np.arange(2), np.arange(2))
+        assert b.counters.atomic.n_atomics == 8
+
+
+class TestBlockMapped:
+    def test_lane_trips_match_manual(self):
+        # one outer iteration of 10 pairs on a 4-thread... use block=64:
+        # lane L gets ceil((10 - L)/64) = 1 for L < 10 else 0
+        wl = make_workload([10])
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=64, n_blocks=1)
+        add_block_mapped_inner(b, wl, np.array([0]), np.array([0]))
+        # issued: warp0 -> 1 step; warp1 -> 0 steps; active = 10
+        eff = b.counters.warp.warp_execution_efficiency
+        assert eff == pytest.approx(10 / 32)
+
+    def test_multiple_outers_same_block_sequential(self):
+        wl = make_workload([100, 100])
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=64, n_blocks=1)
+        add_block_mapped_inner(b, wl, np.array([0, 1]), np.array([0, 0]))
+        # both outers fully processed: active slots = 200 x insts
+        assert b.counters.warp.active_slots == pytest.approx(
+            200 * wl.inner_insts, rel=0.01)
+
+    def test_rejects_block_out_of_range(self):
+        wl = make_workload([5])
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=64, n_blocks=2)
+        with pytest.raises(PlanError):
+            add_block_mapped_inner(b, wl, np.array([0]), np.array([7]))
+
+    def test_coalesced_stores_skip_global_scatter(self):
+        trips = [200]
+        rng = np.random.default_rng(1)
+        nnz = 200
+        wl = NestedLoopWorkload(
+            name="wl", trip_counts=np.array(trips),
+            streams=[AccessStream("s", rng.integers(0, 10_000, size=nnz) * 4,
+                                  "store", 4, staged_in_shared=True)],
+        )
+        b1 = KernelCostBuilder(KEPLER_K20, "k", block_size=64, n_blocks=1)
+        add_block_mapped_inner(b1, wl, np.array([0]), np.array([0]),
+                               coalesce_stores=False)
+        b2 = KernelCostBuilder(KEPLER_K20, "k", block_size=64, n_blocks=1,
+                               shared_mem_per_block=1024)
+        add_block_mapped_inner(b2, wl, np.array([0]), np.array([0]),
+                               coalesce_stores=True)
+        assert (b2.counters.store_traffic.transactions
+                < b1.counters.store_traffic.transactions)
+        assert b2.counters.shared_accesses > 0
+
+
+class TestPartitionedPairs:
+    def test_even_split_across_blocks(self):
+        wl = make_workload([64] * 8)  # 512 pairs
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=64, n_blocks=4)
+        add_partitioned_pairs(b, wl, np.arange(8))
+        cycles = b.build().costs.block_cycles
+        # fair partition: all blocks within 25% of each other
+        assert cycles.max() <= cycles.min() * 1.25
+
+    def test_total_pairs_processed(self):
+        wl = make_workload([3, 5, 7])
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=64, n_blocks=2)
+        add_partitioned_pairs(b, wl, np.arange(3))
+        # 15 atomic ops = 15 pairs
+        assert b.counters.atomic.n_atomics == 15
+
+
+class TestOuterSetup:
+    def test_counts_coalesced_loads(self):
+        wl = make_workload([1] * 64)
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=64, n_blocks=1)
+        add_outer_setup(b, wl, 64)
+        assert b.counters.load_traffic.requested_bytes == 64 * wl.outer_load_bytes
+
+    def test_indirect_adds_traffic(self):
+        wl = make_workload([1] * 64)
+        b1 = KernelCostBuilder(KEPLER_K20, "k", block_size=64, n_blocks=1)
+        b2 = KernelCostBuilder(KEPLER_K20, "k", block_size=64, n_blocks=1)
+        add_outer_setup(b1, wl, 64, indirect=False)
+        add_outer_setup(b2, wl, 64, indirect=True)
+        assert (b2.counters.load_traffic.transactions
+                > b1.counters.load_traffic.transactions)
+
+    def test_outer_stores(self):
+        wl = make_workload([1] * 32)
+        wl.outer_store_bytes = 8
+        b = KernelCostBuilder(KEPLER_K20, "k", block_size=64, n_blocks=1)
+        add_outer_setup(b, wl, 32)
+        assert b.counters.store_traffic.requested_bytes == 32 * 8

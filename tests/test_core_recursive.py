@@ -1,0 +1,148 @@
+"""Tests for the recursive tree templates (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import TemplateParams
+from repro.core.recursive import (
+    TREE_TEMPLATES,
+    FlatTreeTemplate,
+    RecHierTreeTemplate,
+    RecNaiveTreeTemplate,
+    RecursiveTreeWorkload,
+)
+from repro.errors import LaunchError, WorkloadError
+from repro.gpusim import FERMI_C2050, KEPLER_K20
+from repro.trees.generator import generate_tree
+from repro.trees.metrics import (
+    ancestor_pairs,
+    node_heights,
+    rec_hier_kernel_calls,
+    rec_naive_kernel_calls,
+    subtree_sizes,
+)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return generate_tree(depth=4, outdegree=16, sparsity=0.0)
+
+
+@pytest.fixture(scope="module")
+def sparse_tree():
+    return generate_tree(depth=4, outdegree=16, sparsity=2.0, seed=1)
+
+
+class TestWorkload:
+    def test_kind_validation(self):
+        t = generate_tree(2, 2)
+        with pytest.raises(WorkloadError):
+            RecursiveTreeWorkload(t, kind="widths")
+
+    def test_reference_results(self, tree):
+        wd = RecursiveTreeWorkload(tree, "descendants")
+        wh = RecursiveTreeWorkload(tree, "heights")
+        np.testing.assert_array_equal(wd.reference_result(), subtree_sizes(tree))
+        np.testing.assert_array_equal(wh.reference_result(), node_heights(tree))
+
+
+class TestFlat:
+    def test_single_kernel(self, tree):
+        run = FlatTreeTemplate().run(
+            RecursiveTreeWorkload(tree), KEPLER_K20
+        )
+        assert run.metrics.kernel_calls == 1
+
+    def test_atomics_equal_ancestor_pairs(self, tree):
+        run = FlatTreeTemplate().run(RecursiveTreeWorkload(tree), KEPLER_K20)
+        assert run.metrics.atomic_ops == ancestor_pairs(tree)
+
+    def test_hot_address_is_root(self, tree):
+        run = FlatTreeTemplate().run(RecursiveTreeWorkload(tree), KEPLER_K20)
+        counters = run.graph.aggregate_counters()
+        # every non-root node RMWs the root once
+        assert counters.atomic.max_address_multiplicity == tree.n_nodes - 1
+
+    def test_runs_on_fermi(self, tree):
+        run = FlatTreeTemplate().run(RecursiveTreeWorkload(tree), FERMI_C2050)
+        assert run.time_ms > 0
+
+
+class TestRecNaive:
+    def test_kernel_call_count_matches_closed_form(self, tree):
+        run = RecNaiveTreeTemplate().run(RecursiveTreeWorkload(tree), KEPLER_K20)
+        assert run.metrics.kernel_calls == rec_naive_kernel_calls(tree)
+
+    def test_kernel_call_count_sparse(self, sparse_tree):
+        run = RecNaiveTreeTemplate().run(
+            RecursiveTreeWorkload(sparse_tree), KEPLER_K20
+        )
+        assert run.metrics.kernel_calls == rec_naive_kernel_calls(sparse_tree)
+
+    def test_rejected_on_fermi(self, tree):
+        with pytest.raises(LaunchError):
+            RecNaiveTreeTemplate().run(RecursiveTreeWorkload(tree), FERMI_C2050)
+
+    def test_streams_variant_helps(self, tree):
+        plain = RecNaiveTreeTemplate().run(
+            RecursiveTreeWorkload(tree), KEPLER_K20,
+            TemplateParams(streams_per_block=1),
+        )
+        streams = RecNaiveTreeTemplate().run(
+            RecursiveTreeWorkload(tree), KEPLER_K20,
+            TemplateParams(streams_per_block=2),
+        )
+        # Fig. 9: one extra stream per block improves the naive variant
+        assert streams.time_ms < plain.time_ms
+
+    def test_trivial_tree(self):
+        t = generate_tree(1, 1)
+        run = RecNaiveTreeTemplate().run(RecursiveTreeWorkload(t), KEPLER_K20)
+        assert run.metrics.kernel_calls == 1
+
+
+class TestRecHier:
+    def test_kernel_call_count_matches_closed_form(self, tree):
+        run = RecHierTreeTemplate().run(RecursiveTreeWorkload(tree), KEPLER_K20)
+        assert run.metrics.kernel_calls == rec_hier_kernel_calls(tree)
+
+    def test_kernel_call_count_sparse(self, sparse_tree):
+        run = RecHierTreeTemplate().run(
+            RecursiveTreeWorkload(sparse_tree), KEPLER_K20
+        )
+        assert run.metrics.kernel_calls == rec_hier_kernel_calls(sparse_tree)
+
+    def test_far_fewer_launches_than_naive(self, tree):
+        hier = RecHierTreeTemplate().run(RecursiveTreeWorkload(tree), KEPLER_K20)
+        naive = RecNaiveTreeTemplate().run(RecursiveTreeWorkload(tree), KEPLER_K20)
+        assert hier.metrics.kernel_calls < naive.metrics.kernel_calls / 3
+
+    def test_faster_than_naive(self, tree):
+        hier = RecHierTreeTemplate().run(RecursiveTreeWorkload(tree), KEPLER_K20)
+        naive = RecNaiveTreeTemplate().run(RecursiveTreeWorkload(tree), KEPLER_K20)
+        assert hier.time_ms < naive.time_ms
+
+
+class TestShapes:
+    """Fig. 7/8 qualitative behaviours."""
+
+    def test_flat_atomics_grow_with_outdegree(self):
+        runs = {}
+        for d in (4, 8, 16):
+            t = generate_tree(4, d, sparsity=0.0)
+            runs[d] = FlatTreeTemplate().run(RecursiveTreeWorkload(t), KEPLER_K20)
+        assert runs[4].metrics.atomic_ops < runs[8].metrics.atomic_ops
+        assert runs[8].metrics.atomic_ops < runs[16].metrics.atomic_ops
+
+    def test_hier_warp_efficiency_drops_with_sparsity(self):
+        effs = []
+        for s in (0.0, 2.0, 4.0):
+            t = generate_tree(4, 16, sparsity=s, seed=2)
+            run = RecHierTreeTemplate().run(RecursiveTreeWorkload(t), KEPLER_K20)
+            effs.append(run.metrics.warp_execution_efficiency)
+        # Fig. 7(b)/(c): sparser trees reduce the hierarchical kernel's
+        # warp utilization
+        assert effs[0] >= effs[-1]
+
+    def test_registry(self):
+        assert set(TREE_TEMPLATES) == {"flat", "rec-naive", "rec-hier"}

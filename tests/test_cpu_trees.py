@@ -1,0 +1,61 @@
+"""Tests for the serial tree baselines."""
+
+import numpy as np
+
+from repro.cpu.trees import (
+    best_serial_descendants,
+    best_serial_heights,
+    descendants_iterative_serial,
+    descendants_recursive_py,
+    descendants_recursive_serial,
+    heights_iterative_serial,
+    heights_recursive_py,
+    heights_recursive_serial,
+)
+from repro.trees.generator import generate_tree
+
+
+class TestDescendants:
+    def test_iterative_matches_recursive_oracle(self):
+        t = generate_tree(5, 4, sparsity=1.0, seed=3)
+        it = descendants_iterative_serial(t)
+        np.testing.assert_array_equal(it.result, descendants_recursive_py(t))
+
+    def test_recursive_costs_more_than_iterative(self):
+        t = generate_tree(4, 8, sparsity=0.0)
+        it = descendants_iterative_serial(t)
+        rec = descendants_recursive_serial(t)
+        assert rec.ops.calls == t.n_nodes
+        assert rec.ops.total > it.ops.total
+        np.testing.assert_array_equal(it.result, rec.result)
+
+    def test_best_picks_iterative(self):
+        t = generate_tree(4, 4, sparsity=0.0)
+        best = best_serial_descendants(t)
+        assert best.meta["variant"] == "iterative"
+
+    def test_every_node_counts_itself(self):
+        t = generate_tree(3, 3, sparsity=0.0)
+        assert descendants_iterative_serial(t).result.min() >= 1
+
+
+class TestHeights:
+    def test_iterative_matches_recursive_oracle(self):
+        t = generate_tree(5, 4, sparsity=1.0, seed=7)
+        it = heights_iterative_serial(t)
+        np.testing.assert_array_equal(it.result, heights_recursive_py(t))
+
+    def test_recursive_adds_call_overhead(self):
+        t = generate_tree(4, 8, sparsity=0.0)
+        rec = heights_recursive_serial(t)
+        assert rec.ops.calls == t.n_nodes
+
+    def test_best_picks_iterative(self):
+        t = generate_tree(4, 4, sparsity=0.0)
+        assert best_serial_heights(t).meta["variant"] == "iterative"
+
+    def test_leaf_height_is_one(self):
+        t = generate_tree(4, 2, sparsity=0.0)
+        heights = heights_iterative_serial(t).result
+        leaves = t.out_degrees == 0
+        assert np.all(heights[leaves] == 1)

@@ -1,0 +1,97 @@
+"""Tests for the dataset catalog + RMAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASETS, list_datasets, load, load_file
+from repro.errors import DatasetError
+from repro.graphs.generators import rmat_graph
+from repro.graphs.io import write_dimacs, write_edge_list, write_matrix_market
+from repro.graphs.generators import uniform_random_graph
+
+
+class TestCatalog:
+    def test_paper_datasets_present(self):
+        assert {"citeseer", "wiki-vote", "uniform-random"} <= set(DATASETS)
+
+    def test_load_citeseer(self):
+        g = load("citeseer", scale=0.01, seed=1)
+        assert g.n_nodes >= 1000
+        assert g.name == "citeseer-like"
+
+    def test_load_forwards_kwargs(self):
+        g = load("uniform-random", n_nodes=500, degree_range=(1, 4))
+        assert g.n_nodes == 500
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load("orkut")
+
+    def test_list_entries_have_provenance(self):
+        for info in list_datasets():
+            assert info.source
+            assert info.paper_stats
+            assert info.used_by
+
+
+class TestLoadFile:
+    def test_dimacs(self, tmp_path):
+        g = uniform_random_graph(30, (1, 3), seed=1).with_unit_weights()
+        path = tmp_path / "g.gr"
+        write_dimacs(g, path)
+        assert load_file(path).n_nodes == 30
+
+    def test_matrix_market(self, tmp_path):
+        g = uniform_random_graph(30, (1, 3), seed=2).with_unit_weights()
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        assert load_file(path).n_nodes == 30
+
+    def test_edge_list_fallback(self, tmp_path):
+        g = uniform_random_graph(30, (1, 3), seed=3)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert load_file(path, n_nodes=30).n_edges == g.n_edges
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="does not exist"):
+            load_file(tmp_path / "nope.gr")
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat_graph(scale=10, edge_factor=4, seed=1)
+        assert g.n_nodes == 1024
+        assert g.n_edges == 4096
+
+    def test_heavy_tail(self):
+        g = rmat_graph(scale=13, edge_factor=16, seed=2)
+        deg = g.out_degrees
+        assert deg.max() > 20 * deg.mean()
+
+    def test_no_self_loops(self):
+        from repro.graphs.csr import expand_rows
+
+        g = rmat_graph(scale=9, edge_factor=8, seed=3)
+        rows = expand_rows(g.row_offsets)
+        assert not np.any(rows == g.col_indices)
+
+    def test_determinism(self):
+        a = rmat_graph(scale=8, seed=4)
+        b = rmat_graph(scale=8, seed=4)
+        assert np.array_equal(a.col_indices, b.col_indices)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            rmat_graph(scale=0)
+        with pytest.raises(DatasetError):
+            rmat_graph(scale=5, edge_factor=0)
+        with pytest.raises(DatasetError):
+            rmat_graph(scale=5, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_uniform_probabilities_balance_degrees(self):
+        g = rmat_graph(scale=12, edge_factor=8,
+                       probabilities=(0.25, 0.25, 0.25, 0.25), seed=5)
+        deg = g.out_degrees
+        # Erdos-Renyi-like: no extreme hubs
+        assert deg.max() < 8 * max(deg.mean(), 1)

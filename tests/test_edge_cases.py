@@ -1,0 +1,127 @@
+"""Edge cases and failure injection across module boundaries.
+
+Degenerate-but-legal inputs (single node, zero trips everywhere, star
+hubs, one-element sorts) plus corrupted-input handling: the library must
+either compute the right trivial answer or raise its own exception type,
+never crash with a bare numpy error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import BFSApp, SpMVApp, SSSPApp, TreeDescendantsApp
+from repro.core import (
+    AccessStream,
+    NestedLoopWorkload,
+    TemplateParams,
+    get_template,
+)
+from repro.errors import ReproError
+from repro.gpusim import KEPLER_K20
+from repro.graphs import CSRGraph
+from repro.trees import Tree, generate_tree
+
+
+class TestDegenerateWorkloads:
+    def test_all_zero_trips(self):
+        wl = NestedLoopWorkload("z", np.zeros(100, dtype=np.int64))
+        for name in ("baseline", "dbuf-shared", "dual-queue"):
+            run = get_template(name).run(wl, KEPLER_K20)
+            assert run.time_ms > 0  # launch overheads still exist
+
+    def test_single_outer_iteration(self):
+        wl = NestedLoopWorkload(
+            "one", np.array([1000]),
+            streams=[AccessStream("s", np.arange(1000) * 4)],
+        )
+        base = get_template("baseline").run(wl, KEPLER_K20)
+        blk = get_template("block-mapped").run(wl, KEPLER_K20)
+        # one giant row: block mapping must crush thread mapping
+        assert blk.time_ms < base.time_ms
+
+    def test_everything_above_threshold(self):
+        wl = NestedLoopWorkload("big", np.full(64, 500),
+                                streams=[AccessStream(
+                                    "s", np.arange(64 * 500) * 4)])
+        run = get_template("dbuf-shared").run(
+            wl, KEPLER_K20, TemplateParams(lb_threshold=32))
+        assert run.schedule["inline"].size == 0
+        assert run.schedule["buffered"].size == 64
+
+    def test_everything_below_threshold(self):
+        wl = NestedLoopWorkload("small", np.full(64, 4),
+                                streams=[AccessStream(
+                                    "s", np.arange(64 * 4) * 4)])
+        run = get_template("dpar-opt").run(
+            wl, KEPLER_K20, TemplateParams(lb_threshold=32))
+        assert run.schedule["nested"].size == 0
+        assert run.metrics.device_kernel_calls == 0
+
+
+class TestDegenerateGraphs:
+    def test_single_node_no_edges(self):
+        g = CSRGraph(np.array([0, 0]), np.array([], dtype=np.int64))
+        assert SSSPApp(g).compute().tolist() == [0.0]
+        assert BFSApp(g).compute().tolist() == [0]
+        run = SpMVApp(g, x=np.array([2.0])).run("baseline", KEPLER_K20)
+        assert run.result.tolist() == [0.0]
+
+    def test_star_hub_graph(self):
+        # one node with every edge: the extreme load-balancing case
+        n = 2000
+        src = np.zeros(n - 1, dtype=np.int64)
+        dst = np.arange(1, n, dtype=np.int64)
+        g = CSRGraph.from_edges(n, src, dst)
+        app = SpMVApp(g, seed=3)
+        base = app.run("baseline", KEPLER_K20)
+        dbuf = app.run("dbuf-global", KEPLER_K20, TemplateParams(lb_threshold=32))
+        assert dbuf.gpu_time_ms < base.gpu_time_ms / 2
+
+    def test_self_contained_components(self):
+        g = CSRGraph(np.array([0, 0, 0, 0]), np.array([], dtype=np.int64))
+        levels = BFSApp(g, source=1).compute()
+        assert levels.tolist() == [-1, 0, -1]
+
+
+class TestDegenerateTrees:
+    def test_single_node_tree_under_all_templates(self):
+        t = generate_tree(1, 1)
+        for name in ("flat", "rec-naive", "rec-hier"):
+            run = TreeDescendantsApp(t).run(name, KEPLER_K20)
+            assert run.result.tolist() == [1]
+
+    def test_path_tree(self):
+        # outdegree 1: a linked list — worst case for everything
+        t = generate_tree(depth=6, outdegree=1, sparsity=0.0)
+        assert t.n_nodes == 6
+        run = TreeDescendantsApp(t).run("flat", KEPLER_K20)
+        assert run.result.tolist() == [6, 5, 4, 3, 2, 1]
+
+
+class TestFailureInjection:
+    def test_corrupted_tree_rejected(self):
+        with pytest.raises(ReproError):
+            Tree(
+                parents=np.array([-1, 5]),  # parent out of range
+                level_offsets=np.array([0, 1, 2]),
+                child_offsets=np.array([0, 1, 1]),
+                children=np.array([1]),
+            )
+
+    def test_workload_stream_type_confusion(self):
+        with pytest.raises(ReproError):
+            AccessStream("s", np.zeros(4), kind="prefetch")
+
+    def test_template_on_garbage_threshold(self):
+        with pytest.raises(ReproError):
+            TemplateParams(lb_threshold=-5)
+
+    def test_library_errors_share_a_base_class(self):
+        # callers can catch ReproError for anything the library raises
+        from repro.errors import (
+            ConfigError, DatasetError, ExperimentError, GraphError,
+            LaunchError, PlanError, WorkloadError,
+        )
+        for exc in (ConfigError, DatasetError, ExperimentError, GraphError,
+                    LaunchError, PlanError, WorkloadError):
+            assert issubclass(exc, ReproError)

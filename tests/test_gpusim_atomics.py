@@ -1,0 +1,92 @@
+"""Unit + property tests for the atomic serialization model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.atomics import (
+    grouped_conflict_degree,
+    hot_address_degree,
+    warp_atomic_cycles,
+)
+from repro.gpusim.config import KEPLER_K20
+from repro.gpusim.warps import form_warps
+
+
+class TestConflictDegree:
+    def test_all_distinct(self):
+        shape = form_warps(np.arange(32))
+        assert grouped_conflict_degree(shape).tolist() == [1]
+
+    def test_all_same(self):
+        shape = form_warps(np.zeros(32, dtype=np.int64))
+        assert grouped_conflict_degree(shape).tolist() == [32]
+
+    def test_pairs(self):
+        shape = form_warps(np.repeat(np.arange(16), 2))
+        assert grouped_conflict_degree(shape).tolist() == [2]
+
+    def test_inactive_lanes_never_conflict(self):
+        shape = form_warps(np.zeros(4, dtype=np.int64))  # 4 active, 28 padded
+        assert grouped_conflict_degree(shape).tolist() == [4]
+
+    def test_empty_warp(self):
+        shape = form_warps(np.array([], dtype=np.int64))
+        assert grouped_conflict_degree(shape).size == 0
+
+    def test_multiple_warps_independent(self):
+        vals = np.concatenate([np.zeros(32, dtype=np.int64), np.arange(32)])
+        shape = form_warps(vals)
+        assert grouped_conflict_degree(shape).tolist() == [32, 1]
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bruteforce(self, addrs):
+        shape = form_warps(np.array(addrs, dtype=np.int64))
+        expected = max(np.bincount(np.array(addrs)).max(), 1)
+        assert grouped_conflict_degree(shape)[0] == expected
+
+
+class TestWarpAtomicCycles:
+    def test_uncontended_cost(self):
+        cfg = KEPLER_K20
+        shape = form_warps(np.arange(32))
+        cycles, stats = warp_atomic_cycles(shape, cfg)
+        assert cycles.tolist() == [cfg.atomic_cycles]
+        assert stats.n_atomics == 32
+        assert stats.max_address_multiplicity == 1
+
+    def test_fully_contended_cost(self):
+        cfg = KEPLER_K20
+        shape = form_warps(np.zeros(32, dtype=np.int64))
+        cycles, stats = warp_atomic_cycles(shape, cfg)
+        expected = cfg.atomic_cycles + 31 * cfg.atomic_conflict_cycles
+        assert cycles.tolist() == [expected]
+        assert stats.max_address_multiplicity == 32
+
+    def test_inactive_warp_is_free(self):
+        cfg = KEPLER_K20
+        shape = form_warps(np.array([], dtype=np.int64).reshape(0))
+        cycles, stats = warp_atomic_cycles(shape, cfg)
+        assert cycles.size == 0
+        assert stats.n_atomics == 0
+
+
+class TestHotAddress:
+    def test_empty(self):
+        assert hot_address_degree(np.array([])) == 0
+
+    def test_uniform(self):
+        assert hot_address_degree(np.array([3, 3, 3])) == 3
+
+    def test_mixed(self):
+        assert hot_address_degree(np.array([1, 2, 2, 3])) == 2
+
+    @given(st.lists(st.integers(0, 10), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_length(self, addrs):
+        deg = hot_address_degree(np.array(addrs, dtype=np.int64))
+        assert 0 <= deg <= len(addrs)
+        if addrs:
+            assert deg >= 1

@@ -1,0 +1,199 @@
+"""Unit + property tests for the coalescing model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.gpusim.coalesce import (
+    MemoryTraffic,
+    contiguous_transactions,
+    segment_transactions,
+    transaction_counts,
+    transactions_for_flat,
+)
+
+
+class TestSegmentTransactions:
+    def test_fully_coalesced_warp(self):
+        # 32 consecutive 4-byte words starting at an aligned base: 1 segment
+        addr = (np.arange(32) * 4).reshape(1, 32)
+        assert segment_transactions(addr).tolist() == [1]
+
+    def test_fully_scattered_warp(self):
+        addr = (np.arange(32) * 4096).reshape(1, 32)
+        assert segment_transactions(addr).tolist() == [32]
+
+    def test_same_address_broadcast(self):
+        addr = np.zeros((1, 32), dtype=np.int64)
+        assert segment_transactions(addr).tolist() == [1]
+
+    def test_straddling_unaligned(self):
+        # 32 words starting 64 bytes into a segment -> 2 segments
+        addr = (64 + np.arange(32) * 4).reshape(1, 32)
+        assert segment_transactions(addr).tolist() == [2]
+
+    def test_inactive_lanes_do_not_count(self):
+        addr = (np.arange(32) * 4096).reshape(1, 32)
+        active = np.zeros((1, 32), dtype=bool)
+        active[0, :4] = True
+        assert segment_transactions(addr, active).tolist() == [4]
+
+    def test_all_inactive_warp(self):
+        addr = np.zeros((1, 32), dtype=np.int64)
+        active = np.zeros((1, 32), dtype=bool)
+        assert segment_transactions(addr, active).tolist() == [0]
+
+    def test_multiple_warps(self):
+        addr = np.vstack([
+            np.arange(32) * 4,       # 1 segment
+            np.arange(32) * 128,     # 32 segments
+        ])
+        assert segment_transactions(addr).tolist() == [1, 32]
+
+    def test_rejects_negative_addresses(self):
+        with pytest.raises(WorkloadError):
+            segment_transactions(np.array([[-4, 0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(WorkloadError):
+            segment_transactions(np.arange(32))
+
+    def test_rejects_mismatched_mask(self):
+        with pytest.raises(WorkloadError):
+            segment_transactions(np.zeros((1, 32)), np.zeros((2, 32), dtype=bool))
+
+    @given(st.integers(1, 8), st.integers(0, 2**20))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, n_warps, base):
+        rng = np.random.default_rng(base)
+        addr = rng.integers(0, 1 << 20, size=(n_warps, 32)) * 4
+        tx = segment_transactions(addr)
+        assert np.all(tx >= 1)
+        assert np.all(tx <= 32)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bruteforce(self, word_addrs):
+        addr = np.array(word_addrs, dtype=np.int64) * 4
+        padded = np.zeros((1, 32), dtype=np.int64)
+        padded[0, : len(word_addrs)] = addr
+        active = np.zeros((1, 32), dtype=bool)
+        active[0, : len(word_addrs)] = True
+        expected = len({a // 128 for a in addr.tolist()})
+        assert segment_transactions(padded, active)[0] == expected
+
+
+class TestFlatAndContiguous:
+    def test_flat_chunks_into_warps(self):
+        addr = np.arange(64) * 4
+        tx = transactions_for_flat(addr)
+        assert tx.tolist() == [1, 1]
+
+    def test_flat_partial_last_warp(self):
+        addr = np.arange(40) * 4
+        tx = transactions_for_flat(addr)
+        assert tx.shape == (2,)
+        assert tx[1] == 1
+
+    def test_flat_empty(self):
+        assert transactions_for_flat(np.array([], dtype=np.int64)).size == 0
+
+    def test_contiguous_closed_form_matches_exact(self):
+        for n in [1, 5, 31, 32, 33, 100, 257]:
+            addr = np.arange(n, dtype=np.int64) * 4
+            exact = int(transactions_for_flat(addr).sum())
+            closed = int(contiguous_transactions(n).sum())
+            assert closed == exact, n
+
+    def test_contiguous_array_input(self):
+        out = contiguous_transactions(np.array([0, 32, 64]))
+        assert out.tolist() == [0, 1, 2]
+
+    def test_contiguous_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            contiguous_transactions(np.array([-1]))
+
+
+class TestTransactionCounts:
+    def test_grouped_matches_per_warp_unique(self):
+        # two groups, each accessing 3 distinct segments
+        group = np.array([0, 0, 0, 1, 1, 1])
+        agg = np.array([0, 0, 0, 1, 1, 1])
+        addr = np.array([0, 128, 256, 0, 128, 256])
+        out = transaction_counts(agg, group, addr, 2)
+        assert out.tolist() == [3, 3]
+
+    def test_duplicate_segments_within_group_collapse(self):
+        group = np.zeros(4, dtype=np.int64)
+        agg = np.zeros(4, dtype=np.int64)
+        addr = np.array([0, 4, 8, 12])
+        assert transaction_counts(agg, group, addr, 1).tolist() == [1]
+
+    def test_same_segment_different_groups_count_twice(self):
+        group = np.array([0, 1])
+        agg = np.array([0, 0])
+        addr = np.array([0, 0])
+        assert transaction_counts(agg, group, addr, 1).tolist() == [2]
+
+    def test_empty(self):
+        out = transaction_counts(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            3,
+        )
+        assert out.tolist() == [0, 0, 0]
+
+    def test_rejects_out_of_range_agg(self):
+        with pytest.raises(WorkloadError):
+            transaction_counts(np.array([5]), np.array([0]), np.array([0]), 2)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(WorkloadError):
+            transaction_counts(np.array([0]), np.array([0, 1]), np.array([0]), 1)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_set_semantics(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 200))
+        group = rng.integers(0, 10, size=n)
+        agg = group % 3
+        addr = rng.integers(0, 4096, size=n) * 4
+        out = transaction_counts(agg, group, addr, 3)
+        expected = np.zeros(3, dtype=np.int64)
+        pairs = {(int(g), int(a) // 128) for g, a in zip(group, addr)}
+        for g, _ in pairs:
+            expected[g % 3] += 1
+        assert out.tolist() == expected.tolist()
+
+
+class TestMemoryTraffic:
+    def test_efficiency(self):
+        t = MemoryTraffic(requested_bytes=128, transactions=2, segment_bytes=128)
+        assert t.efficiency == pytest.approx(0.5)
+        assert t.transferred_bytes == 256
+
+    def test_empty_traffic_is_perfect(self):
+        assert MemoryTraffic().efficiency == 1.0
+
+    def test_merge(self):
+        a = MemoryTraffic(100, 1)
+        b = MemoryTraffic(28, 1)
+        c = a.merge(b)
+        assert c.requested_bytes == 128
+        assert c.transactions == 2
+
+    def test_merge_rejects_mixed_segments(self):
+        with pytest.raises(WorkloadError):
+            MemoryTraffic(8, 1, segment_bytes=128).merge(
+                MemoryTraffic(8, 1, segment_bytes=32)
+            )
+
+    def test_merge_empty_adopts_segment_size(self):
+        merged = MemoryTraffic(segment_bytes=128).merge(
+            MemoryTraffic(8, 1, segment_bytes=32)
+        )
+        assert merged.segment_bytes == 32

@@ -1,0 +1,81 @@
+"""Tests for the dynamic-parallelism helper module."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim import (
+    FERMI_C2050,
+    KEPLER_K20,
+    estimate_bulk_overhead,
+    issue_cost_cycles,
+    require_device_support,
+)
+
+
+class TestRequireDeviceSupport:
+    def test_kepler_ok(self):
+        require_device_support(KEPLER_K20, "dpar-opt")  # no raise
+
+    def test_fermi_raises_with_guidance(self):
+        with pytest.raises(LaunchError, match="delayed-buffer"):
+            require_device_support(FERMI_C2050, "dpar-opt")
+
+    def test_error_names_the_template(self):
+        with pytest.raises(LaunchError, match="dpar-naive"):
+            require_device_support(FERMI_C2050, "dpar-naive")
+
+
+class TestIssueCost:
+    def test_scales_linearly(self):
+        one = issue_cost_cycles(KEPLER_K20, 1)
+        ten = issue_cost_cycles(KEPLER_K20, 10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_zero_launches_free(self):
+        assert issue_cost_cycles(KEPLER_K20, 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(LaunchError):
+            issue_cost_cycles(KEPLER_K20, -1)
+
+
+class TestBulkOverheadEstimate:
+    def test_drain_time_from_throughput(self):
+        est = estimate_bulk_overhead(KEPLER_K20, 1000)
+        expected_us = 1000 / KEPLER_K20.device_launch_throughput_per_us
+        assert est.gmu_drain_us == pytest.approx(expected_us)
+        assert est.total_us_lower_bound >= est.gmu_drain_us
+
+    def test_pool_overflow_flag(self):
+        under = estimate_bulk_overhead(KEPLER_K20, 100)
+        over = estimate_bulk_overhead(
+            KEPLER_K20, KEPLER_K20.pending_launch_limit + 1
+        )
+        assert not under.pool_overflow
+        assert over.pool_overflow
+
+    def test_rejects_negative(self):
+        with pytest.raises(LaunchError):
+            estimate_bulk_overhead(KEPLER_K20, -5)
+
+    def test_estimate_consistent_with_executor(self):
+        """The closed-form drain time must lower-bound the executor's
+        simulated time for the same launch count."""
+        import numpy as np
+
+        from repro.gpusim import GpuExecutor, KernelCosts, Launch, LaunchGraph
+
+        n = 200
+        graph = LaunchGraph()
+        parent = graph.add(Launch(
+            name="p", block_size=64,
+            costs=KernelCosts(block_cycles=np.array([10.0])),
+        ))
+        graph.add(Launch(
+            name="c", block_size=64,
+            costs=KernelCosts(block_cycles=np.array([1.0])),
+            parent=parent, count=n, device_stream=1,
+        ))
+        result = GpuExecutor(KEPLER_K20).run(graph)
+        est = estimate_bulk_overhead(KEPLER_K20, n)
+        assert result.time_ms * 1000 >= est.gmu_drain_us

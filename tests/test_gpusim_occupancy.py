@@ -1,0 +1,102 @@
+"""Unit tests for the occupancy calculator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim.config import KEPLER_K20, DeviceConfig
+from repro.gpusim.occupancy import best_block_size, occupancy
+
+
+class TestOccupancy:
+    def test_192_threads_low_resources(self):
+        # The paper's thread-mapped configuration: 192 threads/block with
+        # low register/smem use -> 10 blocks resident (warp-limited).
+        occ = occupancy(KEPLER_K20, 192, registers_per_thread=24)
+        assert occ.warps_per_block == 6
+        assert occ.blocks_per_sm == 10
+        assert occ.limiter == "warps"
+        assert occ.occupancy(KEPLER_K20) == pytest.approx(60 / 64)
+
+    def test_256_threads_full_occupancy(self):
+        occ = occupancy(KEPLER_K20, 256, registers_per_thread=24)
+        assert occ.warps_per_sm == 64
+        assert occ.occupancy(KEPLER_K20) == pytest.approx(1.0)
+
+    def test_small_blocks_limited_by_block_slots(self):
+        occ = occupancy(KEPLER_K20, 32, registers_per_thread=24)
+        assert occ.blocks_per_sm == KEPLER_K20.max_blocks_per_sm
+        assert occ.limiter == "blocks"
+        # 16 blocks x 1 warp = 16/64 warps: the "low hardware occupancy"
+        # the paper observes for 32-thread blocks.
+        assert occ.occupancy(KEPLER_K20) == pytest.approx(0.25)
+
+    def test_register_limited(self):
+        occ = occupancy(KEPLER_K20, 256, registers_per_thread=128)
+        # 128 regs x 256 threads = 32768 regs/block -> 2 blocks
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "registers"
+
+    def test_shared_memory_limited(self):
+        occ = occupancy(KEPLER_K20, 64, shared_mem_per_block=16384)
+        assert occ.blocks_per_sm == 3
+        assert occ.limiter == "shared_mem"
+
+    def test_threads_per_sm_bound(self):
+        occ = occupancy(KEPLER_K20, 1024, registers_per_thread=0)
+        assert occ.blocks_per_sm == 2  # 2048 / 1024
+
+    def test_warps_rounded_up_for_partial_warp(self):
+        occ = occupancy(KEPLER_K20, 96)
+        assert occ.warps_per_block == 3
+
+    def test_non_multiple_of_warp(self):
+        occ = occupancy(KEPLER_K20, 100)
+        assert occ.warps_per_block == 4
+
+
+class TestOccupancyErrors:
+    def test_zero_block(self):
+        with pytest.raises(ConfigError):
+            occupancy(KEPLER_K20, 0)
+
+    def test_block_too_large(self):
+        with pytest.raises(ConfigError):
+            occupancy(KEPLER_K20, 2048)
+
+    def test_too_many_registers(self):
+        with pytest.raises(ConfigError):
+            occupancy(KEPLER_K20, 64, registers_per_thread=300)
+
+    def test_too_much_shared_memory(self):
+        with pytest.raises(ConfigError):
+            occupancy(KEPLER_K20, 64, shared_mem_per_block=1 << 20)
+
+    def test_never_resident_raises(self):
+        tiny = DeviceConfig(registers_per_sm=4096, max_registers_per_thread=255)
+        with pytest.raises(ConfigError, match="cannot be resident"):
+            occupancy(tiny, 1024, registers_per_thread=255)
+
+    def test_negative_shared_memory(self):
+        with pytest.raises(ConfigError):
+            occupancy(KEPLER_K20, 64, shared_mem_per_block=-1)
+
+
+class TestBestBlockSize:
+    def test_prefers_full_occupancy(self):
+        size = best_block_size(KEPLER_K20, registers_per_thread=24)
+        occ = occupancy(KEPLER_K20, size, registers_per_thread=24)
+        assert occ.occupancy(KEPLER_K20) == pytest.approx(1.0)
+
+    def test_ties_break_to_smaller_block(self):
+        # both 128 and 256 reach 100% on K20 with low registers
+        assert best_block_size(KEPLER_K20, registers_per_thread=24) == 128
+
+    def test_heavy_registers_change_choice(self):
+        size = best_block_size(KEPLER_K20, registers_per_thread=128)
+        assert size >= 32
+        # must still be resident
+        occupancy(KEPLER_K20, size, registers_per_thread=128)
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ConfigError):
+            best_block_size(KEPLER_K20, candidates=(2048,))

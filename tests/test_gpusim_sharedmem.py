@@ -1,0 +1,61 @@
+"""Unit tests for the shared-memory bank-conflict model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gpusim.config import KEPLER_K20
+from repro.gpusim.sharedmem import bank_conflict_degree, shared_access_cycles
+from repro.gpusim.warps import form_warps
+
+
+class TestBankConflicts:
+    def test_sequential_words_conflict_free(self):
+        shape = form_warps(np.arange(32))
+        assert bank_conflict_degree(shape).tolist() == [1]
+
+    def test_same_word_broadcast(self):
+        shape = form_warps(np.full(32, 5))
+        assert bank_conflict_degree(shape).tolist() == [1]
+
+    def test_stride_two_creates_two_way_conflict(self):
+        shape = form_warps(np.arange(32) * 2)
+        assert bank_conflict_degree(shape).tolist() == [2]
+
+    def test_stride_32_is_worst_case(self):
+        shape = form_warps(np.arange(32) * 32)
+        assert bank_conflict_degree(shape).tolist() == [32]
+
+    def test_inactive_warp(self):
+        shape = form_warps(np.array([], dtype=np.int64))
+        assert bank_conflict_degree(shape).size == 0
+
+    def test_partial_warp(self):
+        shape = form_warps(np.arange(8) * 32)
+        assert bank_conflict_degree(shape).tolist() == [8]
+
+    def test_mixed_broadcast_and_conflict(self):
+        # 16 lanes hit word 0, 16 lanes hit words 32,64,... (same bank 0)
+        vals = np.concatenate([np.zeros(16, dtype=np.int64),
+                               (np.arange(16) + 1) * 32])
+        shape = form_warps(vals)
+        # bank 0 sees 17 distinct words (0 plus 16 others)
+        assert bank_conflict_degree(shape).tolist() == [17]
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(WorkloadError):
+            bank_conflict_degree(form_warps(np.array([-1])))
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(WorkloadError):
+            bank_conflict_degree(form_warps(np.arange(4)), n_banks=0)
+
+
+class TestSharedAccessCycles:
+    def test_conflict_free_cost(self):
+        cycles = shared_access_cycles(form_warps(np.arange(32)), KEPLER_K20)
+        assert cycles.tolist() == [KEPLER_K20.shared_mem_cycles]
+
+    def test_cost_scales_with_degree(self):
+        cycles = shared_access_cycles(form_warps(np.arange(32) * 2), KEPLER_K20)
+        assert cycles.tolist() == [2 * KEPLER_K20.shared_mem_cycles]

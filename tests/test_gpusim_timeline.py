@@ -1,0 +1,105 @@
+"""Tests for the timeline / Gantt utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gpusim import (
+    KEPLER_K20,
+    GpuExecutor,
+    KernelCosts,
+    Launch,
+    LaunchGraph,
+    Timeline,
+    build_timeline,
+)
+
+
+def _launch(name="k", blocks=(1000.0,), **kw):
+    return Launch(name=name, block_size=64,
+                  costs=KernelCosts(block_cycles=np.array(blocks, float)), **kw)
+
+
+def _run(graph):
+    return GpuExecutor(KEPLER_K20, record_timeline=True).run(graph)
+
+
+class TestBuildTimeline:
+    def test_requires_records(self):
+        g = LaunchGraph()
+        g.add(_launch())
+        result = GpuExecutor(KEPLER_K20).run(g)  # no recording
+        with pytest.raises(WorkloadError, match="record_timeline"):
+            build_timeline(result)
+
+    def test_sorted_by_start(self):
+        g = LaunchGraph()
+        g.add(_launch(name="a", stream=0))
+        g.add(_launch(name="b", stream=0))
+        tl = build_timeline(_run(g))
+        starts = [r.start_cycles for r in tl.records]
+        assert starts == sorted(starts)
+        assert tl.n_launches == 2
+
+    def test_empty_execution(self):
+        result = GpuExecutor(KEPLER_K20, record_timeline=True).run(LaunchGraph())
+        tl = build_timeline(result)
+        assert tl.n_launches == 0
+        assert tl.gantt() == "(empty timeline)\n"
+
+
+class TestAggregates:
+    def test_device_launch_fraction(self):
+        g = LaunchGraph()
+        p = g.add(_launch(name="p"))
+        g.add(_launch(name="c", parent=p))
+        tl = build_timeline(_run(g))
+        assert tl.device_launch_fraction == pytest.approx(0.5)
+
+    def test_concurrency_overlapping_streams(self):
+        g = LaunchGraph()
+        g.add(_launch(name="a", blocks=[100_000.0], stream=0))
+        g.add(_launch(name="b", blocks=[100_000.0], stream=1))
+        tl = build_timeline(_run(g))
+        assert tl.concurrency(8).max() > 1.5  # they overlap
+
+    def test_idle_fraction_serial_chain(self):
+        # serialized nested launches leave machinery gaps
+        g = LaunchGraph()
+        p = g.add(_launch(name="p", blocks=[100.0]))
+        for _ in range(4):
+            g.add(_launch(name="c", blocks=[100.0], parent=p, device_stream=0))
+        tl = build_timeline(_run(g))
+        assert tl.idle_fraction() > 0.3
+
+    def test_concurrency_validation(self):
+        tl = Timeline(records=[], makespan_cycles=0.0)
+        with pytest.raises(WorkloadError):
+            tl.concurrency(0)
+
+
+class TestGantt:
+    def test_contains_names_and_bars(self):
+        g = LaunchGraph()
+        p = g.add(_launch(name="parent", blocks=[5000.0]))
+        g.add(_launch(name="child", blocks=[1000.0], parent=p))
+        tl = build_timeline(_run(g))
+        text = tl.gantt()
+        assert "parent" in text
+        assert "child" in text
+        assert "H" in text  # host marker
+        assert "d" in text  # device marker
+        assert "=" in text
+
+    def test_truncates_long_timelines(self):
+        g = LaunchGraph()
+        for i in range(30):
+            g.add(_launch(name=f"k{i}", stream=i))
+        tl = build_timeline(_run(g))
+        text = tl.gantt(max_rows=5)
+        assert "more launches" in text
+
+    def test_width_validation(self):
+        tl = Timeline(records=[], makespan_cycles=1.0)
+        with pytest.raises(WorkloadError):
+            tl.gantt(width=2)

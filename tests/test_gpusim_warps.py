@@ -1,0 +1,142 @@
+"""Unit + property tests for warp formation and divergence stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.gpusim.warps import WarpExecStats, divergence_steps, form_warps
+
+
+class TestFormWarps:
+    def test_exact_multiple(self):
+        shape = form_warps(np.arange(64))
+        assert shape.n_warps == 2
+        assert shape.active.all()
+
+    def test_padding(self):
+        shape = form_warps(np.arange(40))
+        assert shape.n_warps == 2
+        assert shape.active[0].all()
+        assert shape.active[1, :8].all()
+        assert not shape.active[1, 8:].any()
+
+    def test_empty(self):
+        shape = form_warps(np.array([], dtype=np.int64))
+        assert shape.n_warps == 0
+
+    def test_block_boundary_padding(self):
+        # 2 blocks of 48 threads: each block pads its second warp to 32
+        shape = form_warps(np.ones(96, dtype=np.int64), block_size=48)
+        assert shape.n_warps == 4
+        # warp 1 (second of block 0) has 16 active lanes
+        assert shape.active[1].sum() == 16
+        assert shape.active[2].sum() == 32
+
+    def test_block_multiple_of_warp_no_extra_padding(self):
+        shape = form_warps(np.ones(128, dtype=np.int64), block_size=64)
+        assert shape.n_warps == 4
+        assert shape.active.all()
+
+    def test_values_preserved_across_block_padding(self):
+        vals = np.arange(96)
+        shape = form_warps(vals, block_size=48)
+        recovered = shape.values[shape.active]
+        assert recovered.tolist() == vals.tolist()
+
+    def test_rejects_2d(self):
+        with pytest.raises(WorkloadError):
+            form_warps(np.zeros((2, 2)))
+
+    def test_rejects_bad_warp_size(self):
+        with pytest.raises(WorkloadError):
+            form_warps(np.arange(4), warp_size=0)
+
+
+class TestDivergenceSteps:
+    def test_uniform_loop_no_divergence(self):
+        shape = form_warps(np.full(32, 7))
+        issued, active = divergence_steps(shape)
+        assert issued.tolist() == [7]
+        assert active.tolist() == [7 * 32]
+
+    def test_single_long_lane(self):
+        trips = np.ones(32, dtype=np.int64)
+        trips[0] = 100
+        shape = form_warps(trips)
+        issued, active = divergence_steps(shape)
+        assert issued.tolist() == [100]
+        assert active.tolist() == [100 + 31]
+
+    def test_zero_trips(self):
+        shape = form_warps(np.zeros(32, dtype=np.int64))
+        issued, active = divergence_steps(shape)
+        assert issued.tolist() == [0]
+        assert active.tolist() == [0]
+
+    def test_rejects_negative_trips(self):
+        with pytest.raises(WorkloadError):
+            divergence_steps(form_warps(np.array([-1] * 32)))
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, trips):
+        shape = form_warps(np.array(trips, dtype=np.int64))
+        issued, active = divergence_steps(shape)
+        # total active slots == total trips (work conservation)
+        assert active.sum() == sum(trips)
+        # issued steps bound active slots
+        assert np.all(active <= issued * 32)
+        assert np.all(issued <= active) or active.sum() == 0 or np.all(
+            issued <= np.maximum(active, issued)
+        )
+
+
+class TestWarpExecStats:
+    def test_efficiency_uniform(self):
+        stats = WarpExecStats()
+        stats.add_uniform(64, steps=10)
+        assert stats.warp_execution_efficiency == pytest.approx(1.0)
+
+    def test_efficiency_partial_warp(self):
+        stats = WarpExecStats()
+        stats.add_uniform(16, steps=1)
+        assert stats.warp_execution_efficiency == pytest.approx(0.5)
+
+    def test_efficiency_divergent_loop(self):
+        trips = np.zeros(32, dtype=np.int64)
+        trips[0] = 10
+        stats = WarpExecStats()
+        stats.add_loop(form_warps(trips))
+        assert stats.warp_execution_efficiency == pytest.approx(10 / 320)
+
+    def test_empty_stats_report_full_efficiency(self):
+        assert WarpExecStats().warp_execution_efficiency == 1.0
+
+    def test_merge(self):
+        a = WarpExecStats()
+        a.add_uniform(32)
+        b = WarpExecStats()
+        b.add_uniform(16)
+        a.merge(b)
+        assert a.issued_steps == 2
+        assert a.active_slots == 48
+
+    def test_merge_rejects_mismatched_warp_size(self):
+        with pytest.raises(WorkloadError):
+            WarpExecStats(warp_size=32).merge(WarpExecStats(warp_size=64))
+
+    def test_add_counts_validates(self):
+        stats = WarpExecStats()
+        with pytest.raises(WorkloadError):
+            stats.add_counts(1, 64)  # 64 active > 32 capacity
+
+    def test_paper_baseline_range(self):
+        # An SSSP-like degree distribution should produce low warp
+        # efficiency under pure thread mapping (paper baseline: 35.6%).
+        rng = np.random.default_rng(7)
+        trips = rng.zipf(1.8, size=4096).clip(max=1000)
+        stats = WarpExecStats()
+        stats.add_loop(form_warps(trips))
+        assert stats.warp_execution_efficiency < 0.6

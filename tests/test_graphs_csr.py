@@ -1,0 +1,119 @@
+"""Unit + property tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph, expand_rows, inner_steps
+
+
+def small_graph():
+    # 0 -> 1,2 ; 1 -> 2 ; 2 -> (none) ; 3 -> 0
+    return CSRGraph.from_edges(
+        4,
+        np.array([0, 0, 1, 3]),
+        np.array([1, 2, 2, 0]),
+        np.array([1.0, 2.0, 3.0, 4.0]),
+    )
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        g = small_graph()
+        assert g.n_nodes == 4
+        assert g.n_edges == 4
+        assert g.out_degrees.tolist() == [2, 1, 0, 1]
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbors(2).tolist() == []
+
+    def test_from_edges_unsorted_sources(self):
+        g = CSRGraph.from_edges(3, np.array([2, 0, 1]), np.array([0, 1, 2]),
+                                np.array([9.0, 1.0, 5.0]))
+        assert g.neighbors(0).tolist() == [1]
+        assert g.weights[g.row_offsets[2]] == 9.0
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 0]))
+
+    def test_rejects_offsets_nnz_mismatch(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 3]), np.array([0]))
+
+    def test_rejects_out_of_range_columns(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_rejects_bad_weights_shape(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]))
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, np.array([0]), np.array([5]))
+
+    def test_neighbors_range_check(self):
+        with pytest.raises(GraphError):
+            small_graph().neighbors(7)
+
+
+class TestConversions:
+    def test_to_scipy_roundtrip(self):
+        g = small_graph()
+        mat = g.to_scipy()
+        assert mat.shape == (4, 4)
+        assert mat[0, 1] == 1.0
+        assert mat[3, 0] == 4.0
+
+    def test_to_networkx(self):
+        nxg = small_graph().to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 4
+        assert nxg[0][2]["weight"] == 2.0
+
+    def test_reverse_transposes(self):
+        g = small_graph()
+        r = g.reverse()
+        assert r.neighbors(2).tolist() in ([0, 1], [1, 0])
+        assert r.n_edges == g.n_edges
+        # reversing twice restores the adjacency (as sets per node)
+        rr = r.reverse()
+        for node in range(4):
+            assert sorted(rr.neighbors(node).tolist()) == sorted(
+                g.neighbors(node).tolist()
+            )
+
+    def test_with_unit_weights(self):
+        g = small_graph().with_unit_weights()
+        assert np.all(g.weights == 1.0)
+
+
+class TestExpandHelpers:
+    def test_expand_rows(self):
+        assert expand_rows(np.array([0, 2, 2, 5])).tolist() == [0, 0, 2, 2, 2]
+
+    def test_inner_steps(self):
+        assert inner_steps(np.array([0, 2, 2, 5])).tolist() == [0, 1, 0, 1, 2]
+
+    def test_empty(self):
+        assert expand_rows(np.array([0])).size == 0
+        assert inner_steps(np.array([0, 0])).size == 0
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, degrees):
+        offsets = np.zeros(len(degrees) + 1, dtype=np.int64)
+        np.cumsum(degrees, out=offsets[1:])
+        rows = expand_rows(offsets)
+        steps = inner_steps(offsets)
+        assert rows.size == sum(degrees)
+        # reconstruct: offsets[row] + step == arange(nnz)
+        if rows.size:
+            assert np.array_equal(offsets[rows] + steps, np.arange(rows.size))
+        # every row id appears exactly degree times
+        counts = np.bincount(rows, minlength=len(degrees))
+        assert counts.tolist() == degrees

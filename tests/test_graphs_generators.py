@@ -1,0 +1,142 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs.generators import (
+    citeseer_like,
+    degree_sequence_graph,
+    power_law_degrees,
+    uniform_random_graph,
+    wiki_vote_like,
+)
+from repro.graphs.properties import degree_stats, fraction_above_threshold
+
+
+class TestPowerLawDegrees:
+    def test_mean_is_pinned(self):
+        deg = power_law_degrees(50_000, mean_degree=36.9, max_degree=1188,
+                                min_degree=1, seed=1)
+        assert deg.mean() == pytest.approx(36.9, rel=0.1)
+
+    def test_bounds_respected(self):
+        deg = power_law_degrees(10_000, 15.0, max_degree=900, min_degree=0)
+        assert deg.min() >= 0
+        assert deg.max() <= 900
+
+    def test_heavy_tail_exists(self):
+        deg = power_law_degrees(50_000, 36.9, max_degree=1188, min_degree=1)
+        assert deg.max() > 500  # hubs exist
+
+    def test_determinism(self):
+        a = power_law_degrees(1000, 10, 100, seed=3)
+        b = power_law_degrees(1000, 10, 100, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(DatasetError):
+            power_law_degrees(0, 10, 100)
+        with pytest.raises(DatasetError):
+            power_law_degrees(10, 10, 5)
+        with pytest.raises(DatasetError):
+            power_law_degrees(10, -1, 5, min_degree=0)
+
+
+class TestDegreeSequenceGraph:
+    def test_degrees_exact(self):
+        degrees = np.array([3, 0, 2, 1])
+        g = degree_sequence_graph(degrees)
+        assert g.out_degrees.tolist() == [3, 0, 2, 1]
+
+    def test_no_self_loops(self):
+        g = degree_sequence_graph(np.full(100, 5), seed=9)
+        from repro.graphs.csr import expand_rows
+        rows = expand_rows(g.row_offsets)
+        assert not np.any(rows == g.col_indices)
+
+    def test_rejects_overfull_degree(self):
+        with pytest.raises(DatasetError):
+            degree_sequence_graph(np.array([5, 0, 0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            degree_sequence_graph(np.array([], dtype=np.int64))
+
+
+class TestCiteseerLike:
+    def test_default_scale_profile(self):
+        g = citeseer_like(seed=0)
+        stats = degree_stats(g)
+        assert 50_000 <= stats.n_nodes <= 80_000
+        assert stats.min_degree >= 1
+        assert stats.max_degree <= 1188
+        # the paper quotes a mean out-degree of 73.9 for CiteSeer
+        assert stats.mean_degree == pytest.approx(73.9, rel=0.15)
+        assert g.weights is not None
+
+    def test_has_irregularity_for_load_balancing(self):
+        g = citeseer_like(seed=0)
+        node_frac, edge_frac = fraction_above_threshold(g, 32)
+        # with mean degree ~74, most edge mass sits above lbTHRES=32,
+        # which is what the load-balancing templates exploit — but
+        # low-degree nodes must exist too (CiteSeer's min degree is 1)
+        assert edge_frac > 0.6
+        assert node_frac < 0.9
+
+    def test_rows_are_sorted(self):
+        g = citeseer_like(scale=0.01, seed=0)
+        for node in (0, 5, 100):
+            nbrs = g.neighbors(node)
+            assert np.all(np.diff(nbrs) >= 0)
+
+    def test_locality_validated(self):
+        from repro.graphs.generators import degree_sequence_graph
+        with pytest.raises(DatasetError):
+            degree_sequence_graph(np.array([1, 1]), locality=1.5)
+
+    def test_scale_validation(self):
+        with pytest.raises(DatasetError):
+            citeseer_like(scale=0.0)
+        with pytest.raises(DatasetError):
+            citeseer_like(scale=1.5)
+
+    def test_unweighted_option(self):
+        g = citeseer_like(scale=0.05, weighted=False)
+        assert g.weights is None
+
+
+class TestWikiVoteLike:
+    def test_paper_statistics(self):
+        g = wiki_vote_like(seed=0)
+        stats = degree_stats(g)
+        assert stats.n_nodes == 7115
+        assert 70_000 <= stats.n_edges <= 140_000
+        assert stats.min_degree <= 1
+        assert stats.max_degree <= 893
+        assert stats.mean_degree == pytest.approx(14.6, rel=0.15)
+
+
+class TestUniformRandomGraph:
+    def test_degree_range(self):
+        g = uniform_random_graph(5000, (16, 48), seed=0)
+        deg = g.out_degrees
+        assert deg.min() >= 16
+        assert deg.max() <= 48
+
+    def test_paper_default_size(self):
+        g = uniform_random_graph()
+        assert g.n_nodes == 50_000
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            uniform_random_graph(1, (0, 0))
+        with pytest.raises(DatasetError):
+            uniform_random_graph(10, (5, 2))
+        with pytest.raises(DatasetError):
+            uniform_random_graph(10, (5, 100))
+
+    def test_determinism(self):
+        a = uniform_random_graph(1000, (2, 6), seed=5)
+        b = uniform_random_graph(1000, (2, 6), seed=5)
+        assert np.array_equal(a.col_indices, b.col_indices)

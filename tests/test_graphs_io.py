@@ -1,0 +1,89 @@
+"""Round-trip tests for graph I/O formats."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs.generators import uniform_random_graph
+from repro.graphs.io import (
+    read_dimacs,
+    read_edge_list,
+    read_matrix_market,
+    write_dimacs,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+class TestDimacs:
+    def test_roundtrip(self, tmp_path):
+        g = uniform_random_graph(50, (1, 4), seed=2)
+        g.weights = np.arange(1, g.n_edges + 1, dtype=np.float64)
+        path = tmp_path / "g.gr"
+        write_dimacs(g, path)
+        g2 = read_dimacs(path)
+        assert g2.n_nodes == g.n_nodes
+        assert g2.n_edges == g.n_edges
+        assert np.array_equal(np.sort(g2.col_indices), np.sort(g.col_indices))
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np sp 3 2\na 1 2 5\na 2 3 7\n"
+        g = read_dimacs(io.StringIO(text))
+        assert g.n_nodes == 3
+        assert g.neighbors(0).tolist() == [1]
+        assert g.weights.tolist() == [5.0, 7.0]
+
+    def test_missing_header(self):
+        with pytest.raises(DatasetError, match="header"):
+            read_dimacs(io.StringIO("a 1 2 3\n"))
+
+    def test_malformed_arc(self):
+        with pytest.raises(DatasetError, match="arc"):
+            read_dimacs(io.StringIO("p sp 2 1\na 1 2\n"))
+
+    def test_unknown_record(self):
+        with pytest.raises(DatasetError, match="unknown"):
+            read_dimacs(io.StringIO("p sp 2 1\nx 1 2 1\n"))
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = uniform_random_graph(40, (1, 3), seed=1)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2.n_edges == g.n_edges
+
+    def test_explicit_node_count(self):
+        g = read_edge_list(io.StringIO("0 1\n"), n_nodes=10)
+        assert g.n_nodes == 10
+
+    def test_comments_skipped(self):
+        g = read_edge_list(io.StringIO("# header\n0 1\n1 2\n"))
+        assert g.n_nodes == 3
+        assert g.n_edges == 2
+
+    def test_malformed_line(self):
+        with pytest.raises(DatasetError):
+            read_edge_list(io.StringIO("7\n"))
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        g = uniform_random_graph(30, (1, 3), seed=3).with_unit_weights()
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        g2 = read_matrix_market(path)
+        assert g2.n_nodes == g.n_nodes
+        assert (g2.to_scipy() - g.to_scipy()).nnz == 0
+
+    def test_rejects_non_square(self, tmp_path):
+        from scipy.io import mmwrite
+        from scipy.sparse import csr_matrix
+
+        path = tmp_path / "rect.mtx"
+        mmwrite(str(path), csr_matrix(np.ones((2, 3))))
+        with pytest.raises(DatasetError, match="square"):
+            read_matrix_market(path)

@@ -1,0 +1,87 @@
+"""End-to-end integration: every (application x template) combination.
+
+A full cross-product sweep on tiny datasets: each combination must run,
+produce a consistent AppRun, and keep the functional result identical to
+the baseline template's.  This is the broadest single integration net in
+the suite — a regression anywhere in workload construction, mapping,
+executor or profiler surfaces here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BCApp,
+    BFSApp,
+    PageRankApp,
+    SpMVApp,
+    SSSPApp,
+    TreeDescendantsApp,
+    TreeHeightsApp,
+)
+from repro.core import NESTED_LOOP_TEMPLATES, TREE_TEMPLATES, TemplateParams
+from repro.gpusim import KEPLER_K20
+from repro.graphs import citeseer_like
+from repro.trees import generate_tree
+
+PARAMS = TemplateParams(lb_threshold=16)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return citeseer_like(scale=0.005, seed=11)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return generate_tree(depth=4, outdegree=8, sparsity=1.0, seed=11)
+
+
+def app_instances(graph):
+    return [
+        SpMVApp(graph, seed=1),
+        SSSPApp(graph),
+        PageRankApp(graph, n_iters=3),
+        BCApp(graph, n_sources=2, seed=1),
+        BFSApp(graph),
+    ]
+
+
+class TestNestedLoopCrossProduct:
+    @pytest.mark.parametrize("template", sorted(NESTED_LOOP_TEMPLATES))
+    def test_all_apps_under_template(self, graph, template):
+        for app in app_instances(graph):
+            run = app.run(template, KEPLER_K20, PARAMS)
+            # structural consistency of the AppRun
+            assert run.app == app.name
+            assert run.template == template
+            assert run.gpu_time_ms > 0
+            assert run.cpu_time_ms > 0
+            assert run.speedup == pytest.approx(
+                run.cpu_time_ms / run.gpu_time_ms
+            )
+            m = run.metrics
+            assert 0 < m.warp_execution_efficiency <= 1
+            assert 0 < m.gld_efficiency <= 1
+            assert m.kernel_calls >= 1
+            assert 0 <= m.sm_utilization <= 1
+
+    @pytest.mark.parametrize("template", sorted(NESTED_LOOP_TEMPLATES))
+    def test_results_match_baseline(self, graph, template):
+        for app in app_instances(graph):
+            base = app.run("baseline", KEPLER_K20, PARAMS)
+            other = app.run(template, KEPLER_K20, PARAMS)
+            a = np.asarray(base.result, dtype=float)
+            b = np.asarray(other.result, dtype=float)
+            np.testing.assert_array_equal(a, b, err_msg=f"{app.name}/{template}")
+
+
+class TestTreeCrossProduct:
+    @pytest.mark.parametrize("template", sorted(TREE_TEMPLATES))
+    @pytest.mark.parametrize("app_cls", [TreeDescendantsApp, TreeHeightsApp])
+    def test_tree_apps_under_template(self, tree, template, app_cls):
+        run = app_cls(tree).run(template, KEPLER_K20, PARAMS)
+        assert run.gpu_time_ms > 0
+        assert run.metrics.kernel_calls >= 1
+        # functional result independent of template
+        np.testing.assert_array_equal(run.result, app_cls(tree).compute())

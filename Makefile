@@ -2,16 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples results clean
+.PHONY: install test bench bench-smoke experiments examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
+test: bench-smoke
 	$(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# tiny harness-speed run: exercises the process-parallel runner + plan
+# cache end-to-end without overwriting the recorded BENCH json
+bench-smoke:
+	$(PYTHON) benchmarks/bench_harness_speed.py --scale 0.01 --reps 2 \
+		--jobs 2 --out .bench_smoke.json
 
 # regenerate every paper artifact into results/
 experiments:
@@ -25,5 +31,5 @@ examples:
 results: experiments
 
 clean:
-	rm -rf results .pytest_cache .benchmarks
+	rm -rf results .pytest_cache .benchmarks .bench_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

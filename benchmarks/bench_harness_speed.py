@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Harness speed benchmark: the Fig. 4 sweep, seed path vs fast path.
+
+Times repeated regenerations of the Fig. 4 block-size sweep two ways:
+
+* **seed mode** — how the harness ran at the repo seed: the reference
+  event-per-block executor engine, no plan cache, one process;
+* **fast mode** — the current hot path: cohort-batched fast engine, plan
+  cache on, ``--jobs`` worker processes with repetitions of the same sweep
+  cell chunked onto the same worker so its plan cache stays warm.
+
+Each mode runs ``--reps`` full sweeps; realistic regeneration sessions
+re-run experiments repeatedly (scale/seed tweaks, plot iterations), which
+is exactly where the plan cache pays.  Both modes produce the merged
+result tables; the script cross-checks them cell-by-cell to 1e-6 before
+trusting the timing, then writes a ``BENCH_harness_speed.json`` record::
+
+    python benchmarks/bench_harness_speed.py                 # full config
+    python benchmarks/bench_harness_speed.py --scale 0.01 --reps 2 --jobs 2
+
+The full config is the acceptance configuration (scale 0.05, 4 jobs);
+``make bench-smoke`` runs the tiny one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.registry import ExperimentConfig, get_experiment  # noqa: E402
+from repro.bench.runner import _run_unit  # noqa: E402
+from repro.core.plancache import set_plan_cache_enabled  # noqa: E402
+from repro.gpusim.executor import set_default_engine  # noqa: E402
+
+
+def _sweep_inline(config: ExperimentConfig, reps: int, engine: str,
+                  plan_cache: bool):
+    """``reps`` serial sweeps in this process; returns (tables, wall_s)."""
+    exp = get_experiment("fig4")
+    start = time.perf_counter()
+    for _ in range(reps):
+        tables = [
+            _run_unit("fig4", key, config, engine, plan_cache)[0]
+            for key in exp.variants(config)
+        ]
+        merged = exp.merge(config, tables)
+    return merged, time.perf_counter() - start
+
+
+def _sweep_pooled(config: ExperimentConfig, reps: int, jobs: int,
+                  engine: str, plan_cache: bool):
+    """``reps`` sweeps through one persistent pool; returns (tables, wall_s).
+
+    All repetitions of one sweep cell are submitted as one chunk, so they
+    land on one worker and repetitions 2..n hit that worker's plan cache.
+    """
+    exp = get_experiment("fig4")
+    keys = exp.variants(config)
+    tasks = [(key, "fig4") for key in keys for _ in range(reps)]
+    start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        results = list(pool.map(
+            _run_unit,
+            [t[1] for t in tasks],
+            [t[0] for t in tasks],
+            [config] * len(tasks),
+            [engine] * len(tasks),
+            [plan_cache] * len(tasks),
+            chunksize=reps,
+        ))
+    wall = time.perf_counter() - start
+    # last repetition of each variant, in variants() order
+    parts = [results[i * reps + reps - 1][0] for i in range(len(keys))]
+    return exp.merge(config, parts), wall
+
+
+def _cross_check(seed_tables, fast_tables, rel_tol: float = 1e-6) -> float:
+    """Largest relative difference between the two modes' table cells."""
+    worst = 0.0
+    for ts, tf in zip(seed_tables, fast_tables):
+        for row_s, row_f in zip(ts.rows, tf.rows):
+            for a, b in zip(row_s, row_f):
+                if isinstance(a, float):
+                    worst = max(worst, abs(a - b) / max(abs(a), 1e-12))
+    if worst > rel_tol:
+        raise SystemExit(
+            f"fast mode diverged from seed mode: max rel diff {worst:.3e}"
+        )
+    return worst
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--reps", type=int, default=6,
+                        help="sweep repetitions per mode (default 6)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="fast-mode worker processes (default 4)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_harness_speed.json")
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(scale=args.scale, seed=args.seed)
+    print(f"fig4 sweep, scale={args.scale}, {args.reps} rep(s) per mode")
+
+    print(f"seed mode: exact engine, no plan cache, 1 process ...")
+    seed_tables, seed_wall = _sweep_inline(
+        config, args.reps, engine="exact", plan_cache=False)
+    print(f"  {seed_wall:.1f}s ({seed_wall / args.reps:.1f}s per sweep)")
+
+    print(f"fast mode: fast engine, plan cache, {args.jobs} jobs ...")
+    fast_tables, fast_wall = _sweep_pooled(
+        config, args.reps, args.jobs, engine="fast", plan_cache=True)
+    print(f"  {fast_wall:.1f}s ({fast_wall / args.reps:.1f}s per sweep)")
+
+    # the benchmark toggled process-global engine/cache state; restore
+    set_default_engine("fast")
+    set_plan_cache_enabled(True)
+
+    worst = _cross_check(seed_tables, fast_tables)
+    speedup = seed_wall / fast_wall
+    print(f"modes agree (max rel diff {worst:.2e}); "
+          f"wall-time reduction: {speedup:.2f}x")
+
+    record = {
+        "benchmark": "harness_speed",
+        "description": "Fig. 4 block-size sweep regeneration, "
+                       "seed path vs fast path",
+        "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": {"scale": args.scale, "seed": args.seed,
+                   "reps": args.reps, "device": config.device.name},
+        "seed_mode": {"engine": "exact", "plan_cache": False, "jobs": 1,
+                      "wall_s": round(seed_wall, 3)},
+        "fast_mode": {"engine": "fast", "plan_cache": True,
+                      "jobs": args.jobs, "wall_s": round(fast_wall, 3)},
+        "speedup": round(speedup, 3),
+        "max_rel_diff": worst,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

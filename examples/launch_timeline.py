@@ -10,13 +10,13 @@ Run:  python examples/launch_timeline.py
 """
 
 from repro.apps import SpMVApp
-from repro.core import TemplateParams, get_template
+from repro.core import TemplateParams, resolve
 from repro.gpusim import KEPLER_K20, GpuExecutor, build_timeline
 from repro.graphs import citeseer_like
 
 
 def show(template_name: str, workload, params) -> None:
-    graph, _ = get_template(template_name).build(workload, KEPLER_K20, params)
+    graph, _ = resolve(template_name, kind="nested-loop").build(workload, KEPLER_K20, params)
     executor = GpuExecutor(KEPLER_K20, record_timeline=True)
     result = executor.run(graph)
     timeline = build_timeline(result)

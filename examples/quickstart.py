@@ -3,14 +3,18 @@
 
 This is the 5-minute tour of the library: build a synthetic CiteSeer-like
 graph, wrap SpMV over it, and compare the paper's parallelization
-templates on the simulated K20 — timing, warp efficiency and memory
-efficiency, exactly the metrics the paper reports.
+templates on the simulated K20 with the one-call facade —
+``repro.run(name, workload)`` / ``repro.compare(names, workload)`` —
+reporting timing, warp efficiency and memory efficiency, exactly the
+metrics the paper reports.
 
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro.apps import SpMVApp
-from repro.core import NESTED_LOOP_TEMPLATES, TemplateParams
+from repro.core import TemplateParams
+from repro.core.registry import ALL_TEMPLATES
 from repro.gpusim import KEPLER_K20
 from repro.graphs import citeseer_like, degree_stats
 
@@ -20,21 +24,20 @@ def main() -> None:
     print(f"dataset: {degree_stats(graph)}")
     print(f"device:  {KEPLER_K20.name}\n")
 
-    app = SpMVApp(graph)
+    workload = SpMVApp(graph).workload()
     params = TemplateParams(lb_threshold=32)
+    names = [n for n, (kind, _) in ALL_TEMPLATES.items() if kind == "nested-loop"]
+    runs = repro.compare(names, workload, device=KEPLER_K20, params=params)
 
-    header = (f"{'template':12s} {'time [ms]':>10s} {'speedup':>8s} "
+    header = (f"{'template':13s} {'time [ms]':>10s} {'speedup':>8s} "
               f"{'warp eff':>9s} {'gld eff':>8s} {'kernels':>8s}")
     print(header)
     print("-" * len(header))
-    baseline_ms = None
-    for name in NESTED_LOOP_TEMPLATES:
-        run = app.run(name, KEPLER_K20, params)
-        if name == "baseline":
-            baseline_ms = run.gpu_time_ms
-        rel = baseline_ms / run.gpu_time_ms
+    baseline_ms = runs[0].time_ms
+    for name, run in zip(names, runs):
+        rel = baseline_ms / run.time_ms
         m = run.metrics
-        print(f"{name:12s} {run.gpu_time_ms:10.3f} {rel:7.2f}x "
+        print(f"{name:13s} {run.time_ms:10.3f} {rel:7.2f}x "
               f"{m.warp_execution_efficiency:8.1%} {m.gld_efficiency:7.1%} "
               f"{m.kernel_calls:8d}")
 

@@ -21,6 +21,7 @@ Subpackages
 
 __version__ = "1.0.0"
 
+from repro.api import compare, run
 from repro.errors import (
     ConfigError,
     DatasetError,
@@ -34,6 +35,7 @@ from repro.errors import (
 
 __all__ = [
     "__version__",
+    "run", "compare",
     "ReproError", "ConfigError", "LaunchError", "WorkloadError",
     "PlanError", "GraphError", "DatasetError", "ExperimentError",
 ]

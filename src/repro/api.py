@@ -1,0 +1,88 @@
+"""One-call facade over the template machinery.
+
+``repro.run("dbuf-shared", workload)`` is the whole API: the template is
+resolved by paper name from the unified registry, the right template
+family is picked from the workload type (nested-loop vs recursive tree),
+and the result is the usual :class:`~repro.core.base.TemplateRun`.
+``repro.compare`` runs several templates on one workload and returns the
+runs in request order — the quickstart table in one call.
+
+Both functions accept a template *instance* in place of a name, for
+custom templates that never entered the registry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.base import TemplateRun
+from repro.core.params import TemplateParams
+from repro.core.recursive import RecursiveTreeWorkload
+from repro.core.registry import resolve
+from repro.core.workload import NestedLoopWorkload
+from repro.errors import WorkloadError
+from repro.gpusim.config import DeviceConfig, KEPLER_K20
+from repro.gpusim.executor import GpuExecutor
+
+__all__ = ["run", "compare"]
+
+
+def _kind_of(workload) -> str:
+    if isinstance(workload, NestedLoopWorkload):
+        return "nested-loop"
+    if isinstance(workload, RecursiveTreeWorkload):
+        return "tree"
+    raise WorkloadError(
+        "workload must be a NestedLoopWorkload or RecursiveTreeWorkload, "
+        f"got {type(workload).__name__}"
+    )
+
+
+def run(
+    template,
+    workload,
+    *,
+    device: DeviceConfig = KEPLER_K20,
+    params: TemplateParams | None = None,
+    exact: bool = False,
+) -> TemplateRun:
+    """Run one template on one workload and return the full result.
+
+    Parameters
+    ----------
+    template:
+        canonical paper name (``"thread-mapped"``, ``"dbuf-shared"``,
+        ``"rec-hier"``, ...) or an already-constructed template instance.
+        Names are restricted to the template family matching the workload
+        type, so ``run("flat", nested_loop_workload)`` fails loudly
+        instead of silently misdispatching.
+    workload:
+        :class:`NestedLoopWorkload` or :class:`RecursiveTreeWorkload`.
+    device:
+        simulated device (default: the paper's Kepler K20).
+    params:
+        :class:`TemplateParams`; defaults are the paper's choices.
+    exact:
+        force the reference event-per-block executor engine instead of
+        the default cohort-batched fast engine (same results to within
+        1e-6; see ``docs/performance.md``).
+    """
+    kind = _kind_of(workload)
+    tmpl = resolve(template, kind=kind) if isinstance(template, str) else template
+    executor = GpuExecutor(device, engine="exact") if exact else None
+    return tmpl.run(workload, device, params or TemplateParams(), executor=executor)
+
+
+def compare(
+    templates: Iterable,
+    workload,
+    *,
+    device: DeviceConfig = KEPLER_K20,
+    params: TemplateParams | None = None,
+    exact: bool = False,
+) -> list[TemplateRun]:
+    """Run several templates on one workload; runs come back in request order."""
+    return [
+        run(t, workload, device=device, params=params, exact=exact)
+        for t in templates
+    ]

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.apps.base import AppRun, combine_rounds
 from repro.core.params import TemplateParams
-from repro.core.registry import get_template
+from repro.core.registry import resolve
 from repro.core.workload import AccessStream, NestedLoopWorkload
 from repro.cpu.costmodel import XEON_E5_2620, CPUConfig
 from repro.cpu.reference import bc_serial
@@ -114,7 +114,7 @@ class BCApp:
     ) -> AppRun:
         """Both phases over all configured sources under one template."""
         params = params or TemplateParams()
-        tmpl = get_template(template)
+        tmpl = resolve(template, kind="nested-loop")
         executor = GpuExecutor(config)
         runs = []
         for source in self.sources.tolist():

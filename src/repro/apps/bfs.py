@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.apps.base import AppRun, combine_rounds
 from repro.core.params import TemplateParams
-from repro.core.registry import get_template
+from repro.core.registry import resolve
 from repro.core.workload import AccessStream, NestedLoopWorkload
 from repro.cpu.costmodel import XEON_E5_2620, CPUConfig
 from repro.cpu.reference import bfs_recursive_serial, bfs_serial
@@ -106,7 +106,7 @@ class BFSApp:
     ) -> AppRun:
         """Level-synchronous BFS under a nested-loop template."""
         params = params or TemplateParams()
-        tmpl = get_template(template)
+        tmpl = resolve(template, kind="nested-loop")
         executor = GpuExecutor(config)
         runs = [
             tmpl.run(self._level_workload(frontier), config, params, executor)

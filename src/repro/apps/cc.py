@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.apps.base import AppRun, combine_rounds
 from repro.core.params import TemplateParams
-from repro.core.registry import get_template
+from repro.core.registry import resolve
 from repro.core.workload import AccessStream, NestedLoopWorkload
 from repro.cpu.costmodel import XEON_E5_2620, CPUConfig, OpCounts
 from repro.cpu.reference import SerialRun
@@ -157,7 +157,7 @@ class CCApp:
     ) -> AppRun:
         """Run label propagation to fixpoint under one template."""
         params = params or TemplateParams()
-        tmpl = get_template(template)
+        tmpl = resolve(template, kind="nested-loop")
         executor = GpuExecutor(config)
         runs = [
             tmpl.run(self._round_workload(*round_), config, params, executor)

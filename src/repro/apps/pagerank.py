@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.apps.base import AppRun, combine_rounds
 from repro.core.params import TemplateParams
-from repro.core.registry import get_template
+from repro.core.registry import resolve
 from repro.core.workload import AccessStream, NestedLoopWorkload
 from repro.cpu.costmodel import XEON_E5_2620, CPUConfig
 from repro.cpu.reference import pagerank_serial
@@ -80,7 +80,7 @@ class PageRankApp:
     ) -> AppRun:
         """Execute ``n_iters`` identical iterations under one template."""
         params = params or TemplateParams()
-        tmpl = get_template(template)
+        tmpl = resolve(template, kind="nested-loop")
         executor = GpuExecutor(config)
         one = tmpl.run(self.workload(), config, params, executor)
         # iterations are identical and serialized on the default stream

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.apps.base import AppRun
 from repro.core.params import TemplateParams
-from repro.core.registry import get_template
+from repro.core.registry import resolve
 from repro.core.workload import AccessStream, NestedLoopWorkload
 from repro.cpu.costmodel import XEON_E5_2620, CPUConfig
 from repro.cpu.reference import spmv_serial
@@ -44,20 +44,29 @@ class SpMVApp:
             graph.weights if graph.weights is not None
             else np.ones(graph.n_edges)
         )
+        # graph and x are fixed per app instance, so the functional result,
+        # the serial reference and the workload trace are all run-invariant
+        self._result: np.ndarray | None = None
+        self._serial = None
+        self._workload: NestedLoopWorkload | None = None
 
     # ----------------------------------------------------------- functional
     def compute(self) -> np.ndarray:
         """y = A @ x, vectorized (template-invariant result)."""
-        y = np.zeros(self.graph.n_nodes)
-        rows = np.repeat(
-            np.arange(self.graph.n_nodes), self.graph.out_degrees
-        )
-        np.add.at(y, rows, self._values * self.x[self.graph.col_indices])
-        return y
+        if self._result is None:
+            y = np.zeros(self.graph.n_nodes)
+            rows = np.repeat(
+                np.arange(self.graph.n_nodes), self.graph.out_degrees
+            )
+            np.add.at(y, rows, self._values * self.x[self.graph.col_indices])
+            self._result = y
+        return self._result
 
     # ------------------------------------------------------------- workload
     def workload(self) -> NestedLoopWorkload:
-        """The Fig. 1(a) trace of the SpMV loop nest."""
+        """The Fig. 1(a) trace of the SpMV loop nest (built once)."""
+        if self._workload is not None:
+            return self._workload
         g = self.graph
         nnz = g.n_edges
         edge_idx = np.arange(nnz, dtype=np.int64)
@@ -65,7 +74,7 @@ class SpMVApp:
         col_base = 0
         val_base = 4 * nnz + 256
         x_base = val_base + 8 * nnz + 256
-        return NestedLoopWorkload(
+        self._workload = NestedLoopWorkload(
             name=f"spmv({g.name})",
             trip_counts=g.out_degrees,
             streams=[
@@ -78,6 +87,7 @@ class SpMVApp:
             outer_load_bytes=8,    # row_offsets[i], row_offsets[i+1]
             outer_store_bytes=8,   # y[i]
         )
+        return self._workload
 
     # ------------------------------------------------------------------ run
     def run(
@@ -89,8 +99,10 @@ class SpMVApp:
     ) -> AppRun:
         """Execute SpMV under a template; returns timing + verified result."""
         params = params or TemplateParams()
-        tmpl_run = get_template(template).run(self.workload(), config, params)
-        serial = spmv_serial(self.graph, self.x)
+        tmpl_run = resolve(template, kind="nested-loop").run(self.workload(), config, params)
+        if self._serial is None:
+            self._serial = spmv_serial(self.graph, self.x)
+        serial = self._serial
         return AppRun(
             app=self.name,
             template=template,

@@ -12,10 +12,10 @@ import numpy as np
 
 from repro.apps.base import AppRun
 from repro.core.params import TemplateParams
-from repro.core.recursive import TREE_TEMPLATES, RecursiveTreeWorkload
+from repro.core.recursive import RecursiveTreeWorkload
+from repro.core.registry import resolve
 from repro.cpu.costmodel import XEON_E5_2620, CPUConfig
 from repro.cpu.trees import best_serial_descendants
-from repro.errors import PlanError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
 from repro.trees.metrics import subtree_sizes
 from repro.trees.structure import Tree
@@ -52,10 +52,7 @@ class TreeDescendantsApp:
         cpu: CPUConfig = XEON_E5_2620,
     ) -> AppRun:
         """Execute under one recursive template."""
-        if template not in TREE_TEMPLATES:
-            known = ", ".join(sorted(TREE_TEMPLATES))
-            raise PlanError(f"unknown tree template {template!r}; known: {known}")
-        tmpl_run = TREE_TEMPLATES[template]().run(
+        tmpl_run = resolve(template, kind="tree").run(
             self.workload(), config, params or TemplateParams()
         )
         return AppRun(

@@ -8,7 +8,7 @@ registered under the ids used throughout DESIGN.md and EXPERIMENTS.md
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.bench.table import ResultTable
 from repro.errors import ExperimentError
@@ -37,24 +37,63 @@ class ExperimentConfig:
 
 @dataclass
 class Experiment:
-    """One reproducible paper artifact."""
+    """One reproducible paper artifact.
+
+    Experiments that decompose into independent pieces of work (a sweep's
+    cells, typically) may additionally register ``variants(config)`` — the
+    list of picklable work keys — with ``run_variant(config, key)`` doing
+    one piece and ``merge(config, parts)`` assembling the tables from the
+    parts in ``variants`` order.  The CLI runs variants across a process
+    pool under ``--jobs N``; ``run()`` executes them in order, so serial
+    results are bit-identical to parallel ones.
+    """
 
     id: str
     title: str
     paper_ref: str
     description: str
     runner: Callable[[ExperimentConfig], list[ResultTable]]
+    variants: Callable[[ExperimentConfig], list[Any]] | None = None
+    run_variant: Callable[[ExperimentConfig, Any], Any] | None = None
+    merge: Callable[[ExperimentConfig, list[Any]], list[ResultTable]] | None = None
+
+    @property
+    def splittable(self) -> bool:
+        """Whether the experiment decomposes into independent variants."""
+        return self.variants is not None
 
     def run(self, config: ExperimentConfig | None = None) -> list[ResultTable]:
         """Execute and return the result tables."""
-        return self.runner(config or ExperimentConfig())
+        config = config or ExperimentConfig()
+        if self.splittable:
+            parts = [self.run_variant(config, key) for key in self.variants(config)]
+            return self.merge(config, parts)
+        return self.runner(config)
 
 
 EXPERIMENTS: dict[str, Experiment] = {}
 
 
-def register(id: str, title: str, paper_ref: str, description: str):
-    """Decorator registering an experiment runner under ``id``."""
+def register(
+    id: str,
+    title: str,
+    paper_ref: str,
+    description: str,
+    variants: Callable[[ExperimentConfig], list[Any]] | None = None,
+    run_variant: Callable[[ExperimentConfig, Any], Any] | None = None,
+    merge: Callable[[ExperimentConfig, list[Any]], list[ResultTable]] | None = None,
+):
+    """Decorator registering an experiment runner under ``id``.
+
+    ``variants``/``run_variant``/``merge`` (all three or none) mark the
+    experiment as splittable for the process-parallel runner.
+    """
+    split_args = (variants, run_variant, merge)
+    if any(a is not None for a in split_args) and None in split_args:
+        raise ExperimentError(
+            f"experiment {id!r}: variants, run_variant and merge must be "
+            "registered together"
+        )
 
     def wrap(fn: Callable[[ExperimentConfig], list[ResultTable]]):
         if id in EXPERIMENTS:
@@ -62,6 +101,7 @@ def register(id: str, title: str, paper_ref: str, description: str):
         EXPERIMENTS[id] = Experiment(
             id=id, title=title, paper_ref=paper_ref,
             description=description, runner=fn,
+            variants=variants, run_variant=run_variant, merge=merge,
         )
         return fn
 

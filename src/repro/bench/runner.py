@@ -5,9 +5,14 @@ Usage::
     python -m repro.bench --list
     python -m repro.bench fig5
     python -m repro.bench fig5 fig6 --scale 0.05 --out results/
-    python -m repro.bench all --scale 0.02
+    python -m repro.bench all --scale 0.02 --jobs 4 --profile
 
 (also installed as the ``repro-bench`` console script.)
+
+``--jobs N`` fans independent work units — whole experiments, and the
+registered variants of splittable ones like fig4 — across a
+``ProcessPoolExecutor``.  Results are collected and printed in submission
+order, so the output (and every table) is identical to a serial run.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 from repro.bench.registry import (
@@ -24,7 +30,58 @@ from repro.bench.registry import (
 )
 from repro.gpusim.config import preset
 
-__all__ = ["main"]
+__all__ = ["main", "run_units"]
+
+#: variant key meaning "run the whole experiment in one unit"
+_WHOLE = None
+
+
+def _run_unit(exp_id: str, variant, config: ExperimentConfig,
+              engine: str, plan_cache: bool):
+    """Execute one work unit; module-level so it pickles into pool workers.
+
+    Returns ``(payload, elapsed_s, (cache_hits, cache_misses))`` where the
+    payload is the experiment's table list (whole-experiment unit) or one
+    variant result.
+    """
+    from repro.core.plancache import default_cache, set_plan_cache_enabled
+    from repro.gpusim.executor import set_default_engine
+
+    set_default_engine(engine)
+    set_plan_cache_enabled(plan_cache)
+    exp = get_experiment(exp_id)
+    stats = default_cache().stats
+    hits0, misses0 = stats.hits, stats.misses
+    start = time.perf_counter()
+    if variant is _WHOLE:
+        payload = exp.run(config)
+    else:
+        payload = exp.run_variant(config, variant)
+    elapsed = time.perf_counter() - start
+    return payload, elapsed, (stats.hits - hits0, stats.misses - misses0)
+
+
+def run_units(units, config: ExperimentConfig, jobs: int,
+              engine: str = "fast", plan_cache: bool = True,
+              chunksize: int = 1):
+    """Run ``(exp_id, variant)`` units, preserving submission order.
+
+    ``jobs <= 1`` runs inline in this process (no pool, no pickling);
+    otherwise units go through a ``ProcessPoolExecutor``.  Either way the
+    returned list matches ``units`` index-for-index, so callers can merge
+    deterministically.
+    """
+    if jobs <= 1 or len(units) <= 1:
+        return [
+            _run_unit(exp_id, variant, config, engine, plan_cache)
+            for exp_id, variant in units
+        ]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_run_unit, exp_id, variant, config, engine, plan_cache)
+            for exp_id, variant in units
+        ]
+        return [f.result() for f in futures]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,6 +101,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     parser.add_argument("--device", default="k20",
                         help="device preset: k20 (default), k40, c2050")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent experiments "
+                             "and sweep cells (default 1 = in-process)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-experiment wall time and plan-cache "
+                             "hit/miss counts")
+    parser.add_argument("--exact", action="store_true",
+                        help="use the reference event-per-block executor "
+                             "engine instead of the cohort fast path")
+    parser.add_argument("--no-plan-cache", action="store_true",
+                        help="disable the launch-plan cache (cold builds "
+                             "every run; for measurement)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to write CSV/JSON results into")
     parser.add_argument("--plot", action="store_true",
@@ -62,20 +131,46 @@ def main(argv: list[str] | None = None) -> int:
         for exp in registry.values():
             print(f"  {exp.id:10s} {exp.paper_ref:16s} {exp.title}")
         return 0
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
 
     ids = list(registry) if args.experiments == ["all"] else args.experiments
     config = ExperimentConfig(
         scale=args.scale, seed=args.seed, device=preset(args.device),
     )
+    engine = "exact" if args.exact else "fast"
+    plan_cache = not args.no_plan_cache
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
-    status = 0
+
+    # one flat unit list: splittable experiments contribute one unit per
+    # registered variant when a pool is in play, everything else one unit
+    units: list[tuple[str, object]] = []
+    spans: list[tuple[str, int, int]] = []  # (exp_id, first unit, n units)
     for exp_id in ids:
         exp = get_experiment(exp_id)
+        first = len(units)
+        if args.jobs > 1 and exp.splittable:
+            units.extend((exp_id, key) for key in exp.variants(config))
+        else:
+            units.append((exp_id, _WHOLE))
+        spans.append((exp_id, first, len(units) - first))
+
+    results = run_units(units, config, args.jobs, engine, plan_cache)
+
+    status = 0
+    for exp_id, first, count in spans:
+        exp = get_experiment(exp_id)
         print(f"\n### {exp.id}: {exp.title} ({exp.paper_ref})")
-        start = time.perf_counter()
-        tables = exp.run(config)
-        elapsed = time.perf_counter() - start
+        chunk = results[first:first + count]
+        elapsed = sum(r[1] for r in chunk)
+        hits = sum(r[2][0] for r in chunk)
+        misses = sum(r[2][1] for r in chunk)
+        if count == 1 and units[first][1] is _WHOLE:
+            tables = chunk[0][0]
+        else:
+            tables = exp.merge(config, [r[0] for r in chunk])
         for i, table in enumerate(tables):
             print()
             print(table.format(), end="")
@@ -90,6 +185,10 @@ def main(argv: list[str] | None = None) -> int:
                 table.to_csv(args.out / f"{stem}.csv")
                 (args.out / f"{stem}.json").write_text(table.to_json())
         print(f"  [{exp.id} completed in {elapsed:.1f}s]")
+        if args.profile:
+            print(f"  [{exp.id} profile: {count} unit(s), "
+                  f"plan cache {hits} hit(s) / {misses} miss(es), "
+                  f"engine={engine}]")
     return status
 
 

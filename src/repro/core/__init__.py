@@ -22,9 +22,12 @@ from repro.core.recursive import (
     RecursiveTreeWorkload,
 )
 from repro.core.registry import (
+    ALL_TEMPLATES,
     LOAD_BALANCING_TEMPLATES,
     NESTED_LOOP_TEMPLATES,
+    canonical_name,
     get_template,
+    resolve,
 )
 from repro.core.thread_mapped import BlockMappedTemplate, ThreadMappedTemplate
 from repro.core.workload import AccessStream, NestedLoopWorkload
@@ -39,7 +42,8 @@ __all__ = [
     "DparNaiveTemplate", "DparOptTemplate",
     "RecursiveTreeWorkload", "FlatTreeTemplate", "RecNaiveTreeTemplate",
     "RecHierTreeTemplate", "TREE_TEMPLATES",
-    "NESTED_LOOP_TEMPLATES", "LOAD_BALANCING_TEMPLATES", "get_template",
+    "NESTED_LOOP_TEMPLATES", "LOAD_BALANCING_TEMPLATES", "ALL_TEMPLATES",
+    "resolve", "canonical_name", "get_template",
     "autotune", "sweep",
     "LoopNestSpec", "generate_cuda", "SUPPORTED_TEMPLATES",
 ]

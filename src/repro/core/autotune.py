@@ -14,7 +14,7 @@ from collections.abc import Iterable
 
 from repro.core.base import TemplateRun
 from repro.core.params import TemplateParams
-from repro.core.registry import LOAD_BALANCING_TEMPLATES, get_template
+from repro.core.registry import LOAD_BALANCING_TEMPLATES, resolve
 from repro.core.workload import NestedLoopWorkload
 from repro.errors import PlanError
 from repro.gpusim.config import DeviceConfig, supports_dynamic_parallelism
@@ -36,7 +36,7 @@ def sweep(
     base_params = base_params or TemplateParams()
     runs: list[TemplateRun] = []
     for name in templates:
-        template = get_template(name)
+        template = resolve(name, kind="nested-loop")
         if (template.uses_dynamic_parallelism
                 and not supports_dynamic_parallelism(config)):
             continue

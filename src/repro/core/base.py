@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 
 import numpy as np
 
 from repro.core.params import TemplateParams
+from repro.core.plancache import default_cache
 from repro.core.workload import NestedLoopWorkload
 from repro.errors import PlanError
 from repro.gpusim.config import DeviceConfig
@@ -15,7 +16,26 @@ from repro.gpusim.executor import ExecutionResult, GpuExecutor
 from repro.gpusim.kernels import LaunchGraph
 from repro.gpusim.profiler import ProfileMetrics, profile
 
-__all__ = ["TemplateRun", "NestedLoopTemplate", "check_schedule"]
+__all__ = ["TemplateRun", "NestedLoopTemplate", "check_schedule", "plan_key"]
+
+
+def plan_key(
+    template: "NestedLoopTemplate | object",
+    workload_fingerprint: str,
+    config: DeviceConfig,
+    params: TemplateParams,
+) -> tuple:
+    """Cache key for one template build.
+
+    Only the params fields named in the template's ``PLAN_RELEVANT_PARAMS``
+    enter the key (None means all fields): sweeping a parameter the
+    template's plan never reads keeps hitting the same entry.
+    """
+    relevant = getattr(template, "PLAN_RELEVANT_PARAMS", None)
+    if relevant is None:
+        relevant = tuple(f.name for f in dataclass_fields(params))
+    param_items = tuple((name, getattr(params, name)) for name in relevant)
+    return (workload_fingerprint, template.name, config, param_items)
 
 
 @dataclass
@@ -68,6 +88,9 @@ class NestedLoopTemplate(ABC):
     name: str = "abstract"
     #: whether the template needs CC >= 3.5 nested launches
     uses_dynamic_parallelism: bool = False
+    #: :class:`TemplateParams` fields this template's build() reads; the
+    #: plan cache keys only on these (None = key on every field)
+    PLAN_RELEVANT_PARAMS: tuple[str, ...] | None = None
 
     @abstractmethod
     def build(
@@ -85,10 +108,22 @@ class NestedLoopTemplate(ABC):
         params: TemplateParams | None = None,
         executor: GpuExecutor | None = None,
     ) -> TemplateRun:
-        """Build, validate, execute and profile in one call."""
+        """Build, validate, execute and profile in one call.
+
+        Plans are served from the process-wide plan cache when an identical
+        (workload, template, plan-relevant params, device) build was done
+        before; cached graphs are shared, so treat them as read-only.
+        """
         params = params or TemplateParams()
-        graph, schedule = self.build(workload, config, params)
-        check_schedule(schedule, workload.outer_size)
+        cache = default_cache()
+        key = plan_key(self, workload.fingerprint(), config, params)
+        cached = cache.get(key)
+        if cached is not None:
+            graph, schedule = cached
+        else:
+            graph, schedule = self.build(workload, config, params)
+            check_schedule(schedule, workload.outer_size)
+            cache.put(key, (graph, schedule))
         executor = executor or GpuExecutor(config)
         result = executor.run(graph)
         metrics = profile(graph, result, config)

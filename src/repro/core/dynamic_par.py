@@ -121,7 +121,8 @@ def _bulk_single_block_children(
     store_traffic = MemoryTraffic(segment_bytes=config.mem_segment_bytes)
     for stream in workload.streams:
         addr = stream.addresses[pair_idx]
-        tx = transaction_counts(child, group, addr, n_children)
+        tx = transaction_counts(child, group, addr, n_children,
+                                agg_divisor=max_chunk * wpb)
         tx_per_child += tx
         record = MemoryTraffic(
             requested_bytes=int(pair_idx.size) * stream.element_bytes,

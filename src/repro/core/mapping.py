@@ -41,8 +41,14 @@ def _apply_streams(
     warp_ids: np.ndarray,
     group_ids: np.ndarray,
     coalesce_stores: bool = False,
+    group_divisor: int | None = None,
 ) -> None:
-    """Cost every access stream + atomics of the selected pairs."""
+    """Cost every access stream + atomics of the selected pairs.
+
+    ``group_divisor`` is the per-warp slot count when groups are encoded as
+    ``warp * n_slots + slot``; it unlocks the value-sort fast path of
+    :func:`transaction_counts`.
+    """
     n = pair_idx.size
     if n == 0:
         return
@@ -54,7 +60,8 @@ def _apply_streams(
             builder.add_shared_accesses(2 * n)  # stage in + flush out
         else:
             addr = stream.addresses[pair_idx]
-        tx = transaction_counts(warp_ids, group_ids, addr, builder.n_warps)
+        tx = transaction_counts(warp_ids, group_ids, addr, builder.n_warps,
+                                agg_divisor=group_divisor)
         builder.add_traffic(tx, n * stream.element_bytes, stream.kind)
     if workload.atomic_targets is not None:
         targets = workload.atomic_targets[pair_idx]
@@ -136,7 +143,8 @@ def add_thread_mapped_inner(
         raise PlanError("outer_ids and thread_ids must align")
     if outer_ids.size == 0:
         return
-    if np.unique(thread_ids).size != thread_ids.size:
+    sorted_threads = np.sort(thread_ids)
+    if np.any(sorted_threads[1:] == sorted_threads[:-1]):
         raise PlanError("a thread cannot own two outer iterations in one phase")
     eff_trips = workload.subset_trips(outer_ids) if trips is None else np.asarray(trips, np.int64)
 
@@ -151,7 +159,8 @@ def add_thread_mapped_inner(
     warp_ids = builder.warp_of_thread(pair_threads)
     max_step = int(steps.max()) + 1
     group_ids = warp_ids * max_step + steps
-    _apply_streams(builder, workload, pair_idx, warp_ids, group_ids)
+    _apply_streams(builder, workload, pair_idx, warp_ids, group_ids,
+                   group_divisor=max_step)
 
 
 def add_block_mapped_inner(
@@ -183,9 +192,10 @@ def add_block_mapped_inner(
     # iterations of each outer it hosts; accumulate over hosted outers.
     lanes = np.arange(B, dtype=np.int64)[None, :]
     lane_trips = np.clip((trips[:, None] - lanes + B - 1) // B, 0, None)
-    per_thread = np.zeros(builder.n_threads, dtype=np.int64)
     flat_threads = (block_ids[:, None] * B + lanes).ravel()
-    np.add.at(per_thread, flat_threads, lane_trips.ravel())
+    per_thread = np.bincount(
+        flat_threads, weights=lane_trips.ravel(), minlength=builder.n_threads
+    ).astype(np.int64)
     builder.add_loop(per_thread, insts_per_iter=workload.inner_insts)
 
     pair_idx, steps = workload.pairs_of(outer_ids)
@@ -204,7 +214,8 @@ def add_block_mapped_inner(
     max_seq = int(pair_seq.max()) + 1
     group_ids = (warp_ids * max_seq + pair_seq) * max_chunk + chunk
     _apply_streams(builder, workload, pair_idx, warp_ids, group_ids,
-                   coalesce_stores=coalesce_stores)
+                   coalesce_stores=coalesce_stores,
+                   group_divisor=max_seq * max_chunk)
 
 
 def add_partitioned_pairs(
@@ -235,8 +246,7 @@ def add_partitioned_pairs(
     within = pos % chunk_size
     lane = within % B
     step = within // B
-    per_thread = np.zeros(builder.n_threads, dtype=np.int64)
-    np.add.at(per_thread, block * B + lane, 1)
+    per_thread = np.bincount(block * B + lane, minlength=builder.n_threads)
     builder.add_loop(per_thread, insts_per_iter=workload.inner_insts + 1.0)
 
     pair_threads = block * B + lane
@@ -244,7 +254,8 @@ def add_partitioned_pairs(
     max_step = int(step.max()) + 1
     group_ids = warp_ids * max_step + step
     _apply_streams(builder, workload, pair_idx, warp_ids, group_ids,
-                   coalesce_stores=coalesce_stores)
+                   coalesce_stores=coalesce_stores,
+                   group_divisor=max_step)
 
 
 def _sequence_within(ids: np.ndarray) -> np.ndarray:

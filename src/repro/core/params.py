@@ -24,9 +24,35 @@ DEFAULT_THREAD_BLOCK = 192
 DEFAULT_LB_BLOCK = 64
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class TemplateParams:
-    """Knobs shared by all nested-loop parallelization templates."""
+    """Knobs shared by all parallelization templates (keyword-only).
+
+    Fields
+    ------
+    lb_threshold:
+        the paper's ``lbTHRES``: iterations with f(i) > lb_threshold move
+        to the load-balanced (block-mapped / buffered / nested) phase.
+        Must be >= 1 — a zero threshold would empty the thread-mapped
+        phase entirely, which no template supports.
+    thread_block:
+        block size of thread-mapped kernels (paper default: 192, the core
+        count of a Kepler SM).  At least one warp (32).
+    lb_block:
+        block size of the block-mapped code portions — the Fig. 4 x-axis
+        (paper choice after that study: 64).
+    registers_per_thread:
+        per-thread register usage assumed by the occupancy calculation
+        (the paper reports low register pressure; default 24).
+    streams_per_block:
+        device streams available to each block for nested launches; 1
+        means only the per-block NULL stream (Fig. 9's "stream" variants
+        use 2).
+    max_grid_blocks:
+        clamp on the grid size of any generated kernel; exceeding it is a
+        :class:`~repro.errors.PlanError` at plan time, not a silent
+        truncation.
+    """
 
     #: iterations with f(i) > lb_threshold go to the load-balanced phase
     lb_threshold: int = 32

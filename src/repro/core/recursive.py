@@ -20,13 +20,15 @@ All three produce identical functional results (``subtree_sizes`` /
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Literal
 
 import numpy as np
 
-from repro.core.base import TemplateRun
+from repro.core.base import TemplateRun, plan_key
 from repro.core.params import TemplateParams
+from repro.core.plancache import default_cache
 from repro.errors import WorkloadError
 from repro.gpusim.atomics import AtomicStats
 from repro.gpusim.coalesce import MemoryTraffic, contiguous_transactions, transaction_counts
@@ -77,12 +79,32 @@ class RecursiveTreeWorkload:
             return subtree_sizes(self.tree)
         return node_heights(self.tree)
 
+    def fingerprint(self) -> str:
+        """Content hash of the tree structure + computation (plan cache key).
+
+        Memoized; trees are treated as immutable after construction.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        tree = self.tree
+        h = hashlib.blake2b(digest_size=16)
+        h.update(tree.parents.tobytes())
+        h.update(b"|")
+        h.update(tree.level_offsets.tobytes())
+        h.update(f"|{self.kind}|{self.inner_insts}".encode())
+        digest = h.hexdigest()
+        self._fingerprint = digest
+        return digest
+
 
 class _TreeTemplateBase:
     """Shared run() wrapper for the tree templates."""
 
     name = "abstract"
     uses_dynamic_parallelism = False
+    #: params fields the build reads (see NestedLoopTemplate); None = all
+    PLAN_RELEVANT_PARAMS: tuple[str, ...] | None = None
 
     def build(self, workload: RecursiveTreeWorkload, config: DeviceConfig,
               params: TemplateParams) -> LaunchGraph:
@@ -98,7 +120,12 @@ class _TreeTemplateBase:
         """Build, execute and profile; the functional result is attached
         to the run's schedule under ``"result"`` for equality testing."""
         params = params or TemplateParams()
-        graph = self.build(workload, config, params)
+        cache = default_cache()
+        key = plan_key(self, workload.fingerprint(), config, params)
+        graph = cache.get(key)
+        if graph is None:
+            graph = self.build(workload, config, params)
+            cache.put(key, graph)
         executor = executor or GpuExecutor(config)
         result = executor.run(graph)
         metrics = profile(graph, result, config)
@@ -117,6 +144,7 @@ class FlatTreeTemplate(_TreeTemplateBase):
     """Fig. 3(c): thread-mapped iterative kernel with ancestor-walk atomics."""
 
     name = "flat"
+    PLAN_RELEVANT_PARAMS = ("thread_block", "registers_per_thread")
 
     def build(self, workload, config, params):
         """One thread-mapped kernel; each thread walks its ancestor chain."""
@@ -156,7 +184,8 @@ class FlatTreeTemplate(_TreeTemplateBase):
             max_hop = int(hops.max()) + 1
             group = warp * max_hop + hops
             # parent-pointer loads (scattered within the chain)
-            tx = transaction_counts(warp, group, ancestors * 8, builder.n_warps)
+            tx = transaction_counts(warp, group, ancestors * 8, builder.n_warps,
+                                    agg_divisor=max_hop)
             builder.add_traffic(tx, int(nodes.size) * 8, "load")
             # one atomic RMW per (node, ancestor) pair
             from repro.gpusim.atomics import flat_atomic_cycles

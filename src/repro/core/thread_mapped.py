@@ -29,6 +29,7 @@ class ThreadMappedTemplate(NestedLoopTemplate):
     """One outer iteration per thread, no load balancing (the baseline)."""
 
     name = "baseline"
+    PLAN_RELEVANT_PARAMS = ("thread_block", "registers_per_thread", "max_grid_blocks")
 
     def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
               params: TemplateParams):
@@ -56,6 +57,7 @@ class BlockMappedTemplate(NestedLoopTemplate):
     """
 
     name = "block-mapped"
+    PLAN_RELEVANT_PARAMS = ("lb_block", "registers_per_thread", "max_grid_blocks")
 
     def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
               params: TemplateParams):

@@ -18,6 +18,7 @@ Pairs are stored row-major (all ``j`` of outer ``0``, then outer ``1``,
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -139,3 +140,33 @@ class NestedLoopWorkload:
     def subset_trips(self, outer_ids: np.ndarray) -> np.ndarray:
         """Trip counts of a subset of outer iterations."""
         return self.trip_counts[np.asarray(outer_ids, dtype=np.int64)]
+
+    def fingerprint(self) -> str:
+        """Content hash of everything a template build reads.
+
+        Two workloads with identical traces fingerprint identically, object
+        identity aside — the plan cache keys on this.  The digest is
+        computed once and memoized; workloads are treated as immutable
+        after construction (nothing in the repo mutates them).
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.trip_counts.tobytes())
+        for stream in self.streams:
+            h.update(
+                f"|{stream.name}|{stream.kind}|{stream.element_bytes}"
+                f"|{int(stream.staged_in_shared)}|".encode()
+            )
+            h.update(stream.addresses.tobytes())
+        if self.atomic_targets is not None:
+            h.update(b"|atomics|")
+            h.update(self.atomic_targets.tobytes())
+        h.update(
+            f"|{self.inner_insts}|{self.outer_insts}"
+            f"|{self.outer_load_bytes}|{self.outer_store_bytes}".encode()
+        )
+        digest = h.hexdigest()
+        self._fingerprint = digest
+        return digest

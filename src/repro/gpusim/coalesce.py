@@ -167,6 +167,7 @@ def transaction_counts(
     addresses: np.ndarray,
     n_agg: int,
     segment_bytes: int = 128,
+    agg_divisor: int | None = None,
 ) -> np.ndarray:
     """Exact transaction counts for an entire loop nest in one pass.
 
@@ -183,6 +184,13 @@ def transaction_counts(
     ``agg_ids`` must be a function of ``group_ids`` (all accesses of one
     group aggregate to the same bucket), which holds by construction when
     groups are (warp, step) slots and buckets are warps or blocks.
+
+    When the function is the integer division ``agg_id == group_id //
+    agg_divisor`` — true for every caller that encodes groups as
+    ``agg * n_slots + slot`` — pass ``agg_divisor``: the count can then be
+    recovered from a plain value sort of the packed (group, segment) keys,
+    which is several times faster than the index-tracking sort the general
+    path needs.
     """
     agg_ids = np.asarray(agg_ids, dtype=np.int64)
     group_ids = np.asarray(group_ids, dtype=np.int64)
@@ -193,11 +201,15 @@ def transaction_counts(
         )
     if n_agg < 0:
         raise WorkloadError("n_agg cannot be negative")
+    if agg_divisor is not None and agg_divisor <= 0:
+        raise WorkloadError("agg_divisor must be positive")
     if agg_ids.size == 0:
         return np.zeros(n_agg, dtype=np.int64)
-    if np.any(addresses < 0) or np.any(group_ids < 0) or np.any(agg_ids < 0):
+    # min/max reductions instead of np.any(x < 0): no boolean temporaries on
+    # these million-entry traces, and the maxima are needed below anyway.
+    if int(addresses.min()) < 0 or int(group_ids.min()) < 0 or int(agg_ids.min()) < 0:
         raise WorkloadError("ids and addresses must be non-negative")
-    if np.any(agg_ids >= n_agg):
+    if int(agg_ids.max()) >= n_agg:
         raise WorkloadError("agg_ids out of range for n_agg")
 
     segments = addresses // segment_bytes
@@ -205,6 +217,13 @@ def transaction_counts(
     group_span = int(group_ids.max()) + 1
     if group_span * seg_span < 2**62:
         keys = group_ids * seg_span + segments
+        if agg_divisor is not None:
+            ordered = np.sort(keys)
+            is_first = np.empty(ordered.shape[0], dtype=bool)
+            is_first[0] = True
+            np.not_equal(ordered[1:], ordered[:-1], out=is_first[1:])
+            agg_of_key = ordered[is_first] // (seg_span * agg_divisor)
+            return np.bincount(agg_of_key, minlength=n_agg).astype(np.int64)
         _, first_index = np.unique(keys, return_index=True)
     else:  # fall back to lexicographic unique on the pair
         order = np.lexsort((segments, group_ids))

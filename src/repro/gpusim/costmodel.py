@@ -142,9 +142,14 @@ class KernelCostBuilder:
             thread_ids.min() < 0 or thread_ids.max() >= self.n_threads
         ):
             raise WorkloadError("thread ids out of range for this grid")
+        warp_size = self.config.warp_size
+        if self.block_size % warp_size == 0:
+            # Blocks are whole warps, so block boundaries coincide with warp
+            # boundaries and the mapping collapses to one division.
+            return thread_ids // warp_size
         block = thread_ids // self.block_size
         lane = thread_ids % self.block_size
-        return block * self.warps_per_block + lane // self.config.warp_size
+        return block * self.warps_per_block + lane // warp_size
 
     def _form(self, per_thread: np.ndarray) -> WarpShape:
         """Warp-shape a per-linear-thread array, respecting block padding."""

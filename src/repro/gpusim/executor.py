@@ -34,14 +34,45 @@ import heapq
 import math
 from dataclasses import dataclass, field
 
-from repro.errors import LaunchError
+from repro.errors import ConfigError, LaunchError
 from repro.gpusim.config import DeviceConfig, supports_dynamic_parallelism
 from repro.gpusim.kernels import Launch, LaunchGraph, ProfileCounters
 from repro.gpusim.occupancy import occupancy
 
-__all__ = ["GpuExecutor", "ExecutionResult", "LaunchRecord"]
+__all__ = [
+    "GpuExecutor",
+    "ExecutionResult",
+    "LaunchRecord",
+    "ENGINES",
+    "set_default_engine",
+    "get_default_engine",
+]
 
 _EPS = 1e-9
+
+#: available execution engines: ``"fast"`` batches homogeneous blocks into
+#: cohort events, ``"exact"`` is the reference event-per-block engine.
+ENGINES = ("fast", "exact")
+
+_default_engine = "fast"
+
+
+def set_default_engine(name: str) -> None:
+    """Select the engine used when :class:`GpuExecutor` gets ``engine=None``.
+
+    The bench runner's ``--exact`` flag routes through here so every
+    executor constructed anywhere in a run (apps, templates, experiments)
+    falls back to the reference event-per-block engine.
+    """
+    global _default_engine
+    if name not in ENGINES:
+        raise ConfigError(f"unknown engine {name!r}; known: {', '.join(ENGINES)}")
+    _default_engine = name
+
+
+def get_default_engine() -> str:
+    """The engine currently used by default (``"fast"`` unless overridden)."""
+    return _default_engine
 
 
 @dataclass
@@ -148,7 +179,7 @@ class _LaunchState:
     """Mutable execution state of one launch instance."""
 
     __slots__ = (
-        "spec", "graph_index", "replica", "footprint", "n_blocks",
+        "spec", "graph_index", "replica", "serial", "footprint", "n_blocks",
         "next_block", "outstanding_blocks", "outstanding_children",
         "ready", "dispatch_started", "start_time", "end_time",
         "tree_completed", "parent_state", "group_key", "tail_elapsed",
@@ -158,6 +189,7 @@ class _LaunchState:
         self.spec = spec
         self.graph_index = graph_index
         self.replica = replica
+        self.serial = 0
         self.footprint = footprint
         self.n_blocks = spec.costs.n_blocks
         self.next_block = 0
@@ -189,6 +221,13 @@ class GpuExecutor:
         hundreds of thousands of nested launches would bloat the result).
     max_launch_instances:
         safety valve against runaway dynamic parallelism in experiments.
+    engine:
+        ``"fast"`` (cohort-batched events), ``"exact"`` (the reference
+        event-per-block engine) or ``None`` to use the module default set
+        via :func:`set_default_engine`.  Both engines implement the same
+        virtual-time processor-sharing model; the fast engine batches
+        homogeneous blocks into cohort events and is validated against the
+        exact engine by the equivalence suite.
     """
 
     def __init__(
@@ -196,10 +235,16 @@ class GpuExecutor:
         config: DeviceConfig,
         record_timeline: bool = False,
         max_launch_instances: int = 2_000_000,
+        engine: str | None = None,
     ) -> None:
+        if engine is not None and engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {engine!r}; known: {', '.join(ENGINES)}"
+            )
         self.config = config
         self.record_timeline = record_timeline
         self.max_launch_instances = max_launch_instances
+        self.engine = engine
 
     # ------------------------------------------------------------------- API
     def run(self, graph: LaunchGraph) -> ExecutionResult:
@@ -216,14 +261,24 @@ class GpuExecutor:
             raise LaunchError(
                 f"{self.config.name} does not support dynamic parallelism"
             )
-        sim = _Simulation(self.config, graph, self.record_timeline,
-                          self.max_launch_instances)
+        engine = self.engine or _default_engine
+        sim_cls = _FastSimulation if engine == "fast" else _Simulation
+        sim = sim_cls(self.config, graph, self.record_timeline,
+                      self.max_launch_instances)
         return sim.run()
 
 
 class _Simulation:
     """One executor run (separate from GpuExecutor so the executor object
-    stays reusable and stateless between runs)."""
+    stays reusable and stateless between runs).
+
+    This is the **exact** reference engine: one heap entry per dispatched
+    block.  The fast engine (:class:`_FastSimulation`) subclasses it and
+    overrides only dispatch/service/retire with cohort-batched versions.
+    """
+
+    #: SM implementation instantiated per simulated multiprocessor
+    sm_class = _SM
 
     def __init__(
         self,
@@ -240,7 +295,7 @@ class _Simulation:
         self.now = 0.0
         self.events: list[tuple[float, int, str, object]] = []
         self._seq = 0
-        self.sms = [_SM(i, config) for i in range(config.sm_count)]
+        self.sms = [self.sm_class(i, config) for i in range(config.sm_count)]
         self.records: list[LaunchRecord] = []
 
         # Launch instances (bulk launches expand into replicas).
@@ -288,6 +343,7 @@ class _Simulation:
                 "runaway dynamic parallelism?"
             )
         state = _LaunchState(spec, graph_index, replica, self._footprint(spec, graph_index))
+        state.serial = len(self.instances)
         self.instances.append(state)
         return state
 
@@ -332,8 +388,7 @@ class _Simulation:
                 if sm.version == version:
                     self._service_sm(sm)
             elif kind == "linger_done":
-                sm, block = payload  # type: ignore[misc]
-                self._retire_block(sm, block)
+                self._on_linger(payload)
             elif kind == "tail_done":
                 state = payload  # type: ignore[assignment]
                 state.tail_elapsed = True
@@ -361,6 +416,10 @@ class _Simulation:
     def _on_ready(self, state: _LaunchState) -> None:
         state.ready = True
         self.ready_list.append(state)
+
+    def _on_linger(self, payload: object) -> None:
+        sm, block = payload  # type: ignore[misc]
+        self._retire_block(sm, block)
 
     def _issue_children(self, parent: _LaunchState, block_index: int) -> None:
         """A parent block completed: issue its registered device launches."""
@@ -571,3 +630,251 @@ class _Simulation:
                 if best is None or sm.free_warps > best.free_warps:
                     best = sm
         return best
+
+
+# --------------------------------------------------------------------------
+# Fast engine: cohort-batched events
+# --------------------------------------------------------------------------
+
+
+class _FastSM(_SM):
+    """Processor-sharing SM whose serving heap holds block *cohorts*.
+
+    ``n_serving`` counts resident blocks (the processor-sharing divisor),
+    which no longer equals ``len(serving)`` once homogeneous blocks are
+    batched into a single heap entry.
+    """
+
+    __slots__ = ("n_serving",)
+
+    def __init__(self, index: int, config: DeviceConfig):
+        super().__init__(index, config)
+        self.n_serving = 0
+
+    def advance(self, now: float) -> None:
+        """Accrue service up to ``now`` (call before changing residency)."""
+        if now < self.t_last - _EPS:
+            raise LaunchError("simulation time went backwards")
+        dt = max(0.0, now - self.t_last)
+        if self.n_serving:
+            self.virtual += dt / self.n_serving
+            self.busy_cycles += dt
+        self.t_last = now
+
+    def next_completion(self) -> float:
+        """Predicted absolute time of the earliest cohort completion."""
+        if not self.serving:
+            return math.inf
+        target = self.serving[0][0]
+        return self.t_last + max(0.0, target - self.virtual) * self.n_serving
+
+
+class _Cohort:
+    """A batch of same-launch blocks admitted to one SM at one instant with
+    identical work and floor — they share a virtual-time completion target,
+    so one heap entry and one completion event cover the whole batch."""
+
+    __slots__ = ("launch", "indices", "floor", "admit_time", "target_v")
+
+    def __init__(self, launch: _LaunchState, floor: float,
+                 admit_time: float, target_v: float):
+        self.launch = launch
+        self.indices: list[int] = []
+        self.floor = floor
+        self.admit_time = admit_time
+        self.target_v = target_v
+
+
+class _FastSimulation(_Simulation):
+    """Cohort-batched engine.
+
+    Implements the *same* virtual-time processor-sharing model as the exact
+    engine, with three changes that only affect constant factors:
+
+    * blocks of one launch admitted to one SM at the same simulation time
+      with equal (work, floor) become one :class:`_Cohort` heap entry /
+      linger event instead of one entry per block;
+    * dispatch passes are skipped entirely unless something changed since
+      the last blocked attempt (resources freed or a launch became ready);
+    * per-block work/floor values come from cached Python lists
+      (:meth:`KernelCosts.block_lists`) instead of NumPy scalar reads.
+
+    Cohort retirement follows the exact engine's event ordering: service
+    completions retire the whole batch inside one event (the exact engine
+    pops equal-target blocks back-to-back in one ``sm_check`` anyway), and
+    floor lingers retire block-by-block with a dispatch pass in between
+    (the exact engine interleaves exactly this way).  The equivalence
+    suite (``tests/test_executor_fastpath.py``) asserts cycle-count
+    agreement with the exact engine to 1e-6 relative.
+    """
+
+    sm_class = _FastSM
+
+    def __init__(
+        self,
+        config: DeviceConfig,
+        graph: LaunchGraph,
+        record_timeline: bool,
+        max_instances: int,
+    ) -> None:
+        super().__init__(config, graph, record_timeline, max_instances)
+        self._dispatch_dirty = True
+        self._parent_gis: set[int] = set()
+
+    def _setup(self) -> None:
+        super()._setup()
+        # launches that actually register device children; retirement skips
+        # the per-block child lookup for everything else
+        self._parent_gis = {gi for (gi, _block) in self.children_of}
+
+    # ---------------------------------------------------------------- events
+    def _on_ready(self, state: _LaunchState) -> None:
+        super()._on_ready(state)
+        self._dispatch_dirty = True
+
+    def _service_sm(self, sm: _FastSM) -> None:
+        """Handle (predicted) cohort completions on one SM."""
+        sm.advance(self.now)
+        tol = 1e-6 * (1.0 + abs(sm.virtual))
+        while sm.serving and sm.serving[0][0] <= sm.virtual + tol:
+            _, _, cohort = heapq.heappop(sm.serving)
+            sm.n_serving -= len(cohort.indices)
+            sm.version += 1
+            floor_time = cohort.admit_time + cohort.floor
+            if floor_time > self.now + _EPS:
+                # Holds resources until the critical warps drain; one event
+                # covers the whole cohort.
+                self._push_event(floor_time, "linger_done", (sm, cohort))
+            else:
+                self._retire_cohort(sm, cohort)
+        self._schedule_sm_check(sm)
+
+    def _on_linger(self, payload: object) -> None:
+        """Retire a lingering cohort block-by-block, dispatching between
+        retirements exactly like the exact engine's per-block events."""
+        sm, cohort = payload  # type: ignore[misc]
+        state = cohort.launch
+        for index in cohort.indices:
+            self._retire_one(sm, state, index)
+            while self._dispatch():
+                pass
+
+    # ----------------------------------------------------------------- retire
+    def _retire_one(self, sm: _FastSM, state: _LaunchState, index: int) -> None:
+        fp = state.footprint
+        sm.free_warps += fp.warps
+        sm.free_blocks += 1
+        sm.free_smem += fp.smem
+        sm.free_regs += fp.regs
+        state.outstanding_blocks -= 1
+        self._dispatch_dirty = True
+        if state.graph_index in self._parent_gis:
+            self._issue_children(state, index)
+        if state.outstanding_blocks == 0:
+            self._on_blocks_done(state)
+
+    def _retire_cohort(self, sm: _FastSM, cohort: _Cohort) -> None:
+        state = cohort.launch
+        fp = state.footprint
+        k = len(cohort.indices)
+        sm.free_warps += fp.warps * k
+        sm.free_blocks += k
+        sm.free_smem += fp.smem * k
+        sm.free_regs += fp.regs * k
+        state.outstanding_blocks -= k
+        self._dispatch_dirty = True
+        if state.replica == 0 and state.graph_index in self._parent_gis:
+            for index in cohort.indices:
+                self._issue_children(state, index)
+        if state.outstanding_blocks == 0:
+            self._on_blocks_done(state)
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self) -> bool:
+        """Place ready blocks onto SMs, accumulating same-target cohorts."""
+        if not self.ready_list or not self._dispatch_dirty:
+            return False
+        cfg = self.config
+        queue = self.ready_list
+        self.ready_list = []
+        self._dispatch_dirty = False
+        progress = False
+        active = 0
+        leftover: list[_LaunchState] = []
+        #: (sm index, launch serial, work, floor) -> accumulating cohort
+        pending: dict[tuple[int, int, float, float], _Cohort] = {}
+        changed_sms: set[int] = set()
+        #: footprints no SM could host earlier in this pass.  Within one
+        #: pass free resources never exceed their level at the failed probe
+        #: (inline zero-work retires only restore what the pass consumed),
+        #: so a failed footprint stays failed and the rescan can be skipped.
+        failed_fps: set[tuple[int, int, int]] = set()
+        now = self.now
+        for state in queue:
+            if state.fully_dispatched:
+                continue
+            if active >= cfg.max_concurrent_kernels:
+                leftover.append(state)
+                continue
+            active += 1
+            fp = state.footprint
+            fp_key = (fp.warps, fp.smem, fp.regs)
+            if fp_key in failed_fps:
+                leftover.append(state)
+                continue
+            work_list = floor_list = None
+            n_blocks = state.n_blocks
+            while state.next_block < n_blocks:
+                sm = self._find_sm(fp)
+                if sm is None:
+                    failed_fps.add(fp_key)
+                    break
+                if work_list is None:
+                    work_list, floor_list = state.spec.costs.block_lists()
+                progress = True
+                bi = state.next_block
+                state.next_block = bi + 1
+                if not state.dispatch_started:
+                    state.dispatch_started = True
+                    state.start_time = now
+                work = work_list[bi]
+                floor = floor_list[bi]
+                sm.advance(now)
+                sm.free_warps -= fp.warps
+                sm.free_blocks -= 1
+                sm.free_smem -= fp.smem
+                sm.free_regs -= fp.regs
+                if work <= _EPS:
+                    # Zero-work block: never enters service; complete
+                    # immediately (respecting its floor).
+                    if floor > _EPS:
+                        single = _Cohort(state, floor, now, 0.0)
+                        single.indices.append(bi)
+                        self._push_event(now + floor, "linger_done",
+                                         (sm, single))
+                    else:
+                        self._retire_one(sm, state, bi)
+                else:
+                    key = (sm.index, state.serial, work, floor)
+                    cohort = pending.get(key)
+                    if cohort is None:
+                        cohort = _Cohort(state, floor, now, sm.virtual + work)
+                        pending[key] = cohort
+                    cohort.indices.append(bi)
+                    sm.n_serving += 1
+                    changed_sms.add(sm.index)
+            if state.next_block < n_blocks:
+                leftover.append(state)
+        for (sm_index, _serial, _work, _floor), cohort in pending.items():
+            self._seq += 1
+            sm = self.sms[sm_index]
+            heapq.heappush(sm.serving, (cohort.target_v, self._seq, cohort))
+            sm.version += 1
+        # Anything that became ready while dispatching stays queued for the
+        # next pass (the caller loops until no progress).
+        self.ready_list.extend(leftover)
+        for i in changed_sms:
+            self._schedule_sm_check(self.sms[i])
+        if progress:
+            self._dispatch_dirty = True
+        return progress

@@ -108,6 +108,20 @@ class KernelCosts:
         """Total SM-cycles of work in the grid."""
         return float(self.block_cycles.sum())
 
+    def block_lists(self) -> tuple[list[float], list[float]]:
+        """``(work, floor)`` per block as plain Python lists, cached.
+
+        The executor's dispatch loop touches every block exactly once; list
+        indexing avoids a NumPy scalar box per block, and the fast engine
+        uses value equality on these entries to batch homogeneous blocks
+        into cohort events.  Treat the returned lists as read-only.
+        """
+        cached = getattr(self, "_block_lists", None)
+        if cached is None:
+            cached = (self.block_cycles.tolist(), self.block_floor.tolist())
+            object.__setattr__(self, "_block_lists", cached)
+        return cached
+
 
 @dataclass
 class Launch:

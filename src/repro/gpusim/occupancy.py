@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import ConfigError
 from repro.gpusim.config import DeviceConfig
@@ -66,9 +67,27 @@ def occupancy(
     finding that large blocks (192 threads) are optimal for thread-mapped
     kernels.
 
+    Results are memoized per ``(device, block size, registers, shared mem)``
+    key: launch graphs re-query the same few footprints millions of times
+    over a sweep, and both :class:`OccupancyResult` and
+    :class:`~repro.gpusim.config.DeviceConfig` are immutable, so sharing the
+    result objects is safe.
+
     Raises :class:`ConfigError` if the configuration can never be resident
     (block too large, too much shared memory, too many registers).
     """
+    return _occupancy_impl(
+        config, block_size, registers_per_thread, shared_mem_per_block
+    )
+
+
+@lru_cache(maxsize=4096)
+def _occupancy_impl(
+    config: DeviceConfig,
+    block_size: int,
+    registers_per_thread: int,
+    shared_mem_per_block: int,
+) -> OccupancyResult:
     if block_size <= 0:
         raise ConfigError(f"block_size must be positive, got {block_size}")
     if block_size > config.max_threads_per_block:

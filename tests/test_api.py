@@ -1,0 +1,130 @@
+"""Tests for the top-level facade (repro.run / repro.compare) and the
+unified template registry."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import RecursiveTreeWorkload, TemplateParams
+from repro.core.registry import (
+    ALL_TEMPLATES,
+    NESTED_LOOP_TEMPLATES,
+    TREE_TEMPLATE_CLASSES,
+    canonical_name,
+    get_template,
+    resolve,
+)
+from repro.core.workload import AccessStream, NestedLoopWorkload
+from repro.errors import PlanError, WorkloadError
+from repro.gpusim import FERMI_C2050, KEPLER_K20
+from repro.trees.generator import generate_tree
+
+
+@pytest.fixture(scope="module")
+def loop_workload():
+    rng = np.random.default_rng(0)
+    trips = rng.zipf(1.8, size=400).clip(max=300).astype(np.int64)
+    nnz = int(trips.sum())
+    return NestedLoopWorkload(
+        name="api-wl", trip_counts=trips,
+        streams=[AccessStream("x", rng.integers(0, nnz, size=nnz) * 4)],
+    )
+
+
+@pytest.fixture(scope="module")
+def tree_workload():
+    tree = generate_tree(depth=5, outdegree=3, seed=1)
+    return RecursiveTreeWorkload(tree, "descendants")
+
+
+class TestRegistryResolve:
+    def test_every_canonical_name_resolves(self):
+        for name, (kind, cls) in ALL_TEMPLATES.items():
+            template = resolve(name)
+            assert isinstance(template, cls)
+            assert resolve(name, kind=kind).name == template.name
+
+    def test_aliases_and_normalization(self):
+        assert canonical_name("baseline") == "thread-mapped"
+        assert canonical_name("  Thread_Mapped ") == "thread-mapped"
+        assert type(resolve("baseline")) is type(resolve("thread-mapped"))
+        assert type(resolve("dbuf_global")) is type(resolve("dbuf-global"))
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(PlanError, match="rec-hier"):
+            resolve("quantum-mapped")
+
+    def test_kind_mismatch(self):
+        with pytest.raises(PlanError, match="tree template"):
+            resolve("rec-hier", kind="nested-loop")
+        with pytest.raises(PlanError, match="nested-loop template"):
+            resolve("dbuf-shared", kind="tree")
+        with pytest.raises(PlanError, match="unknown template kind"):
+            resolve("dbuf-shared", kind="gpu")
+
+    def test_legacy_registries_cover_all(self):
+        merged = set(NESTED_LOOP_TEMPLATES) | set(TREE_TEMPLATE_CLASSES)
+        aliases = {"baseline"}
+        assert merged - aliases <= set(ALL_TEMPLATES)
+
+    def test_get_template_deprecated_but_working(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            template = get_template("dual-queue")
+        assert template.name == "dual-queue"
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+
+class TestRunFacade:
+    def test_nested_loop_from_top_level(self, loop_workload):
+        run = repro.run("dbuf-shared", loop_workload)
+        assert run.template == "dbuf-shared"
+        assert run.time_ms > 0
+
+    def test_tree_from_top_level(self, tree_workload):
+        run = repro.run("rec-hier", tree_workload)
+        assert run.template == "rec-hier"
+        assert run.time_ms > 0
+
+    def test_kwargs_device_and_params(self, loop_workload):
+        k20 = repro.run("dual-queue", loop_workload,
+                        params=TemplateParams(lb_threshold=64))
+        fermi = repro.run("dual-queue", loop_workload,
+                          device=FERMI_C2050,
+                          params=TemplateParams(lb_threshold=64))
+        assert k20.params.lb_threshold == 64
+        assert fermi.time_ms != k20.time_ms
+
+    def test_exact_engine_agrees(self, loop_workload):
+        fast = repro.run("dbuf-global", loop_workload)
+        exact = repro.run("dbuf-global", loop_workload, exact=True)
+        assert fast.time_ms == pytest.approx(exact.time_ms, rel=1e-6)
+
+    def test_template_instance_accepted(self, loop_workload):
+        instance = resolve("block-mapped")
+        run = repro.run(instance, loop_workload, device=KEPLER_K20)
+        assert run.template == "block-mapped"
+
+    def test_family_misdispatch_rejected(self, loop_workload, tree_workload):
+        with pytest.raises(PlanError):
+            repro.run("flat", loop_workload)
+        with pytest.raises(PlanError):
+            repro.run("thread-mapped", tree_workload)
+
+    def test_bad_workload_type(self):
+        with pytest.raises(WorkloadError, match="NestedLoopWorkload"):
+            repro.run("thread-mapped", object())
+
+
+class TestCompareFacade:
+    def test_order_preserved(self, loop_workload):
+        names = ["dbuf-global", "thread-mapped", "dual-queue"]
+        runs = repro.compare(names, loop_workload)
+        assert [r.template for r in runs] == \
+            ["dbuf-global", "baseline", "dual-queue"]
+
+    def test_positional_args_rejected(self, loop_workload):
+        with pytest.raises(TypeError):
+            repro.run("thread-mapped", loop_workload, KEPLER_K20)

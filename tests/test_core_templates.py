@@ -262,3 +262,17 @@ class TestParams:
     def test_replace(self):
         p = TemplateParams().replace(lb_threshold=128)
         assert p.lb_threshold == 128
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            TemplateParams(64)
+
+    def test_grid_clamp_error_names_the_knob(self):
+        from repro.core import NestedLoopTemplate
+
+        # the message must point at a real attribute users can enlarge
+        assert hasattr(TemplateParams(), "max_grid_blocks")
+        with pytest.raises(PlanError, match="max_grid_blocks"):
+            NestedLoopTemplate._grid_for(10_000, 32, 8)
+        # non-overflowing grids still round up
+        assert NestedLoopTemplate._grid_for(100, 32, 8) == 4

@@ -1,0 +1,217 @@
+"""Fast-engine equivalence suite + plan-cache behavior tests.
+
+The cohort-batched fast engine must reproduce the reference
+event-per-block engine's cycle counts to 1e-6 relative on every template,
+across workload shapes that stress different scheduling paths: uniform
+(maximal cohorts), power-law (mixed phases, nested launches), and a
+single hot iteration (one giant block-mapped/nested unit among trivial
+ones).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AccessStream,
+    NestedLoopWorkload,
+    RecursiveTreeWorkload,
+    TemplateParams,
+)
+from repro.core.plancache import PlanCache, default_cache, set_plan_cache_enabled
+from repro.core.registry import ALL_TEMPLATES, resolve
+from repro.errors import ConfigError
+from repro.gpusim import KEPLER_K20
+from repro.gpusim.executor import (
+    ENGINES,
+    GpuExecutor,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.trees.generator import generate_tree
+
+NESTED_NAMES = sorted(n for n, (k, _) in ALL_TEMPLATES.items() if k == "nested-loop")
+TREE_NAMES = sorted(n for n, (k, _) in ALL_TEMPLATES.items() if k == "tree")
+SHAPES = ("uniform", "power", "hot")
+
+
+def _trips(shape: str) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    if shape == "uniform":
+        return np.full(900, 24, dtype=np.int64)
+    if shape == "power":
+        return rng.zipf(1.8, size=900).clip(max=500).astype(np.int64)
+    # one hot iteration among trivially small ones
+    trips = np.full(900, 2, dtype=np.int64)
+    trips[137] = 2500
+    return trips
+
+
+def _workload(shape: str) -> NestedLoopWorkload:
+    trips = _trips(shape)
+    nnz = int(trips.sum())
+    rng = np.random.default_rng(11)
+    streams = [
+        AccessStream("seq", np.arange(nnz, dtype=np.int64) * 4),
+        AccessStream("gather", rng.integers(0, nnz, size=nnz) * 4),
+        AccessStream("scatter", rng.integers(0, nnz, size=nnz) * 4,
+                     "store", 4, staged_in_shared=True),
+    ]
+    return NestedLoopWorkload(name=f"eq-{shape}", trip_counts=trips,
+                              streams=streams)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {shape: _workload(shape) for shape in SHAPES}
+
+
+@pytest.fixture(scope="module")
+def tree_workloads():
+    tree = generate_tree(depth=7, outdegree=4, sparsity=0.4, seed=3)
+    return {
+        kind: RecursiveTreeWorkload(tree, kind)
+        for kind in ("descendants", "heights")
+    }
+
+
+def _run_both(template, workload, params=None):
+    exact = template.run(
+        workload, KEPLER_K20, params,
+        executor=GpuExecutor(KEPLER_K20, engine="exact"),
+    )
+    fast = template.run(
+        workload, KEPLER_K20, params,
+        executor=GpuExecutor(KEPLER_K20, engine="fast"),
+    )
+    return exact, fast
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("name", NESTED_NAMES)
+    def test_nested_loop_templates(self, workloads, name, shape):
+        exact, fast = _run_both(resolve(name), workloads[shape])
+        assert fast.time_ms == pytest.approx(exact.time_ms, rel=1e-6)
+
+    @pytest.mark.parametrize("kind", ("descendants", "heights"))
+    @pytest.mark.parametrize("name", TREE_NAMES)
+    def test_tree_templates(self, tree_workloads, name, kind):
+        exact, fast = _run_both(resolve(name), tree_workloads[kind])
+        assert fast.time_ms == pytest.approx(exact.time_ms, rel=1e-6)
+
+    def test_timeline_matches_too(self, workloads):
+        template = resolve("dbuf-global")
+        graph, _ = template.build(workloads["power"], KEPLER_K20,
+                                  TemplateParams())
+        exact = GpuExecutor(KEPLER_K20, engine="exact").run(graph)
+        fast = GpuExecutor(KEPLER_K20, engine="fast").run(graph)
+        assert fast.n_launches == exact.n_launches
+        assert fast.n_device_launches == exact.n_device_launches
+        assert fast.time_ms == pytest.approx(exact.time_ms, rel=1e-6)
+
+
+class TestEngineSelection:
+    def test_engines_listed(self):
+        assert set(ENGINES) == {"fast", "exact"}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            GpuExecutor(KEPLER_K20, engine="warp9")
+        with pytest.raises(ConfigError, match="unknown engine"):
+            set_default_engine("warp9")
+
+    def test_default_engine_roundtrip(self):
+        before = get_default_engine()
+        try:
+            set_default_engine("exact")
+            assert get_default_engine() == "exact"
+        finally:
+            set_default_engine(before)
+        assert get_default_engine() == before
+
+
+class TestPlanCacheUnit:
+    def test_hit_miss_counters(self):
+        cache = PlanCache(maxsize=4)
+        assert cache.get(("k",)) is None
+        cache.put(("k",), "plan")
+        assert cache.get(("k",)) == "plan"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1   # refresh a; b is now oldest
+        cache.put(("c",), 3)
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1
+        assert cache.get(("c",)) == 3
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = PlanCache(enabled=False)
+        cache.put(("k",), "plan")
+        assert cache.get(("k",)) is None
+        assert len(cache) == 0
+
+    def test_bad_maxsize(self):
+        with pytest.raises(ConfigError):
+            PlanCache(maxsize=0)
+
+
+class TestPlanCacheIntegration:
+    def _fresh_stats(self):
+        stats = default_cache().stats
+        return stats.hits, stats.misses
+
+    def test_repeat_run_hits(self, workloads):
+        wl = workloads["power"]
+        template = resolve("dbuf-shared")
+        template.run(wl, KEPLER_K20)        # warm (hit or miss, don't care)
+        h0, m0 = self._fresh_stats()
+        template.run(wl, KEPLER_K20)
+        h1, m1 = self._fresh_stats()
+        assert (h1 - h0, m1 - m0) == (1, 0)
+
+    def test_plan_relevant_param_change_misses(self, workloads):
+        wl = workloads["power"]
+        template = resolve("dbuf-shared")
+        template.run(wl, KEPLER_K20, TemplateParams(lb_threshold=48))
+        h0, m0 = self._fresh_stats()
+        template.run(wl, KEPLER_K20, TemplateParams(lb_threshold=49))
+        h1, m1 = self._fresh_stats()
+        assert m1 - m0 == 1
+
+    def test_irrelevant_param_change_still_hits(self, workloads):
+        wl = workloads["uniform"]
+        template = resolve("thread-mapped")   # never reads streams_per_block
+        template.run(wl, KEPLER_K20, TemplateParams(streams_per_block=1))
+        h0, m0 = self._fresh_stats()
+        template.run(wl, KEPLER_K20, TemplateParams(streams_per_block=2))
+        h1, m1 = self._fresh_stats()
+        assert (h1 - h0, m1 - m0) == (1, 0)
+
+    def test_workload_content_change_misses(self):
+        template = resolve("thread-mapped")
+        a = _workload("uniform")
+        b = _workload("uniform")
+        assert a.fingerprint() == b.fingerprint()   # same content, same key
+        trips = _trips("uniform")
+        trips[0] += 1
+        c = NestedLoopWorkload(name=a.name, trip_counts=trips)
+        assert c.fingerprint() != a.fingerprint()
+
+    def test_disable_enable_roundtrip(self, workloads):
+        wl = workloads["hot"]
+        template = resolve("block-mapped")
+        try:
+            set_plan_cache_enabled(False)
+            template.run(wl, KEPLER_K20)
+            h0, m0 = self._fresh_stats()
+            template.run(wl, KEPLER_K20)
+            h1, _ = self._fresh_stats()
+            assert h1 - h0 == 0           # nothing was stored
+        finally:
+            set_plan_cache_enabled(True)

@@ -1,23 +1,36 @@
 # Convenience targets for the reproduction repository.
 
 PYTHON ?= python
+# make targets work from a clean checkout, without `pip install -e .`
+export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test bench bench-smoke experiments examples results clean
+.PHONY: install test lint bench bench-smoke bench-service experiments examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: bench-smoke
+test: lint bench-smoke
 	$(PYTHON) -m pytest tests/
+
+# ruff when installed, stdlib fallback (syntax, unused imports, debug
+# leftovers) otherwise — style regressions fail alongside tier-1 tests
+lint:
+	$(PYTHON) tools/lint.py src tests benchmarks
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # tiny harness-speed run: exercises the process-parallel runner + plan
-# cache end-to-end without overwriting the recorded BENCH json
+# cache end-to-end, then gates against the recorded smoke baseline in
+# BENCH_harness_speed.json (fails loudly on a >25% speedup regression)
 bench-smoke:
-	$(PYTHON) benchmarks/bench_harness_speed.py --scale 0.01 --reps 2 \
-		--jobs 2 --out .bench_smoke.json
+	$(PYTHON) benchmarks/bench_harness_speed.py --smoke \
+		--out .bench_smoke.json --gate BENCH_harness_speed.json
+
+# serving-layer throughput: micro-batched repro.serve vs per-request
+# repro.run; acceptance requires the batched path to win by >= 2x
+bench-service:
+	$(PYTHON) benchmarks/bench_service_throughput.py --min-speedup 2
 
 # regenerate every paper artifact into results/
 experiments:

@@ -97,6 +97,62 @@ def _cross_check(seed_tables, fast_tables, rel_tol: float = 1e-6) -> float:
     return worst
 
 
+def _baseline_for(baseline: dict, scale: float, reps: int, jobs: int):
+    """The baseline record matching this run's configuration, or None.
+
+    The recorded JSON carries the full-configuration record at top level
+    and (optionally) a ``smoke_baseline`` block recorded at the smoke
+    configuration; speedups are only comparable at matching configs.
+    """
+    for candidate in (baseline, baseline.get("smoke_baseline")):
+        if not candidate:
+            continue
+        config = candidate.get("config", {})
+        if (
+            config.get("scale") == scale
+            and config.get("reps") == reps
+            and candidate.get("fast_mode", {}).get("jobs") == jobs
+        ):
+            return candidate
+    return None
+
+
+def _apply_gate(record: dict, gate_path: Path, tolerance: float) -> int:
+    """Regression gate: fail loudly on a >``tolerance`` speedup drop.
+
+    Compares this run's seed-vs-fast speedup against the recorded
+    baseline at the *same* configuration — the ratio normalizes machine
+    load, which raw wall times would not.  Returns a process exit code.
+    """
+    if not gate_path.exists():
+        print(f"gate: no baseline at {gate_path}; skipping (record one "
+              f"with --out / --as-smoke-baseline)")
+        return 0
+    baseline = json.loads(gate_path.read_text())
+    matched = _baseline_for(
+        baseline, record["config"]["scale"], record["config"]["reps"],
+        record["fast_mode"]["jobs"],
+    )
+    if matched is None:
+        print(f"gate: {gate_path} has no record at this configuration "
+              f"(scale={record['config']['scale']}, "
+              f"reps={record['config']['reps']}, "
+              f"jobs={record['fast_mode']['jobs']}); skipping")
+        return 0
+    floor = matched["speedup"] * (1 - tolerance)
+    verdict = "PASS" if record["speedup"] >= floor else "FAIL"
+    print(f"gate: speedup {record['speedup']:.2f}x vs baseline "
+          f"{matched['speedup']:.2f}x (floor {floor:.2f}x after "
+          f"{tolerance:.0%} tolerance) -> {verdict}")
+    if verdict == "FAIL":
+        print("gate: the fast path regressed by more than "
+              f"{tolerance:.0%}; investigate before merging "
+              f"(baseline recorded {matched.get('date', 'unknown')})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--scale", type=float, default=0.05)
@@ -105,9 +161,29 @@ def main(argv: list[str] | None = None) -> int:
                         help="sweep repetitions per mode (default 6)")
     parser.add_argument("--jobs", type=int, default=4,
                         help="fast-mode worker processes (default 4)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="preset: scale 0.01, 2 reps, 2 jobs (the "
+                             "make bench-smoke configuration)")
+    parser.add_argument("--gate", type=Path, default=None, metavar="JSON",
+                        help="compare against this recorded baseline and "
+                             "fail on a regression")
+    parser.add_argument("--gate-tolerance", type=float, default=0.25,
+                        help="allowed fractional speedup drop before the "
+                             "gate fails (default 0.25)")
+    parser.add_argument("--as-smoke-baseline", action="store_true",
+                        help="store this run as the smoke_baseline block "
+                             "of the recorded BENCH json instead of "
+                             "overwriting the full record")
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_harness_speed.json")
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.scale, args.reps, args.jobs = 0.01, 2, 2
+        if args.out == REPO_ROOT / "BENCH_harness_speed.json" \
+                and not args.as_smoke_baseline:
+            args.out = REPO_ROOT / ".bench_smoke.json"
+    if not 0 < args.gate_tolerance < 1:
+        parser.error("--gate-tolerance must be in (0, 1)")
 
     config = ExperimentConfig(scale=args.scale, seed=args.seed)
     print(f"fig4 sweep, scale={args.scale}, {args.reps} rep(s) per mode")
@@ -145,8 +221,26 @@ def main(argv: list[str] | None = None) -> int:
         "speedup": round(speedup, 3),
         "max_rel_diff": worst,
     }
-    args.out.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    bench_path = REPO_ROOT / "BENCH_harness_speed.json"
+    if args.as_smoke_baseline:
+        # fold this run into the recorded file's smoke_baseline block
+        recorded = (
+            json.loads(bench_path.read_text()) if bench_path.exists() else {}
+        )
+        recorded["smoke_baseline"] = record
+        bench_path.write_text(json.dumps(recorded, indent=2) + "\n")
+        print(f"recorded smoke baseline in {bench_path}")
+    else:
+        if args.out == bench_path and bench_path.exists():
+            # a full re-record must not drop the smoke baseline block
+            smoke = json.loads(bench_path.read_text()).get("smoke_baseline")
+            if smoke is not None:
+                record["smoke_baseline"] = smoke
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.gate:
+        return _apply_gate(record, args.gate, args.gate_tolerance)
     return 0
 
 

@@ -17,11 +17,13 @@ Subpackages
     the seven evaluated applications plus the sort case study.
 ``repro.bench``
     experiment registry regenerating every paper table and figure.
+``repro.service``
+    async, batching template-serving runtime (``repro.serve``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from repro.api import compare, run
+from repro.api import compare, run, serve
 from repro.errors import (
     ConfigError,
     DatasetError,
@@ -30,12 +32,14 @@ from repro.errors import (
     LaunchError,
     PlanError,
     ReproError,
+    ServiceError,
     WorkloadError,
 )
 
 __all__ = [
     "__version__",
-    "run", "compare",
+    "run", "compare", "serve",
     "ReproError", "ConfigError", "LaunchError", "WorkloadError",
     "PlanError", "GraphError", "DatasetError", "ExperimentError",
+    "ServiceError",
 ]

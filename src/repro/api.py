@@ -6,13 +6,16 @@ family is picked from the workload type (nested-loop vs recursive tree),
 and the result is the usual :class:`~repro.core.base.TemplateRun`.
 ``repro.compare`` runs several templates on one workload and returns the
 runs in request order — the quickstart table in one call.
+``repro.serve`` brings up the long-lived serving runtime
+(:mod:`repro.service`) for streams of requests instead of single calls.
 
-Both functions accept a template *instance* in place of a name, for
+Both run functions accept a template *instance* in place of a name, for
 custom templates that never entered the registry.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
 
 from repro.core.base import TemplateRun
@@ -20,11 +23,11 @@ from repro.core.params import TemplateParams
 from repro.core.recursive import RecursiveTreeWorkload
 from repro.core.registry import resolve
 from repro.core.workload import NestedLoopWorkload
-from repro.errors import WorkloadError
+from repro.errors import ConfigError, WorkloadError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
-from repro.gpusim.executor import GpuExecutor
+from repro.gpusim.executor import ENGINES, GpuExecutor
 
-__all__ = ["run", "compare"]
+__all__ = ["run", "compare", "serve"]
 
 
 def _kind_of(workload) -> str:
@@ -38,13 +41,41 @@ def _kind_of(workload) -> str:
     )
 
 
+def _resolve_engine(engine: str | None, exact: bool | None) -> str | None:
+    """Merge the ``engine`` kwarg with the deprecated ``exact`` alias.
+
+    Returns the engine to force, or None to defer to the process-wide
+    default (:func:`repro.gpusim.executor.set_default_engine`).
+    """
+    if exact is not None:
+        warnings.warn(
+            'the exact= kwarg is deprecated; use engine="exact" or '
+            'engine="fast"',
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        alias = "exact" if exact else "fast"
+        if engine is not None and engine != alias:
+            raise ConfigError(
+                f"conflicting engine selection: engine={engine!r} but "
+                f"exact={exact!r}"
+            )
+        engine = alias
+    if engine is not None and engine not in ENGINES:
+        raise ConfigError(
+            f"unknown engine {engine!r}; known: {', '.join(ENGINES)}"
+        )
+    return engine
+
+
 def run(
     template,
     workload,
     *,
     device: DeviceConfig = KEPLER_K20,
     params: TemplateParams | None = None,
-    exact: bool = False,
+    engine: str | None = None,
+    exact: bool | None = None,
 ) -> TemplateRun:
     """Run one template on one workload and return the full result.
 
@@ -62,14 +93,19 @@ def run(
         simulated device (default: the paper's Kepler K20).
     params:
         :class:`TemplateParams`; defaults are the paper's choices.
+    engine:
+        ``"fast"`` (cohort-batched executor, the default) or ``"exact"``
+        (the reference event-per-block engine; same results to within
+        1e-6 — see ``docs/performance.md``).  None defers to the
+        process-wide default engine.
     exact:
-        force the reference event-per-block executor engine instead of
-        the default cohort-batched fast engine (same results to within
-        1e-6; see ``docs/performance.md``).
+        deprecated boolean alias for ``engine`` (``True`` -> "exact",
+        ``False`` -> "fast"); emits a :class:`DeprecationWarning`.
     """
     kind = _kind_of(workload)
     tmpl = resolve(template, kind=kind) if isinstance(template, str) else template
-    executor = GpuExecutor(device, engine="exact") if exact else None
+    engine = _resolve_engine(engine, exact)
+    executor = GpuExecutor(device, engine=engine) if engine is not None else None
     return tmpl.run(workload, device, params or TemplateParams(), executor=executor)
 
 
@@ -79,10 +115,29 @@ def compare(
     *,
     device: DeviceConfig = KEPLER_K20,
     params: TemplateParams | None = None,
-    exact: bool = False,
+    engine: str | None = None,
+    exact: bool | None = None,
 ) -> list[TemplateRun]:
     """Run several templates on one workload; runs come back in request order."""
+    engine = _resolve_engine(engine, exact)
     return [
-        run(t, workload, device=device, params=params, exact=exact)
+        run(t, workload, device=device, params=params, engine=engine)
         for t in templates
     ]
+
+
+def serve(config=None, **config_kwargs):
+    """Start the serving runtime; returns a synchronous service handle.
+
+    The handle is a context manager accepting either a full
+    :class:`~repro.service.ServiceConfig` or its fields as keywords::
+
+        with repro.serve(max_batch=32, workers=4) as svc:
+            response = svc.request("dbuf-global", workload)
+            print(svc.stats()["latency_ms"])
+
+    See :mod:`repro.service` and ``docs/serving.md``.
+    """
+    from repro.service.handle import serve as _serve
+
+    return _serve(config, **config_kwargs)

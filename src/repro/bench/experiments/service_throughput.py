@@ -1,0 +1,75 @@
+"""Serving-layer throughput: micro-batched service vs per-request runs.
+
+Not a paper artifact — a harness experiment (like ``baselines``) measuring
+the request-level analogue of the paper's batching story: a
+fingerprint-heavy closed-loop load served by :mod:`repro.service` against
+the same mix pushed one ``repro.run`` at a time.  The standalone
+``benchmarks/bench_service_throughput.py`` records the full-size
+acceptance run; this registry entry keeps a scaled version one
+``python -m repro.bench service`` away.
+"""
+
+from __future__ import annotations
+
+from repro.bench.registry import ExperimentConfig, register
+from repro.bench.table import ResultTable
+
+
+@register(
+    "service",
+    title="Serving-layer throughput (micro-batched vs per-request)",
+    paper_ref="serving layer",
+    description="Closed-loop fingerprint-heavy load through repro.service "
+                "vs sequential repro.run; throughput and latency "
+                "percentiles.",
+)
+def run_service_throughput(config: ExperimentConfig) -> list[ResultTable]:
+    from repro.service.handle import serve
+    from repro.service.loadgen import (
+        build_request_mix,
+        mix_profile,
+        run_closed_loop,
+        run_unbatched,
+    )
+
+    n_requests = max(40, int(2400 * config.scale))
+    outer_size = max(500, int(120_000 * config.scale))
+    mix = build_request_mix(
+        n_requests, outer_size=outer_size, seed=config.seed,
+    )
+    unbatched = run_unbatched(mix, device=config.device)
+    with serve(
+        device=config.device, max_batch=32, batch_window_s=0.002,
+    ) as svc:
+        batched = run_closed_loop(svc, mix, clients=16)
+        stats = svc.stats()
+
+    table = ResultTable(
+        title="Serving throughput, closed-loop fingerprint-heavy mix",
+        columns=["mode", "requests", "wall_s", "throughput_rps",
+                 "p50_ms", "p95_ms", "p99_ms", "mean_batch"],
+    )
+    table.add_row(
+        "per-request", unbatched["requests"], unbatched["wall_s"],
+        unbatched["throughput_rps"], unbatched["latency_ms"]["p50"],
+        unbatched["latency_ms"]["p95"], unbatched["latency_ms"]["p99"], 1.0,
+    )
+    table.add_row(
+        "micro-batched", batched["requests"], batched["wall_s"],
+        batched["throughput_rps"], batched["latency_ms"]["p50"],
+        batched["latency_ms"]["p95"], batched["latency_ms"]["p99"],
+        batched["mean_batch"],
+    )
+    profile = mix_profile(mix)
+    table.add_note(
+        f"mix: {profile['distinct']} identities over "
+        f"{profile['requests']} requests, hottest "
+        f"{profile['hottest_share']:.0%}; plan-cache hit rate "
+        f"{stats['plan_cache']['hit_rate']:.0%}, "
+        f"{stats['batching']['coalesced_requests']} requests coalesced"
+    )
+    table.add_note(
+        "full-size acceptance record: benchmarks/bench_service_throughput.py "
+        "-> BENCH_service_throughput.json"
+    )
+    return [table]

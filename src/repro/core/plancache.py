@@ -28,7 +28,29 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 
-__all__ = ["CacheStats", "PlanCache", "default_cache", "set_plan_cache_enabled"]
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "default_cache",
+    "fingerprint_of",
+    "set_plan_cache_enabled",
+]
+
+
+def fingerprint_of(workload) -> str:
+    """Content fingerprint of any workload the templates accept.
+
+    Thin dispatch over the workload's own (memoized) ``fingerprint()`` —
+    the identity the plan cache and the serving layer's micro-batcher both
+    key on.  Raises :class:`ConfigError` for objects with no fingerprint.
+    """
+    fingerprint = getattr(workload, "fingerprint", None)
+    if fingerprint is None:
+        raise ConfigError(
+            f"{type(workload).__name__} has no fingerprint(); expected a "
+            "NestedLoopWorkload or RecursiveTreeWorkload"
+        )
+    return fingerprint()
 
 
 @dataclass
@@ -95,6 +117,20 @@ class PlanCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+
+    def keys(self) -> list[tuple]:
+        """Stored keys, least recently used first (eviction order)."""
+        return list(self._entries)
+
+    def snapshot(self) -> dict:
+        """Occupancy + counters as a plain dict (``service.stats()``,
+        ``--profile`` output, BENCH json records)."""
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "enabled": self.enabled,
+            **self.stats.snapshot(),
+        }
 
     def clear(self, reset_stats: bool = False) -> None:
         """Drop all entries (optionally also the counters)."""

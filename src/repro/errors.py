@@ -40,3 +40,8 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """A benchmark experiment is unknown or was given invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """The serving layer was misconfigured or misused (bad config values,
+    submit on a stopped service, worker timeout/crash)."""

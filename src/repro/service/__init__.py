@@ -1,0 +1,55 @@
+"""``repro.service`` — async, batching template-serving subsystem.
+
+The serving layer turns the one-shot ``repro.run`` facade into a
+long-lived runtime with the shape of an inference-serving stack:
+
+* :class:`TemplateService` — asyncio front end with admission control
+  (bounded in-flight requests, structured rejections), a micro-batcher
+  that coalesces requests sharing a plan-cache identity into one
+  execution, a small/large dual queue (inline fast path vs process
+  pool), per-request timeouts, bounded retry with backoff, and graceful
+  degradation of dynamic-parallelism templates to their non-nested
+  fallbacks.
+* :class:`ServiceHandle` / :func:`serve` — synchronous facade running
+  the event loop on a background thread (also exported as
+  ``repro.serve``).
+* :mod:`repro.service.loadgen` — closed-loop load generation behind
+  ``python -m repro.service`` and ``benchmarks/bench_service_throughput``.
+
+See ``docs/serving.md`` for architecture, failure modes and the metrics
+glossary.
+"""
+
+from repro.service.batcher import Batch, MicroBatcher
+from repro.service.handle import ServiceHandle, serve
+from repro.service.metrics import ServiceStats, percentile, percentiles
+from repro.service.request import Request, Response, workload_cost, workload_kind
+from repro.service.service import ServiceConfig, TemplateService
+from repro.service.workers import (
+    BatchSpec,
+    WorkerCrashError,
+    WorkerPool,
+    WorkerTimeoutError,
+    execute_batch,
+)
+
+__all__ = [
+    "Batch",
+    "BatchSpec",
+    "MicroBatcher",
+    "Request",
+    "Response",
+    "ServiceConfig",
+    "ServiceHandle",
+    "ServiceStats",
+    "TemplateService",
+    "WorkerCrashError",
+    "WorkerPool",
+    "WorkerTimeoutError",
+    "execute_batch",
+    "percentile",
+    "percentiles",
+    "serve",
+    "workload_cost",
+    "workload_kind",
+]

@@ -1,0 +1,89 @@
+"""Micro-batching: coalesce pending requests, route small vs large.
+
+The batcher is the request-level analogue of the paper's dual-queue
+template.  A collection window's worth of pending requests is grouped by
+:meth:`Request.batch_key` — workload fingerprint, template, engine,
+device, params — and each group becomes one :class:`Batch`: **one** plan
+build and **one** executor pass whose summary answers every member.
+Small batches (by :func:`~repro.service.request.workload_cost`) stay on
+the inline fast path — a worker thread of the event loop, no pickling;
+large ones go to the process pool, the request-level "load-balanced
+phase".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+from repro.service.request import Request
+from repro.service.workers import BatchSpec
+
+__all__ = ["Batch", "MicroBatcher"]
+
+
+@dataclass
+class Batch:
+    """One coalesced unit of execution plus the futures awaiting it."""
+
+    key: tuple
+    spec: BatchSpec
+    route: str  # "inline" | "pool"
+    requests: list[Request] = field(default_factory=list)
+    futures: list = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+class MicroBatcher:
+    """Groups ``(request, future)`` pairs into executable batches."""
+
+    def __init__(self, inline_cost_threshold: int = 1_000_000) -> None:
+        if inline_cost_threshold < 0:
+            raise ServiceError("inline_cost_threshold cannot be negative")
+        self.inline_cost_threshold = inline_cost_threshold
+
+    def route_of(self, request: Request) -> str:
+        """Small/large split: cheap work runs inline, heavy work pools.
+
+        Instance-templates always run inline — they may not pickle, and
+        the service cannot prove they do.
+        """
+        if not isinstance(request.template, str):
+            return "inline"
+        if request.cost > self.inline_cost_threshold:
+            return "pool"
+        return "inline"
+
+    def group(self, pending: list[tuple]) -> list[Batch]:
+        """Coalesce pending ``(request, future)`` pairs into batches.
+
+        Batches come back in first-arrival order of their first member,
+        so dispatch order tracks admission order.
+        """
+        batches: dict[tuple, Batch] = {}
+        for request, future in pending:
+            key = request.batch_key()
+            batch = batches.get(key)
+            if batch is None:
+                spec = BatchSpec(
+                    template=(
+                        request.template
+                        if isinstance(request.template, str)
+                        else request.template_obj
+                    ),
+                    workload=request.workload,
+                    kind=request.kind,
+                    device=request.device,
+                    params=request.params,
+                    engine=request.engine,
+                )
+                batch = Batch(
+                    key=key, spec=spec, route=self.route_of(request)
+                )
+                batches[key] = batch
+            batch.requests.append(request)
+            batch.futures.append(future)
+        return list(batches.values())

@@ -1,0 +1,175 @@
+"""Closed-loop load generation for the serving layer.
+
+Builds a *fingerprint-heavy* request mix — a few hot (workload, template)
+identities dominate, mirroring production template-serving traffic where
+many users query the same graphs — and drives it through either
+
+* :func:`run_unbatched` — the status-quo path: one ``repro.run`` per
+  request in a plain loop (plan cache on), or
+* :func:`run_closed_loop` — ``clients`` concurrent closed-loop callers
+  against a :class:`~repro.service.handle.ServiceHandle`, each issuing
+  its next request only after the previous response arrives.
+
+Both report throughput and latency percentiles in the same shape so the
+benchmark and the CLI demo can print them side by side.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import threading
+import time
+
+import numpy as np
+
+from repro.service.metrics import percentiles
+from repro.service.request import workload_cost
+
+__all__ = ["build_request_mix", "run_closed_loop", "run_unbatched"]
+
+#: templates cycled over the distinct workloads of a mix (fixed pairing:
+#: workload i always travels with template i mod len — so each distinct
+#: workload is one batch identity)
+DEFAULT_TEMPLATES = ("dbuf-global", "dual-queue", "dbuf-shared", "thread-mapped")
+
+
+def build_request_mix(
+    n_requests: int,
+    *,
+    distinct: int = 6,
+    hot_fraction: float = 0.75,
+    hot_count: int = 2,
+    outer_size: int = 6000,
+    templates=DEFAULT_TEMPLATES,
+    seed: int = 0,
+) -> list[tuple[str, object]]:
+    """A shuffled list of ``(template_name, workload)`` requests.
+
+    ``hot_count`` of the ``distinct`` workload identities receive
+    ``hot_fraction`` of all requests (the skew micro-batching exploits);
+    the rest are uniform over the cold identities.
+    """
+    from repro.core.workload import AccessStream, NestedLoopWorkload
+
+    if not 0 < hot_count <= distinct:
+        raise ValueError("hot_count must be in 1..distinct")
+    rng = np.random.default_rng(seed)
+    identities = []
+    for i in range(distinct):
+        trips = rng.zipf(1.7, size=outer_size).clip(max=4 * 64).astype(np.int64)
+        nnz = int(trips.sum())
+        workload = NestedLoopWorkload(
+            name=f"mix-{i}",
+            trip_counts=trips,
+            streams=[
+                AccessStream("x", rng.integers(0, nnz, size=nnz) * 4),
+                AccessStream("y", rng.integers(0, nnz, size=nnz) * 4,
+                             kind="store", staged_in_shared=True),
+            ],
+        )
+        identities.append((templates[i % len(templates)], workload))
+
+    weights = np.empty(distinct)
+    weights[:hot_count] = hot_fraction / hot_count
+    if distinct > hot_count:
+        weights[hot_count:] = (1 - hot_fraction) / (distinct - hot_count)
+    else:
+        weights[:] = 1.0 / distinct
+    weights /= weights.sum()
+    picks = rng.choice(distinct, size=n_requests, p=weights)
+    return [identities[p] for p in picks]
+
+
+def _summarize(latencies_s, wall_s: float, responses=None) -> dict:
+    lat_ms = [v * 1e3 for v in latencies_s]
+    out = {
+        "requests": len(lat_ms),
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(len(lat_ms) / wall_s, 2) if wall_s else 0.0,
+        "latency_ms": {
+            k: round(v, 3) for k, v in percentiles(lat_ms).items()
+        },
+    }
+    if lat_ms:
+        out["latency_ms"]["mean"] = round(sum(lat_ms) / len(lat_ms), 3)
+    if responses is not None:
+        ok = sum(1 for r in responses if r.ok)
+        sizes = [r.batch_size for r in responses if r.ok]
+        out["ok"] = ok
+        out["failed"] = len(responses) - ok
+        out["mean_batch"] = (
+            round(sum(sizes) / len(sizes), 2) if sizes else 0.0
+        )
+    return out
+
+
+def run_unbatched(mix, *, device=None, engine: str = "fast") -> dict:
+    """The baseline: sequential per-request ``repro.run`` (cache warm)."""
+    import repro
+    from repro.gpusim.config import KEPLER_K20
+
+    device = device or KEPLER_K20
+    latencies = []
+    start = time.perf_counter()
+    for template, workload in mix:
+        t0 = time.perf_counter()
+        repro.run(template, workload, device=device, engine=engine)
+        latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - start
+    return _summarize(latencies, wall)
+
+
+def run_closed_loop(handle, mix, *, clients: int = 16) -> dict:
+    """Drive the mix through a service with ``clients`` closed-loop callers.
+
+    Each client thread blocks on its current request before drawing the
+    next one, so at most ``clients`` requests are ever in flight — the
+    standard closed-loop load model.  Latency is the service-measured
+    admission-to-response time of each request.
+    """
+    work: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
+    for item in mix:
+        work.put(item)
+    responses = []
+    responses_lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            try:
+                template, workload = work.get_nowait()
+            except queue_mod.Empty:
+                return
+            response = handle.request(template, workload)
+            with responses_lock:
+                responses.append(response)
+
+    threads = [
+        threading.Thread(target=client, name=f"loadgen-{i}")
+        for i in range(max(1, clients))
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    return _summarize([r.latency_s for r in responses], wall, responses)
+
+
+def mix_profile(mix) -> dict:
+    """Shape of a request mix (for bench records): identity skew + size."""
+    counts: dict[str, int] = {}
+    for template, workload in mix:
+        key = f"{template}:{workload.name}"
+        counts[key] = counts.get(key, 0) + 1
+    return {
+        "requests": len(mix),
+        "distinct": len(counts),
+        "hottest_share": (
+            round(max(counts.values()) / len(mix), 3) if mix else 0.0
+        ),
+        "mean_cost": (
+            round(sum(workload_cost(w) for _, w in mix) / len(mix), 1)
+            if mix else 0.0
+        ),
+    }

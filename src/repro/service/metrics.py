@@ -1,0 +1,172 @@
+"""Serving metrics: counters, latency percentiles, batching stats.
+
+One :class:`ServiceStats` instance per service.  The event loop records
+into it; ``snapshot()`` may be called from any thread (the sync handle
+reads it from the caller's thread), so mutation goes through a lock.
+Latencies and batch sizes are kept in bounded windows — the service is
+long-lived and must not grow memory with traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["percentile", "percentiles", "ServiceStats"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    ``values`` must be sorted ascending; returns 0.0 for an empty list.
+    """
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return float(values[0])
+    pos = (q / 100.0) * (len(values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(values) - 1)
+    frac = pos - lo
+    return float(values[lo] * (1 - frac) + values[hi] * frac)
+
+
+def percentiles(values, qs=(50, 95, 99)) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` for an unsorted iterable."""
+    ordered = sorted(float(v) for v in values)
+    return {f"p{q:g}": percentile(ordered, q) for q in qs}
+
+
+class ServiceStats:
+    """Counters and windows behind ``TemplateService.stats()``."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self.window = window
+        # request lifecycle
+        self.submitted = 0
+        self.served = 0
+        self.succeeded = 0
+        self.rejected = 0
+        self.failed = 0
+        self.degraded = 0
+        self.retries = 0
+        self.timeouts = 0
+        # batching
+        self.batches = 0
+        self.inline_batches = 0
+        self.pool_batches = 0
+        self.coalesced_requests = 0  # requests beyond the first in a batch
+        self._batch_sizes: deque[int] = deque(maxlen=window)
+        # queue
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        # plan cache (aggregated from batch summaries; pool workers have
+        # their own process-local caches, so this is the service-wide view)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # latency window (seconds)
+        self._latencies: deque[float] = deque(maxlen=window)
+
+    # ------------------------------------------------------------ recording
+    def record_admitted(self, depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.queue_depth = depth
+            self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.rejected += 1
+
+    def record_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth = depth
+
+    def record_batch(self, size: int, route: str) -> None:
+        with self._lock:
+            self.batches += 1
+            if route == "pool":
+                self.pool_batches += 1
+            else:
+                self.inline_batches += 1
+            self.coalesced_requests += size - 1
+            self._batch_sizes.append(size)
+
+    def record_retry(self, timed_out: bool) -> None:
+        with self._lock:
+            self.retries += 1
+            if timed_out:
+                self.timeouts += 1
+
+    def record_degraded(self) -> None:
+        with self._lock:
+            self.degraded += 1
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        with self._lock:
+            self.cache_hits += hits
+            self.cache_misses += misses
+
+    def record_response(self, status: str, latency_s: float) -> None:
+        with self._lock:
+            self.served += 1
+            if status == "ok":
+                self.succeeded += 1
+            elif status == "rejected":
+                self.rejected += 1
+            else:
+                self.failed += 1
+            self._latencies.append(latency_s)
+
+    # ------------------------------------------------------------- reading
+    def snapshot(self) -> dict:
+        """Point-in-time view of every counter plus derived aggregates."""
+        with self._lock:
+            lat = sorted(self._latencies)
+            sizes = list(self._batch_sizes)
+            probes = self.cache_hits + self.cache_misses
+            return {
+                "requests": {
+                    "submitted": self.submitted,
+                    "served": self.served,
+                    "succeeded": self.succeeded,
+                    "rejected": self.rejected,
+                    "failed": self.failed,
+                    "degraded": self.degraded,
+                    "retries": self.retries,
+                    "timeouts": self.timeouts,
+                },
+                "batching": {
+                    "batches": self.batches,
+                    "inline_batches": self.inline_batches,
+                    "pool_batches": self.pool_batches,
+                    "coalesced_requests": self.coalesced_requests,
+                    "mean_batch": (
+                        round(sum(sizes) / len(sizes), 3) if sizes else 0.0
+                    ),
+                    "max_batch": max(sizes) if sizes else 0,
+                },
+                "queue": {
+                    "depth": self.queue_depth,
+                    "max_depth": self.max_queue_depth,
+                },
+                "plan_cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "hit_rate": (
+                        round(self.cache_hits / probes, 4) if probes else 0.0
+                    ),
+                },
+                "latency_ms": {
+                    "count": len(lat),
+                    "mean": (
+                        round(sum(lat) / len(lat) * 1e3, 3) if lat else 0.0
+                    ),
+                    "p50": round(percentile(lat, 50) * 1e3, 3),
+                    "p95": round(percentile(lat, 95) * 1e3, 3),
+                    "p99": round(percentile(lat, 99) * 1e3, 3),
+                    "max": round(lat[-1] * 1e3, 3) if lat else 0.0,
+                },
+            }

@@ -1,0 +1,352 @@
+"""The asyncio serving runtime: admission, batching, execution policy.
+
+:class:`TemplateService` turns the one-shot ``repro.run`` facade into a
+long-lived server.  The life of a request:
+
+1. **Admission** — ``submit()`` resolves the template eagerly and applies
+   backpressure: beyond ``max_pending`` in-flight requests, the answer is
+   an immediate structured *rejection* response (never an indefinite
+   block) so callers can shed or retry upstream.
+2. **Collection** — the batch loop drains the queue for up to
+   ``batch_window_s`` (or ``max_batch`` requests) and hands the window to
+   the :class:`~repro.service.batcher.MicroBatcher`, which coalesces
+   requests sharing a batch key into one execution.
+3. **Execution** — each batch runs once, inline (small work) or on the
+   :class:`~repro.service.workers.WorkerPool` (large work), under a
+   per-request timeout with bounded exponential-backoff retries.
+4. **Degradation** — when every attempt failed and the template uses
+   dynamic parallelism, the batch re-runs inline on the family's
+   non-nested fallback (``thread-mapped`` / ``flat``) and the responses
+   carry ``degraded=True``; otherwise the responses are ``failed`` with
+   the last error as the reason.
+
+Everything observable lands in ``stats()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field, replace
+
+from repro.core.params import TemplateParams
+from repro.errors import ServiceError
+from repro.gpusim.config import DeviceConfig, KEPLER_K20
+from repro.gpusim.executor import ENGINES
+from repro.service.batcher import Batch, MicroBatcher
+from repro.service.metrics import ServiceStats
+from repro.service.request import DEGRADE_FALLBACK, Request, Response
+from repro.service.workers import (
+    BatchSpec,
+    WorkerPool,
+    WorkerTimeoutError,
+    execute_batch,
+)
+
+__all__ = ["ServiceConfig", "TemplateService"]
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one :class:`TemplateService`."""
+
+    #: admission bound: in-flight requests beyond this are rejected
+    max_pending: int = 256
+    #: most requests one collection window may gather
+    max_batch: int = 16
+    #: how long the batch loop waits for co-travellers (seconds)
+    batch_window_s: float = 0.002
+    #: workload cost (pairs/nodes) above which a batch goes to the pool
+    inline_cost_threshold: int = 1_000_000
+    #: worker processes backing the large-request path
+    workers: int = 2
+    #: per-attempt execution timeout (None = unbounded)
+    request_timeout_s: float | None = 30.0
+    #: retries after the first failed attempt
+    max_retries: int = 2
+    #: base backoff between attempts (doubles per retry)
+    retry_backoff_s: float = 0.05
+    #: fall back to thread-mapped/flat when a dynamic-parallelism
+    #: template keeps failing
+    degrade: bool = True
+    #: default executor engine for requests that don't specify one
+    engine: str = "fast"
+    #: default simulated device
+    device: DeviceConfig = field(default_factory=lambda: KEPLER_K20)
+    #: latency/batch-size window kept for percentile stats
+    stats_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ServiceError("max_pending must be >= 1")
+        if self.max_batch < 1:
+            raise ServiceError("max_batch must be >= 1")
+        if self.batch_window_s < 0:
+            raise ServiceError("batch_window_s cannot be negative")
+        if self.max_retries < 0:
+            raise ServiceError("max_retries cannot be negative")
+        if self.retry_backoff_s < 0:
+            raise ServiceError("retry_backoff_s cannot be negative")
+        if self.engine not in ENGINES:
+            raise ServiceError(
+                f"unknown engine {self.engine!r}; known: {', '.join(ENGINES)}"
+            )
+
+
+class TemplateService:
+    """Async template-serving runtime (see module docstring).
+
+    ``worker_pool`` and ``run_fn`` are injectable for fault testing: the
+    pool handles the "pool" route, ``run_fn`` the inline route (default
+    :func:`~repro.service.workers.execute_batch`).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        worker_pool: WorkerPool | None = None,
+        run_fn=None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats(window=self.config.stats_window)
+        self.pool = worker_pool or WorkerPool(max_workers=self.config.workers)
+        self.batcher = MicroBatcher(self.config.inline_cost_threshold)
+        self._run_fn = run_fn or execute_batch
+        self._queue: asyncio.Queue | None = None
+        self._loop_task: asyncio.Task | None = None
+        self._dispatch_tasks: set[asyncio.Task] = set()
+        self._pending = 0
+        self._next_id = 0
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet answered."""
+        return self._pending
+
+    # ---------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bring the batch loop up (idempotent)."""
+        if self._running:
+            return
+        self._queue = asyncio.Queue()
+        self._running = True
+        self._loop_task = asyncio.create_task(
+            self._batch_loop(), name="repro-service-batch-loop"
+        )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop serving; with ``drain`` wait for in-flight work first."""
+        if not self._running:
+            return
+        self._running = False
+        if drain:
+            while self._pending:
+                await asyncio.sleep(0.005)
+        self._loop_task.cancel()
+        try:
+            await self._loop_task
+        except asyncio.CancelledError:
+            pass
+        if self._dispatch_tasks:
+            await asyncio.gather(*self._dispatch_tasks, return_exceptions=True)
+        # anything still queued (stop(drain=False)) gets a structured answer
+        while self._queue is not None and not self._queue.empty():
+            request, future = self._queue.get_nowait()
+            self._finish(
+                request,
+                future,
+                Response(
+                    id=request.id,
+                    status="rejected",
+                    template=str(getattr(request.template_obj, "name", "")),
+                    workload=getattr(request.workload, "name", ""),
+                    reason="service stopped before execution",
+                ),
+            )
+        self.pool.shutdown()
+
+    # ---------------------------------------------------------- admission
+    async def submit(
+        self,
+        template,
+        workload,
+        *,
+        device: DeviceConfig | None = None,
+        params: TemplateParams | None = None,
+        engine: str | None = None,
+    ) -> Response:
+        """Admit one query and await its response."""
+        request = Request(
+            template=template,
+            workload=workload,
+            device=device or self.config.device,
+            params=params or TemplateParams(),
+            engine=engine or self.config.engine,
+        )
+        return await self.submit_request(request)
+
+    async def submit_request(self, request: Request) -> Response:
+        """Admit an already-built :class:`Request` and await its response.
+
+        Admission control is immediate: over ``max_pending`` in-flight
+        requests, the return value is a ``rejected`` response carrying the
+        queue state in ``reason`` — the caller is never blocked on a full
+        queue.
+        """
+        if not self._running:
+            raise ServiceError("service is not running (call start())")
+        if self._pending >= self.config.max_pending:
+            self.stats.record_rejected()
+            return Response(
+                id=-1,
+                status="rejected",
+                template=str(getattr(request.template_obj, "name", "")),
+                workload=getattr(request.workload, "name", ""),
+                reason=(
+                    f"queue full: {self._pending} in-flight requests >= "
+                    f"max_pending={self.config.max_pending}"
+                ),
+            )
+        loop = asyncio.get_running_loop()
+        request.id = self._next_id
+        self._next_id += 1
+        request.created_s = loop.time()
+        self._pending += 1
+        self.stats.record_admitted(self._pending)
+        future = loop.create_future()
+        await self._queue.put((request, future))
+        return await future
+
+    # ------------------------------------------------------ batching loop
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            pending = [await self._queue.get()]
+            deadline = loop.time() + self.config.batch_window_s
+            while len(pending) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    pending.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            for batch in self.batcher.group(pending):
+                task = asyncio.create_task(self._dispatch(batch))
+                self._dispatch_tasks.add(task)
+                task.add_done_callback(self._dispatch_tasks.discard)
+
+    # -------------------------------------------------- execution policy
+    async def _execute(self, spec: BatchSpec, route: str) -> dict:
+        timeout = self.config.request_timeout_s
+        if route == "pool":
+            return await self.pool.run(spec, timeout)
+        return await asyncio.wait_for(
+            asyncio.to_thread(self._run_fn, spec), timeout
+        )
+
+    async def _dispatch(self, batch: Batch) -> None:
+        self.stats.record_batch(batch.size, batch.route)
+        summary = None
+        error: BaseException | None = None
+        degraded = False
+        attempts = 0
+        for attempt in range(1 + self.config.max_retries):
+            attempts += 1
+            try:
+                summary = await self._execute(batch.spec, batch.route)
+                break
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - policy boundary
+                error = exc
+                if attempt < self.config.max_retries:
+                    timed_out = isinstance(
+                        exc, (asyncio.TimeoutError, WorkerTimeoutError)
+                    )
+                    self.stats.record_retry(timed_out)
+                    await asyncio.sleep(
+                        self.config.retry_backoff_s * (2 ** attempt)
+                    )
+        template_obj = batch.requests[0].template_obj
+        if (
+            summary is None
+            and self.config.degrade
+            and getattr(template_obj, "uses_dynamic_parallelism", False)
+        ):
+            fallback = DEGRADE_FALLBACK[batch.requests[0].kind]
+            try:
+                # the fallback runs inline: the pool just proved unreliable
+                summary = await self._execute(
+                    replace(batch.spec, template=fallback), "inline"
+                )
+                degraded = True
+                self.stats.record_degraded()
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - policy boundary
+                error = exc
+        if summary is not None:
+            self.stats.record_cache(
+                summary.get("cache_hits", 0), summary.get("cache_misses", 0)
+            )
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for request, future in zip(batch.requests, batch.futures):
+            if summary is not None:
+                response = Response(
+                    id=request.id,
+                    status="ok",
+                    template=summary["template"],
+                    workload=summary["workload"],
+                    degraded=degraded,
+                    time_ms=summary["time_ms"],
+                    metrics=summary["metrics"],
+                    latency_s=now - request.created_s,
+                    batch_size=batch.size,
+                    attempts=attempts + (1 if degraded else 0),
+                    route=batch.route if not degraded else "inline",
+                    cache_hit=summary.get("cache_hits", 0) > 0,
+                )
+            else:
+                response = Response(
+                    id=request.id,
+                    status="failed",
+                    template=str(getattr(template_obj, "name", "")),
+                    workload=getattr(request.workload, "name", ""),
+                    reason=f"{type(error).__name__}: {error}",
+                    latency_s=now - request.created_s,
+                    batch_size=batch.size,
+                    attempts=attempts,
+                    route=batch.route,
+                )
+            self._finish(request, future, response)
+
+    def _finish(self, request: Request, future, response: Response) -> None:
+        self._pending -= 1
+        self.stats.record_depth(self._pending)
+        self.stats.record_response(response.status, response.latency_s)
+        if not future.done():
+            future.set_result(response)
+
+    # ----------------------------------------------------------- metrics
+    def snapshot(self) -> dict:
+        """Service + pool counters in one dict (``stats()`` on handles)."""
+        snap = self.stats.snapshot()
+        snap["pool"] = self.pool.snapshot()
+        snap["config"] = {
+            "max_pending": self.config.max_pending,
+            "max_batch": self.config.max_batch,
+            "batch_window_s": self.config.batch_window_s,
+            "inline_cost_threshold": self.config.inline_cost_threshold,
+            "workers": self.config.workers,
+            "engine": self.config.engine,
+        }
+        return snap

@@ -1,0 +1,188 @@
+"""Batch execution: the worker function and the process-pool wrapper.
+
+:func:`execute_batch` is the one function that actually runs a template —
+module-level and driven by a picklable :class:`BatchSpec`, so the same
+code serves the inline fast path (a worker thread of the event loop) and
+the :class:`WorkerPool` (a ``ProcessPoolExecutor``).  Pool workers keep
+their own process-local plan caches, which warm up across batches exactly
+like the bench runner's workers do.
+
+The pool wrapper owns the messy parts of using processes as a serving
+substrate: per-call timeouts, detecting a broken pool (a worker died
+mid-call) and transparently respawning it, and recycling the pool after a
+timeout so a hung worker cannot pin a slot forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.params import TemplateParams
+from repro.core.plancache import default_cache
+from repro.core.registry import resolve
+from repro.errors import ServiceError
+from repro.gpusim.config import DeviceConfig, KEPLER_K20
+from repro.gpusim.executor import GpuExecutor
+
+__all__ = [
+    "BatchSpec",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "WorkerPool",
+    "execute_batch",
+]
+
+
+class WorkerTimeoutError(ServiceError):
+    """A batch execution exceeded the per-request timeout."""
+
+
+class WorkerCrashError(ServiceError):
+    """A pool worker died (or the pool broke) while executing a batch."""
+
+
+@dataclass
+class BatchSpec:
+    """Everything one batch execution needs — picklable when the template
+    is given by name (instance-templates are routed inline)."""
+
+    template: object  # canonical name or template instance
+    workload: object
+    kind: str
+    device: DeviceConfig = KEPLER_K20
+    params: TemplateParams = field(default_factory=TemplateParams)
+    engine: str = "fast"
+
+
+def execute_batch(spec: BatchSpec) -> dict:
+    """Run one batch's template once; return a picklable result summary.
+
+    The summary — not the full :class:`TemplateRun` — crosses the process
+    boundary: launch graphs of large workloads are megabytes, and every
+    request in the batch only needs the timing/metrics payload.
+
+    ``cache_hits``/``cache_misses`` are the plan-cache probe deltas of this
+    call in the executing process; under concurrent inline batches the
+    attribution is approximate (the counters are process-global).
+    """
+    tmpl = (
+        resolve(spec.template, kind=spec.kind)
+        if isinstance(spec.template, str)
+        else spec.template
+    )
+    stats = default_cache().stats
+    hits0, misses0 = stats.hits, stats.misses
+    executor = GpuExecutor(spec.device, engine=spec.engine)
+    start = time.perf_counter()
+    run = tmpl.run(spec.workload, spec.device, spec.params, executor=executor)
+    wall = time.perf_counter() - start
+    return {
+        "template": run.template,
+        "workload": run.workload,
+        "time_ms": run.time_ms,
+        "metrics": run.metrics.as_dict(),
+        "wall_s": wall,
+        "cache_hits": stats.hits - hits0,
+        "cache_misses": stats.misses - misses0,
+    }
+
+
+class WorkerPool:
+    """A ``ProcessPoolExecutor`` hardened for serving.
+
+    Parameters
+    ----------
+    max_workers:
+        pool size (processes under the default factory).
+    executor_factory:
+        ``f(max_workers) -> Executor``; tests substitute a thread-backed
+        executor so fault injection needs no real child processes.
+    run_fn:
+        the batch function submitted to the executor (default
+        :func:`execute_batch`); fault tests substitute crashing/hanging
+        stand-ins.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 2,
+        executor_factory=None,
+        run_fn=None,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._factory = executor_factory or (
+            lambda n: ProcessPoolExecutor(max_workers=n)
+        )
+        self.run_fn = run_fn or execute_batch
+        self._pool = None
+        self.submitted = 0
+        self.completed = 0
+        self.crashes = 0
+        self.timeouts = 0
+        self.recycles = 0
+
+    def _ensure(self):
+        if self._pool is None:
+            self._pool = self._factory(self.max_workers)
+        return self._pool
+
+    def recycle(self) -> None:
+        """Replace the executor; old workers finish (or die) detached.
+
+        Called after a timeout: a hung task cannot be cancelled, but a
+        fresh pool restores the advertised parallelism immediately.
+        """
+        pool, self._pool = self._pool, None
+        self.recycles += 1
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    async def run(self, spec: BatchSpec, timeout_s: float | None) -> dict:
+        """Execute ``spec`` on the pool with a timeout; raises
+        :class:`WorkerTimeoutError` / :class:`WorkerCrashError`."""
+        self.submitted += 1
+        try:
+            future = self._ensure().submit(self.run_fn, spec)
+        except BrokenExecutor as exc:
+            self.crashes += 1
+            self.recycle()
+            raise WorkerCrashError(f"worker pool broken at submit: {exc}") from exc
+        try:
+            result = await asyncio.wait_for(
+                asyncio.wrap_future(future), timeout_s
+            )
+        except asyncio.TimeoutError:
+            future.cancel()
+            self.timeouts += 1
+            self.recycle()
+            raise WorkerTimeoutError(
+                f"batch exceeded {timeout_s:g}s on the worker pool"
+            ) from None
+        except BrokenExecutor as exc:
+            self.crashes += 1
+            self.recycle()
+            raise WorkerCrashError(f"worker process died: {exc}") from exc
+        self.completed += 1
+        return result
+
+    def shutdown(self) -> None:
+        """Tear the pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def snapshot(self) -> dict:
+        """Pool counters for ``service.stats()``."""
+        return {
+            "max_workers": self.max_workers,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "recycles": self.recycles,
+        }

@@ -97,11 +97,6 @@ class TestRunFacade:
         assert k20.params.lb_threshold == 64
         assert fermi.time_ms != k20.time_ms
 
-    def test_exact_engine_agrees(self, loop_workload):
-        fast = repro.run("dbuf-global", loop_workload)
-        exact = repro.run("dbuf-global", loop_workload, exact=True)
-        assert fast.time_ms == pytest.approx(exact.time_ms, rel=1e-6)
-
     def test_template_instance_accepted(self, loop_workload):
         instance = resolve("block-mapped")
         run = repro.run(instance, loop_workload, device=KEPLER_K20)
@@ -116,6 +111,54 @@ class TestRunFacade:
     def test_bad_workload_type(self):
         with pytest.raises(WorkloadError, match="NestedLoopWorkload"):
             repro.run("thread-mapped", object())
+
+
+class TestEngineSelection:
+    def test_engine_kwarg_fast_and_exact_agree(self, loop_workload):
+        fast = repro.run("dbuf-global", loop_workload, engine="fast")
+        exact = repro.run("dbuf-global", loop_workload, engine="exact")
+        assert fast.time_ms == pytest.approx(exact.time_ms, rel=1e-6)
+
+    def test_engine_kwarg_no_warning(self, loop_workload):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.run("dbuf-global", loop_workload, engine="exact")
+
+    def test_exact_kwarg_deprecated_alias(self, loop_workload):
+        with pytest.warns(DeprecationWarning, match="exact= kwarg"):
+            old = repro.run("dbuf-global", loop_workload, exact=True)
+        new = repro.run("dbuf-global", loop_workload, engine="exact")
+        assert old.time_ms == new.time_ms
+
+    def test_exact_false_means_fast(self, loop_workload):
+        with pytest.warns(DeprecationWarning):
+            run = repro.run("dbuf-global", loop_workload, exact=False)
+        assert run.time_ms == repro.run(
+            "dbuf-global", loop_workload, engine="fast").time_ms
+
+    def test_compare_accepts_engine(self, loop_workload):
+        runs = repro.compare(["thread-mapped", "dual-queue"], loop_workload,
+                             engine="exact")
+        assert [r.template for r in runs] == ["baseline", "dual-queue"]
+        with pytest.warns(DeprecationWarning):
+            legacy = repro.compare(["dual-queue"], loop_workload, exact=True)
+        assert legacy[0].time_ms == runs[1].time_ms
+
+    def test_conflicting_engine_and_exact_rejected(self, loop_workload):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(repro.ConfigError, match="conflict"):
+                repro.run("dbuf-global", loop_workload,
+                          engine="fast", exact=True)
+
+    def test_unknown_engine_rejected(self, loop_workload):
+        with pytest.raises(repro.ConfigError, match="unknown engine"):
+            repro.run("dbuf-global", loop_workload, engine="warp")
+
+    def test_matching_engine_and_exact_allowed(self, loop_workload):
+        with pytest.warns(DeprecationWarning):
+            run = repro.run("dbuf-global", loop_workload,
+                            engine="exact", exact=True)
+        assert run.time_ms > 0
 
 
 class TestCompareFacade:

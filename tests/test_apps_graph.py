@@ -8,7 +8,6 @@ from repro.apps import BCApp, BFSApp, PageRankApp, SpMVApp, SSSPApp
 from repro.core import TemplateParams
 from repro.cpu.reference import bc_serial, bfs_serial, pagerank_serial
 from repro.errors import GraphError
-from repro.gpusim import KEPLER_K20
 from repro.graphs import citeseer_like, uniform_random_graph, wiki_vote_like
 
 

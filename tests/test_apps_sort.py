@@ -7,13 +7,12 @@ from hypothesis import strategies as st
 
 from repro.apps.sort import (
     SORT_VARIANTS,
-    PartitionRecord,
     SortApp,
     merge_sort,
     quicksort,
 )
 from repro.errors import LaunchError, WorkloadError
-from repro.gpusim import FERMI_C2050, KEPLER_K20
+from repro.gpusim import FERMI_C2050
 
 
 class TestMergeSort:

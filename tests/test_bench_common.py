@@ -1,7 +1,5 @@
 """Tests for the experiment helper utilities."""
 
-import pytest
-
 from repro.bench.experiments.common import (
     FIG6_TEMPLATES,
     LB_SWEEP,

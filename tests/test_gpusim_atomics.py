@@ -1,7 +1,6 @@
 """Unit + property tests for the atomic serialization model."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,309 @@
+"""Tests for the serving layer: admission, batching, routing, metrics,
+and the synchronous handle (fault injection lives in
+``test_service_faults.py``)."""
+
+import asyncio
+import concurrent.futures
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.params import TemplateParams
+from repro.core.workload import AccessStream, NestedLoopWorkload
+from repro.errors import ServiceError, WorkloadError
+from repro.service import (
+    MicroBatcher,
+    Request,
+    ServiceConfig,
+    ServiceHandle,
+    TemplateService,
+    percentile,
+    percentiles,
+    workload_cost,
+    workload_kind,
+)
+from repro.trees.generator import generate_tree
+from repro.core.recursive import RecursiveTreeWorkload
+
+
+def make_workload(name="svc-wl", outer=1500, seed=0):
+    rng = np.random.default_rng(seed)
+    trips = rng.zipf(1.8, size=outer).clip(max=200).astype(np.int64)
+    nnz = int(trips.sum())
+    return NestedLoopWorkload(
+        name=name, trip_counts=trips,
+        streams=[AccessStream("x", rng.integers(0, nnz, size=nnz) * 4)],
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload()
+
+
+@pytest.fixture(scope="module")
+def tree_workload():
+    return RecursiveTreeWorkload(generate_tree(depth=5, outdegree=3, seed=1),
+                                 "descendants")
+
+
+def run_service(scenario, config=None, **service_kwargs):
+    """Run an async scenario against a started service, then stop it."""
+    async def driver():
+        service = TemplateService(config, **service_kwargs)
+        await service.start()
+        try:
+            return await scenario(service)
+        finally:
+            await service.stop()
+    return asyncio.run(driver())
+
+
+class TestRequestModel:
+    def test_workload_kind_and_cost(self, workload, tree_workload):
+        assert workload_kind(workload) == "nested-loop"
+        assert workload_kind(tree_workload) == "tree"
+        assert workload_cost(workload) == workload.n_pairs
+        assert workload_cost(tree_workload) == tree_workload.tree.n_nodes
+        with pytest.raises(WorkloadError):
+            workload_kind(object())
+
+    def test_batch_key_is_content_addressed(self, workload):
+        twin = make_workload()  # same content, different object
+        r1 = Request(template="dbuf-global", workload=workload)
+        r2 = Request(template="dbuf-global", workload=twin)
+        assert r1.batch_key() == r2.batch_key()
+
+    def test_batch_key_distinguishes_inputs(self, workload):
+        base = Request(template="dbuf-global", workload=workload)
+        assert base.batch_key() != Request(
+            template="dual-queue", workload=workload).batch_key()
+        assert base.batch_key() != Request(
+            template="dbuf-global", workload=workload,
+            engine="exact").batch_key()
+        assert base.batch_key() != Request(
+            template="dbuf-global", workload=workload,
+            params=TemplateParams(lb_threshold=64)).batch_key()
+        assert base.batch_key() != Request(
+            template="dbuf-global", workload=make_workload(seed=7)
+        ).batch_key()
+
+    def test_invalid_template_and_engine_fail_eagerly(self, workload):
+        with pytest.raises(repro.PlanError):
+            Request(template="flat", workload=workload)
+        with pytest.raises(repro.ConfigError):
+            Request(template="dual-queue", workload=workload, engine="warp")
+
+
+class TestMicroBatcher:
+    def test_routing_by_cost(self, workload):
+        batcher = MicroBatcher(inline_cost_threshold=10)
+        request = Request(template="dbuf-global", workload=workload)
+        assert batcher.route_of(request) == "pool"
+        assert MicroBatcher(10**9).route_of(request) == "inline"
+
+    def test_instance_templates_stay_inline(self, workload):
+        from repro.core.registry import resolve
+        instance = resolve("dbuf-global")
+        request = Request(template=instance, workload=workload)
+        assert MicroBatcher(10).route_of(request) == "inline"
+
+    def test_grouping_coalesces_same_key(self, workload):
+        batcher = MicroBatcher()
+        reqs = [Request(template="dbuf-global", workload=workload)
+                for _ in range(3)]
+        reqs.append(Request(template="dual-queue", workload=workload))
+        batches = batcher.group([(r, None) for r in reqs])
+        assert sorted(b.size for b in batches) == [1, 3]
+
+
+class TestServiceBasics:
+    def test_single_request_matches_repro_run(self, workload):
+        expected = repro.run("dbuf-global", workload)
+
+        async def scenario(service):
+            return await service.submit("dbuf-global", workload)
+
+        response = run_service(scenario)
+        assert response.ok and not response.degraded
+        assert response.time_ms == pytest.approx(expected.time_ms, rel=1e-9)
+        assert response.template == "dbuf-global"
+        assert response.workload == workload.name
+        assert response.metrics["kernel_calls"] >= 1
+        assert response.latency_s > 0
+        assert response.attempts == 1
+
+    def test_concurrent_identical_requests_are_batched(self, workload):
+        async def scenario(service):
+            responses = await asyncio.gather(*[
+                service.submit("dbuf-global", workload) for _ in range(12)
+            ])
+            return responses, service.snapshot()
+
+        responses, stats = run_service(
+            scenario, ServiceConfig(max_batch=16, batch_window_s=0.05))
+        assert all(r.ok for r in responses)
+        assert len({r.time_ms for r in responses}) == 1
+        assert max(r.batch_size for r in responses) > 1
+        assert stats["batching"]["batches"] < 12
+        assert stats["batching"]["coalesced_requests"] > 0
+
+    def test_mixed_workloads_answered_correctly(self, workload):
+        other = make_workload(name="svc-other", seed=5)
+        expected_a = repro.run("dbuf-global", workload)
+        expected_b = repro.run("dbuf-global", other)
+        assert expected_a.time_ms != expected_b.time_ms
+
+        async def scenario(service):
+            return await asyncio.gather(*[
+                service.submit("dbuf-global", wl)
+                for wl in [workload, other] * 4
+            ])
+
+        responses = run_service(scenario)
+        for i, response in enumerate(responses):
+            expected = expected_a if i % 2 == 0 else expected_b
+            assert response.time_ms == pytest.approx(
+                expected.time_ms, rel=1e-9)
+            assert response.workload == (workload.name if i % 2 == 0
+                                         else other.name)
+
+    def test_tree_workloads_served(self, tree_workload):
+        expected = repro.run("rec-hier", tree_workload)
+
+        async def scenario(service):
+            return await service.submit("rec-hier", tree_workload)
+
+        response = run_service(scenario)
+        assert response.ok
+        assert response.time_ms == pytest.approx(expected.time_ms, rel=1e-9)
+
+    def test_submit_on_stopped_service_raises(self, workload):
+        async def driver():
+            service = TemplateService()
+            with pytest.raises(ServiceError, match="not running"):
+                await service.submit("dbuf-global", workload)
+        asyncio.run(driver())
+
+    def test_stats_snapshot_shape(self, workload):
+        async def scenario(service):
+            await service.submit("dbuf-global", workload)
+            return service.snapshot()
+
+        stats = run_service(scenario)
+        for section in ("requests", "batching", "queue", "plan_cache",
+                        "latency_ms", "pool", "config"):
+            assert section in stats
+        assert stats["requests"]["served"] == 1
+        assert stats["requests"]["succeeded"] == 1
+        assert stats["latency_ms"]["p99"] >= stats["latency_ms"]["p50"] >= 0
+
+
+class TestAdmissionControl:
+    def test_queue_full_returns_structured_rejection(self, workload):
+        import time as time_mod
+
+        def slow_run(spec):
+            time_mod.sleep(0.2)
+            from repro.service.workers import execute_batch
+            return execute_batch(spec)
+
+        async def scenario(service):
+            first = asyncio.create_task(
+                service.submit("dbuf-global", workload))
+            await asyncio.sleep(0.05)  # first is admitted and executing
+            second = await asyncio.wait_for(
+                service.submit("dual-queue", workload), timeout=1.0)
+            return await first, second
+
+        first, second = run_service(
+            scenario,
+            ServiceConfig(max_pending=1, batch_window_s=0.0),
+            run_fn=slow_run,
+        )
+        assert first.ok
+        assert second.status == "rejected" and not second.ok
+        assert "queue full" in second.reason
+        assert "max_pending=1" in second.reason
+
+    def test_rejections_counted(self, workload):
+        import time as time_mod
+
+        def slow_run(spec):
+            time_mod.sleep(0.15)
+            from repro.service.workers import execute_batch
+            return execute_batch(spec)
+
+        async def scenario(service):
+            first = asyncio.create_task(
+                service.submit("dbuf-global", workload))
+            await asyncio.sleep(0.05)
+            rejected = await service.submit("dbuf-global", workload)
+            await first
+            return rejected, service.snapshot()
+
+        rejected, stats = run_service(
+            scenario, ServiceConfig(max_pending=1), run_fn=slow_run)
+        assert rejected.status == "rejected"
+        assert stats["requests"]["rejected"] == 1
+        assert stats["requests"]["succeeded"] == 1
+
+
+class TestServiceHandle:
+    def test_sync_facade_roundtrip(self, workload):
+        expected = repro.run("dbuf-global", workload)
+        with repro.serve(max_batch=8, batch_window_s=0.01) as svc:
+            assert isinstance(svc, ServiceHandle)
+            futures = [svc.submit("dbuf-global", workload) for _ in range(6)]
+            responses = [f.result(timeout=30) for f in futures]
+            one = svc.request("dual-queue", workload)
+            stats = svc.stats()
+        assert all(r.ok for r in responses)
+        assert responses[0].time_ms == pytest.approx(
+            expected.time_ms, rel=1e-9)
+        assert one.ok and one.template == "dual-queue"
+        assert stats["requests"]["succeeded"] == 7
+
+    def test_submit_returns_concurrent_future(self, workload):
+        with repro.serve() as svc:
+            future = svc.submit("thread-mapped", workload)
+            assert isinstance(future, concurrent.futures.Future)
+            assert future.result(timeout=30).ok
+
+    def test_closed_handle_rejects_use(self, workload):
+        svc = repro.serve()
+        svc.close()
+        svc.close()  # idempotent
+        with pytest.raises(ServiceError, match="closed"):
+            svc.submit("thread-mapped", workload)
+
+    def test_serve_rejects_config_plus_kwargs(self):
+        with pytest.raises(ServiceError, match="not both"):
+            repro.serve(ServiceConfig(), max_batch=4)
+
+    def test_bad_config_values_fail_fast(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(max_pending=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(max_batch=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(engine="warp")
+        with pytest.raises(ServiceError):
+            ServiceConfig(retry_backoff_s=-1)
+
+
+class TestPercentiles:
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_percentiles_dict(self):
+        out = percentiles(range(101))
+        assert out["p50"] == pytest.approx(50.0)
+        assert out["p95"] == pytest.approx(95.0)
+        assert out["p99"] == pytest.approx(99.0)

@@ -7,7 +7,6 @@ arbitrary graph shapes rather than fixed seeds.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

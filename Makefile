@@ -4,12 +4,12 @@ PYTHON ?= python
 # make targets work from a clean checkout, without `pip install -e .`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test lint bench bench-smoke bench-service experiments examples results clean
+.PHONY: install test lint bench bench-smoke bench-service trace-smoke experiments examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke
+test: lint bench-smoke trace-smoke
 	$(PYTHON) -m pytest tests/
 
 # ruff when installed, stdlib fallback (syntax, unused imports, debug
@@ -26,6 +26,11 @@ bench:
 bench-smoke:
 	$(PYTHON) benchmarks/bench_harness_speed.py --smoke \
 		--out .bench_smoke.json --gate BENCH_harness_speed.json
+
+# tracing layer end-to-end: emitted Chrome trace validates (schema +
+# required span names), stats invariants balance, disabled path is silent
+trace-smoke:
+	$(PYTHON) tools/trace_smoke.py
 
 # serving-layer throughput: micro-batched repro.serve vs per-request
 # repro.run; acceptance requires the batched path to win by >= 2x

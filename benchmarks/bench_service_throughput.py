@@ -60,6 +60,10 @@ def main(argv: list[str] | None = None) -> int:
                              "below this ratio (acceptance: 2.0)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny configuration for CI smoke")
+    parser.add_argument("--trace", type=Path, default=None, metavar="JSON",
+                        help="enable repro.obs tracing for the batched run "
+                             "and write a Chrome trace; the aggregated span "
+                             "summary is folded into the BENCH record")
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_service_throughput.json")
     args = parser.parse_args(argv)
@@ -85,6 +89,11 @@ def main(argv: list[str] | None = None) -> int:
           f"{unbatched['throughput_rps']:.0f} req/s "
           f"(measured in {time.perf_counter() - t0:.1f}s)")
 
+    if args.trace:
+        from repro import obs
+
+        obs.reset()
+        obs.set_enabled(True)
     print(f"micro-batched service ({args.clients} closed-loop clients, "
           f"max_batch={args.max_batch}, window={args.window_ms}ms) ...")
     with serve(
@@ -127,6 +136,13 @@ def main(argv: list[str] | None = None) -> int:
         "speedup": round(speedup, 3),
         "service_stats": stats,
     }
+    if args.trace:
+        from repro import obs
+
+        obs.write_chrome_trace(args.trace)
+        record["obs"] = obs.summary()
+        obs.set_enabled(False)
+        print(f"trace: wrote {args.trace}")
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {args.out}")
 

@@ -19,6 +19,8 @@ Subpackages
     experiment registry regenerating every paper table and figure.
 ``repro.service``
     async, batching template-serving runtime (``repro.serve``).
+``repro.obs``
+    tracing/observability layer: spans, counters, Chrome-trace export.
 """
 
 __version__ = "1.1.0"

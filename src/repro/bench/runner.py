@@ -37,13 +37,16 @@ _WHOLE = None
 
 
 def _run_unit(exp_id: str, variant, config: ExperimentConfig,
-              engine: str, plan_cache: bool):
+              engine: str, plan_cache: bool, trace: bool = False):
     """Execute one work unit; module-level so it pickles into pool workers.
 
-    Returns ``(payload, elapsed_s, (cache_hits, cache_misses))`` where the
-    payload is the experiment's table list (whole-experiment unit) or one
-    variant result.
+    Returns ``(payload, elapsed_s, (cache_hits, cache_misses), spans)``
+    where the payload is the experiment's table list (whole-experiment
+    unit) or one variant result, and ``spans`` is the unit's
+    :func:`repro.obs.export_events` delta when ``trace`` is set (None
+    otherwise).
     """
+    from repro import obs
     from repro.core.plancache import default_cache, set_plan_cache_enabled
     from repro.gpusim.executor import set_default_engine
 
@@ -52,36 +55,53 @@ def _run_unit(exp_id: str, variant, config: ExperimentConfig,
     exp = get_experiment(exp_id)
     stats = default_cache().stats
     hits0, misses0 = stats.hits, stats.misses
+    spans = None
+    if trace:
+        obs.set_enabled(True)  # idempotent; also arms fresh pool workers
+        watermark = obs.mark()
     start = time.perf_counter()
-    if variant is _WHOLE:
-        payload = exp.run(config)
-    else:
-        payload = exp.run_variant(config, variant)
+    with obs.span("bench.unit", experiment=exp_id,
+                  variant="whole" if variant is _WHOLE else str(variant)):
+        if variant is _WHOLE:
+            payload = exp.run(config)
+        else:
+            payload = exp.run_variant(config, variant)
     elapsed = time.perf_counter() - start
-    return payload, elapsed, (stats.hits - hits0, stats.misses - misses0)
+    if trace:
+        spans = obs.export_events(since=watermark)
+    return payload, elapsed, (stats.hits - hits0, stats.misses - misses0), spans
 
 
 def run_units(units, config: ExperimentConfig, jobs: int,
               engine: str = "fast", plan_cache: bool = True,
-              chunksize: int = 1):
+              chunksize: int = 1, trace: bool = False):
     """Run ``(exp_id, variant)`` units, preserving submission order.
 
     ``jobs <= 1`` runs inline in this process (no pool, no pickling);
     otherwise units go through a ``ProcessPoolExecutor``.  Either way the
     returned list matches ``units`` index-for-index, so callers can merge
-    deterministically.
+    deterministically.  With ``trace``, pooled units' span payloads are
+    folded into this process's tracer (worker events keep their pid, so
+    the Chrome trace shows one row per worker process).
     """
     if jobs <= 1 or len(units) <= 1:
         return [
-            _run_unit(exp_id, variant, config, engine, plan_cache)
+            _run_unit(exp_id, variant, config, engine, plan_cache, trace)
             for exp_id, variant in units
         ]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
-            pool.submit(_run_unit, exp_id, variant, config, engine, plan_cache)
+            pool.submit(_run_unit, exp_id, variant, config, engine,
+                        plan_cache, trace)
             for exp_id, variant in units
         ]
-        return [f.result() for f in futures]
+        results = [f.result() for f in futures]
+    if trace:
+        from repro import obs
+
+        for result in results:
+            obs.merge_events(result[3])
+    return results
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -94,6 +114,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiments", nargs="*",
         help="experiment ids (fig2..fig9, table1, table2, baselines) or 'all'",
     )
+    parser.add_argument("--experiment", action="append", default=[],
+                        metavar="ID", dest="experiment_flags",
+                        help="experiment id (repeatable; same as the "
+                             "positional form)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     parser.add_argument("--scale", type=float, default=0.05,
@@ -113,6 +137,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-plan-cache", action="store_true",
                         help="disable the launch-plan cache (cold builds "
                              "every run; for measurement)")
+    parser.add_argument("--trace", type=Path, default=None, metavar="JSON",
+                        help="enable the repro.obs tracing layer and write "
+                             "a Chrome-trace (chrome://tracing / Perfetto) "
+                             "of the run; see docs/observability.md")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to write CSV/JSON results into")
     parser.add_argument("--plot", action="store_true",
@@ -126,7 +154,8 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     registry = all_experiments()
-    if args.list or not args.experiments:
+    requested = args.experiments + args.experiment_flags
+    if args.list or not requested:
         print("available experiments:")
         for exp in registry.values():
             print(f"  {exp.id:10s} {exp.paper_ref:16s} {exp.title}")
@@ -135,12 +164,17 @@ def main(argv: list[str] | None = None) -> int:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
 
-    ids = list(registry) if args.experiments == ["all"] else args.experiments
+    ids = list(registry) if "all" in requested else requested
     config = ExperimentConfig(
         scale=args.scale, seed=args.seed, device=preset(args.device),
     )
     engine = "exact" if args.exact else "fast"
     plan_cache = not args.no_plan_cache
+    if args.trace:
+        from repro import obs
+
+        obs.reset()
+        obs.set_enabled(True)
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
 
@@ -157,7 +191,8 @@ def main(argv: list[str] | None = None) -> int:
             units.append((exp_id, _WHOLE))
         spans.append((exp_id, first, len(units) - first))
 
-    results = run_units(units, config, args.jobs, engine, plan_cache)
+    results = run_units(units, config, args.jobs, engine, plan_cache,
+                        trace=args.trace is not None)
 
     status = 0
     for exp_id, first, count in spans:
@@ -189,6 +224,21 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  [{exp.id} profile: {count} unit(s), "
                   f"plan cache {hits} hit(s) / {misses} miss(es), "
                   f"engine={engine}]")
+    if args.trace:
+        from repro import obs
+
+        trace = obs.write_chrome_trace(args.trace)
+        summary = obs.summary()
+        print(f"\ntrace: wrote {args.trace} "
+              f"({len(trace['traceEvents'])} events, "
+              f"{summary['dropped']} dropped)")
+        if args.profile:
+            print("span summary (wall-clock, aggregated per name):")
+            for name, agg in summary["wall_ms"].items():
+                print(f"  {name:20s} x{agg['count']:<6d} "
+                      f"total {agg['total_ms']:10.1f} ms  "
+                      f"max {agg['max_ms']:8.2f} ms")
+        obs.set_enabled(False)
     return status
 
 

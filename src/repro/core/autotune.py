@@ -19,7 +19,7 @@ from repro.core.workload import NestedLoopWorkload
 from repro.errors import PlanError
 from repro.gpusim.config import DeviceConfig, supports_dynamic_parallelism
 
-__all__ = ["autotune", "sweep"]
+__all__ = ["autotune", "best_run", "sweep"]
 
 #: default lbTHRES candidates (the paper's sweep, warp size upward)
 DEFAULT_THRESHOLDS = (32, 64, 128, 256)
@@ -51,6 +51,25 @@ def sweep(
     return runs
 
 
+def best_run(runs: Iterable[TemplateRun]) -> TemplateRun:
+    """The fastest run, with deterministic tie-breaking.
+
+    Ties on ``time_ms`` (bit-equal simulated times do occur — e.g. two
+    thresholds both above every trip count produce identical plans) are
+    broken on ``(template name, lb_threshold)``, so repeated sweeps — and
+    sweeps fed the same candidates in a different order — pick the same
+    winner.
+    """
+    def key(run: TemplateRun):
+        lbt = run.params.lb_threshold if run.params is not None else 0
+        return (run.time_ms, run.template, lbt)
+
+    runs = list(runs)
+    if not runs:
+        raise PlanError("best_run() needs at least one run")
+    return min(runs, key=key)
+
+
 def autotune(
     workload: NestedLoopWorkload,
     config: DeviceConfig,
@@ -58,6 +77,7 @@ def autotune(
     thresholds: Iterable[int] = DEFAULT_THRESHOLDS,
     base_params: TemplateParams | None = None,
 ) -> TemplateRun:
-    """The fastest (template, threshold) combination for a workload."""
-    runs = sweep(workload, config, templates, thresholds, base_params)
-    return min(runs, key=lambda run: run.time_ms)
+    """The fastest (template, threshold) combination for a workload.
+
+    Tie-breaking is deterministic (see :func:`best_run`)."""
+    return best_run(sweep(workload, config, templates, thresholds, base_params))

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 
 import numpy as np
 
+from repro import obs
 from repro.core.params import TemplateParams
 from repro.core.plancache import default_cache
 from repro.core.workload import NestedLoopWorkload
@@ -120,10 +121,17 @@ class NestedLoopTemplate(ABC):
         cached = cache.get(key)
         if cached is not None:
             graph, schedule = cached
+            if obs.enabled():
+                obs.instant("plan.cache_hit", template=self.name,
+                            workload=workload.name)
+                obs.add_counter("plan_cache.hits")
         else:
-            graph, schedule = self.build(workload, config, params)
-            check_schedule(schedule, workload.outer_size)
+            with obs.span("plan.build", template=self.name,
+                          workload=workload.name):
+                graph, schedule = self.build(workload, config, params)
+                check_schedule(schedule, workload.outer_size)
             cache.put(key, (graph, schedule))
+            obs.add_counter("plan_cache.misses")
         executor = executor or GpuExecutor(config)
         result = executor.run(graph)
         metrics = profile(graph, result, config)

@@ -151,9 +151,12 @@ def default_cache() -> PlanCache:
 def set_plan_cache_enabled(enabled: bool) -> None:
     """Toggle the process-wide cache (``--no-plan-cache`` style switches).
 
-    Disabling also drops stored entries so a subsequent re-enable starts
-    cold — benchmark runs rely on that for a clean seed-path measurement.
+    Disabling drops stored entries **and** the hit/miss counters, so a
+    subsequent re-enable starts genuinely cold: benchmark runs rely on
+    the empty cache for a clean seed-path measurement, and ``--profile``
+    / BENCH output relies on the zeroed counters — a "cold" cache must
+    not report a nonzero hit rate inherited from before the toggle.
     """
     _default.enabled = enabled
     if not enabled:
-        _default.clear()
+        _default.clear(reset_stats=True)

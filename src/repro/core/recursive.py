@@ -26,6 +26,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro import obs
 from repro.core.base import TemplateRun, plan_key
 from repro.core.params import TemplateParams
 from repro.core.plancache import default_cache
@@ -124,8 +125,15 @@ class _TreeTemplateBase:
         key = plan_key(self, workload.fingerprint(), config, params)
         graph = cache.get(key)
         if graph is None:
-            graph = self.build(workload, config, params)
+            with obs.span("plan.build", template=self.name,
+                          workload=workload.name):
+                graph = self.build(workload, config, params)
             cache.put(key, graph)
+            obs.add_counter("plan_cache.misses")
+        elif obs.enabled():
+            obs.instant("plan.cache_hit", template=self.name,
+                        workload=workload.name)
+            obs.add_counter("plan_cache.hits")
         executor = executor or GpuExecutor(config)
         result = executor.run(graph)
         metrics = profile(graph, result, config)

@@ -34,6 +34,7 @@ import heapq
 import math
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import ConfigError, LaunchError
 from repro.gpusim.config import DeviceConfig, supports_dynamic_parallelism
 from repro.gpusim.kernels import Launch, LaunchGraph, ProfileCounters
@@ -263,9 +264,20 @@ class GpuExecutor:
             )
         engine = self.engine or _default_engine
         sim_cls = _FastSimulation if engine == "fast" else _Simulation
-        sim = sim_cls(self.config, graph, self.record_timeline,
+        tracing = obs.enabled()
+        # while tracing, collect launch records even when the caller did
+        # not ask for a timeline — they become per-kernel trace events
+        sim = sim_cls(self.config, graph, self.record_timeline or tracing,
                       self.max_launch_instances)
-        return sim.run()
+        if not tracing:
+            return sim.run()
+        with obs.span("gpusim.execute", engine=engine,
+                      launches=len(graph.launches)):
+            result = sim.run()
+        obs.emit_launch_records(result.records, self.config)
+        if not self.record_timeline:
+            result.records = []  # keep the no-timeline contract lean
+        return result
 
 
 class _Simulation:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.gpusim.config import DeviceConfig
 from repro.gpusim.executor import ExecutionResult
 from repro.gpusim.kernels import LaunchGraph, ProfileCounters
@@ -83,6 +84,15 @@ def profile(
     config: DeviceConfig,
 ) -> ProfileMetrics:
     """Extract paper-grade metrics from an executed launch graph."""
+    with obs.span("gpusim.profile", launches=len(graph.launches)):
+        return _profile(graph, result, config)
+
+
+def _profile(
+    graph: LaunchGraph,
+    result: ExecutionResult,
+    config: DeviceConfig,
+) -> ProfileMetrics:
     counters: ProfileCounters = result.counters
     return ProfileMetrics(
         warp_execution_efficiency=counters.warp.warp_execution_efficiency,

@@ -38,7 +38,22 @@ def percentiles(values, qs=(50, 95, 99)) -> dict[str, float]:
 
 
 class ServiceStats:
-    """Counters and windows behind ``TemplateService.stats()``."""
+    """Counters and windows behind ``TemplateService.stats()``.
+
+    Request accounting upholds two invariants (checked by
+    :meth:`invariant_violations` and the tier-1 invariant suite):
+
+    * ``submitted == served + admission_rejected`` — every submission is
+      either turned away at admission or eventually answered through the
+      response path, never both and never neither;
+    * ``served == succeeded + failed + drain_rejected`` — every response
+      has exactly one terminal status (a drain reject *is* a response:
+      the request was admitted, then answered with ``rejected`` when the
+      service stopped before executing it).
+
+    ``rejected`` in :meth:`snapshot` is the sum of both reject kinds,
+    which are also reported separately.
+    """
 
     def __init__(self, window: int = 4096) -> None:
         self._lock = threading.Lock()
@@ -47,7 +62,10 @@ class ServiceStats:
         self.submitted = 0
         self.served = 0
         self.succeeded = 0
-        self.rejected = 0
+        #: turned away at admission (never entered the queue)
+        self.admission_rejected = 0
+        #: admitted but answered "rejected" at stop(drain=False)
+        self.drain_rejected = 0
         self.failed = 0
         self.degraded = 0
         self.retries = 0
@@ -76,9 +94,10 @@ class ServiceStats:
             self.max_queue_depth = max(self.max_queue_depth, depth)
 
     def record_rejected(self) -> None:
+        """An admission rejection: submitted but never admitted/served."""
         with self._lock:
             self.submitted += 1
-            self.rejected += 1
+            self.admission_rejected += 1
 
     def record_depth(self, depth: int) -> None:
         with self._lock:
@@ -110,15 +129,39 @@ class ServiceStats:
             self.cache_misses += misses
 
     def record_response(self, status: str, latency_s: float) -> None:
+        """A response delivered to an *admitted* request (any status)."""
         with self._lock:
             self.served += 1
             if status == "ok":
                 self.succeeded += 1
             elif status == "rejected":
-                self.rejected += 1
+                self.drain_rejected += 1
             else:
                 self.failed += 1
             self._latencies.append(latency_s)
+
+    def invariant_violations(self) -> list[str]:
+        """Human-readable accounting violations (empty when consistent).
+
+        Call at a quiescent point — with requests in flight, ``submitted``
+        legitimately runs ahead of ``served + admission_rejected``.
+        """
+        with self._lock:
+            problems = []
+            if self.submitted != self.served + self.admission_rejected:
+                problems.append(
+                    f"submitted ({self.submitted}) != served "
+                    f"({self.served}) + admission_rejected "
+                    f"({self.admission_rejected})"
+                )
+            terminal = self.succeeded + self.failed + self.drain_rejected
+            if self.served != terminal:
+                problems.append(
+                    f"served ({self.served}) != succeeded "
+                    f"({self.succeeded}) + failed ({self.failed}) + "
+                    f"drain_rejected ({self.drain_rejected})"
+                )
+            return problems
 
     # ------------------------------------------------------------- reading
     def snapshot(self) -> dict:
@@ -132,7 +175,9 @@ class ServiceStats:
                     "submitted": self.submitted,
                     "served": self.served,
                     "succeeded": self.succeeded,
-                    "rejected": self.rejected,
+                    "rejected": self.admission_rejected + self.drain_rejected,
+                    "admission_rejected": self.admission_rejected,
+                    "drain_rejected": self.drain_rejected,
                     "failed": self.failed,
                     "degraded": self.degraded,
                     "retries": self.retries,

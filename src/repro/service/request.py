@@ -81,6 +81,9 @@ class Request:
     id: int = -1
     #: event-loop clock at admission (for latency accounting)
     created_s: float = 0.0
+    #: ``time.perf_counter()`` at admission (for the tracing layer's
+    #: ``service.request`` lifecycle spans; 0.0 = never admitted)
+    created_perf: float = 0.0
 
     def __post_init__(self) -> None:
         self.kind = workload_kind(self.workload)

@@ -26,8 +26,10 @@ Everything observable lands in ``stats()``.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.core.params import TemplateParams
 from repro.errors import ServiceError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
@@ -202,6 +204,8 @@ class TemplateService:
             raise ServiceError("service is not running (call start())")
         if self._pending >= self.config.max_pending:
             self.stats.record_rejected()
+            obs.instant("service.reject", kind="admission",
+                        pending=self._pending)
             return Response(
                 id=-1,
                 status="rejected",
@@ -216,6 +220,7 @@ class TemplateService:
         request.id = self._next_id
         self._next_id += 1
         request.created_s = loop.time()
+        request.created_perf = time.perf_counter()
         self._pending += 1
         self.stats.record_admitted(self._pending)
         future = loop.create_future()
@@ -228,17 +233,27 @@ class TemplateService:
         while True:
             pending = [await self._queue.get()]
             deadline = loop.time() + self.config.batch_window_s
-            while len(pending) < self.config.max_batch:
-                remaining = deadline - loop.time()
-                if remaining <= 0:
-                    break
-                try:
-                    pending.append(
-                        await asyncio.wait_for(self._queue.get(), remaining)
-                    )
-                except asyncio.TimeoutError:
-                    break
-            for batch in self.batcher.group(pending):
+            try:
+                while len(pending) < self.config.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        pending.append(
+                            await asyncio.wait_for(self._queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            except asyncio.CancelledError:
+                # stop() cancelled us mid-window: hand collected-but-
+                # undispatched requests back so the stop path answers
+                # them instead of leaving their futures pending forever
+                for item in pending:
+                    self._queue.put_nowait(item)
+                raise
+            with obs.span("service.coalesce", pending=len(pending)):
+                batches = self.batcher.group(pending)
+            for batch in batches:
                 task = asyncio.create_task(self._dispatch(batch))
                 self._dispatch_tasks.add(task)
                 task.add_done_callback(self._dispatch_tasks.discard)
@@ -258,41 +273,49 @@ class TemplateService:
         error: BaseException | None = None
         degraded = False
         attempts = 0
-        for attempt in range(1 + self.config.max_retries):
-            attempts += 1
-            try:
-                summary = await self._execute(batch.spec, batch.route)
-                break
-            except asyncio.CancelledError:
-                raise
-            except BaseException as exc:  # noqa: BLE001 - policy boundary
-                error = exc
-                if attempt < self.config.max_retries:
-                    timed_out = isinstance(
-                        exc, (asyncio.TimeoutError, WorkerTimeoutError)
-                    )
-                    self.stats.record_retry(timed_out)
-                    await asyncio.sleep(
-                        self.config.retry_backoff_s * (2 ** attempt)
-                    )
-        template_obj = batch.requests[0].template_obj
-        if (
-            summary is None
-            and self.config.degrade
-            and getattr(template_obj, "uses_dynamic_parallelism", False)
-        ):
-            fallback = DEGRADE_FALLBACK[batch.requests[0].kind]
-            try:
-                # the fallback runs inline: the pool just proved unreliable
-                summary = await self._execute(
-                    replace(batch.spec, template=fallback), "inline"
-                )
-                degraded = True
-                self.stats.record_degraded()
-            except asyncio.CancelledError:
-                raise
-            except BaseException as exc:  # noqa: BLE001 - policy boundary
-                error = exc
+        template_name = str(getattr(batch.requests[0].template_obj, "name", ""))
+        with obs.span("service.batch", route=batch.route, size=batch.size,
+                      template=template_name):
+            for attempt in range(1 + self.config.max_retries):
+                attempts += 1
+                try:
+                    with obs.span("service.execute", route=batch.route,
+                                  attempt=attempts, template=template_name):
+                        summary = await self._execute(batch.spec, batch.route)
+                    break
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - policy boundary
+                    error = exc
+                    if attempt < self.config.max_retries:
+                        timed_out = isinstance(
+                            exc, (asyncio.TimeoutError, WorkerTimeoutError)
+                        )
+                        self.stats.record_retry(timed_out)
+                        await asyncio.sleep(
+                            self.config.retry_backoff_s * (2 ** attempt)
+                        )
+            template_obj = batch.requests[0].template_obj
+            if (
+                summary is None
+                and self.config.degrade
+                and getattr(template_obj, "uses_dynamic_parallelism", False)
+            ):
+                fallback = DEGRADE_FALLBACK[batch.requests[0].kind]
+                try:
+                    # the fallback runs inline: the pool just proved
+                    # unreliable
+                    with obs.span("service.degrade", fallback=fallback,
+                                  template=template_name):
+                        summary = await self._execute(
+                            replace(batch.spec, template=fallback), "inline"
+                        )
+                    degraded = True
+                    self.stats.record_degraded()
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - policy boundary
+                    error = exc
         if summary is not None:
             self.stats.record_cache(
                 summary.get("cache_hits", 0), summary.get("cache_misses", 0)
@@ -333,6 +356,14 @@ class TemplateService:
         self._pending -= 1
         self.stats.record_depth(self._pending)
         self.stats.record_response(response.status, response.latency_s)
+        if obs.enabled() and request.created_perf:
+            now = time.perf_counter()
+            obs.complete(
+                "service.request", request.created_perf,
+                now - request.created_perf, status=response.status,
+                template=response.template, batch_size=response.batch_size,
+                route=response.route, degraded=response.degraded,
+            )
         if not future.done():
             future.set_result(response)
 
@@ -341,6 +372,11 @@ class TemplateService:
         """Service + pool counters in one dict (``stats()`` on handles)."""
         snap = self.stats.snapshot()
         snap["pool"] = self.pool.snapshot()
+        if obs.enabled():
+            # aggregated per-span-name timings of the traced region; the
+            # tracer is process-wide, so concurrent traced work outside
+            # this service shows up too
+            snap["obs"] = obs.summary()
         snap["config"] = {
             "max_pending": self.config.max_pending,
             "max_batch": self.config.max_batch,

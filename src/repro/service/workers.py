@@ -124,6 +124,10 @@ class WorkerPool:
         self.completed = 0
         self.crashes = 0
         self.timeouts = 0
+        #: plain exceptions raised by run_fn (PlanError, ...): the worker
+        #: survived, the batch did not.  Every submission lands in exactly
+        #: one of completed/crashes/timeouts/failures.
+        self.failures = 0
         self.recycles = 0
 
     def _ensure(self):
@@ -167,6 +171,13 @@ class WorkerPool:
             self.crashes += 1
             self.recycle()
             raise WorkerCrashError(f"worker process died: {exc}") from exc
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            # run_fn raised (e.g. PlanError): a failed batch, not a dead
+            # worker — count it so snapshot() totals reconcile
+            self.failures += 1
+            raise
         self.completed += 1
         return result
 
@@ -184,5 +195,17 @@ class WorkerPool:
             "completed": self.completed,
             "crashes": self.crashes,
             "timeouts": self.timeouts,
+            "failures": self.failures,
             "recycles": self.recycles,
         }
+
+    def invariant_violations(self) -> list[str]:
+        """Accounting violations (empty when consistent and quiescent)."""
+        settled = self.completed + self.crashes + self.timeouts + self.failures
+        if self.submitted != settled:
+            return [
+                f"pool submitted ({self.submitted}) != completed "
+                f"({self.completed}) + crashes ({self.crashes}) + "
+                f"timeouts ({self.timeouts}) + failures ({self.failures})"
+            ]
+        return []

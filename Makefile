@@ -4,12 +4,12 @@ PYTHON ?= python
 # make targets work from a clean checkout, without `pip install -e .`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test lint bench bench-smoke bench-service trace-smoke experiments examples results clean
+.PHONY: install test lint bench bench-smoke bench-service trace-smoke cache-smoke experiments examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke trace-smoke
+test: lint bench-smoke trace-smoke cache-smoke
 	$(PYTHON) -m pytest tests/
 
 # ruff when installed, stdlib fallback (syntax, unused imports, debug
@@ -20,12 +20,19 @@ lint:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# tiny harness-speed run: exercises the process-parallel runner + plan
-# cache end-to-end, then gates against the recorded smoke baseline in
-# BENCH_harness_speed.json (fails loudly on a >25% speedup regression)
+# tiny harness-speed run: exercises the process-parallel runner, plan
+# cache and two-level disk-cache mode end-to-end, then gates against the
+# recorded smoke baseline in BENCH_harness_speed.json (fails loudly on a
+# >25% speedup regression in either the fast or the two-level mode)
 bench-smoke:
 	$(PYTHON) benchmarks/bench_harness_speed.py --smoke \
 		--out .bench_smoke.json --gate BENCH_harness_speed.json
+
+# disk artifact cache end-to-end: a second process must hit the plan/run
+# tiers the first one wrote, a different template must reuse the shared
+# workload analysis, and corrupted entries must degrade to misses
+cache-smoke:
+	$(PYTHON) tools/cache_smoke.py
 
 # tracing layer end-to-end: emitted Chrome trace validates (schema +
 # required span names), stats invariants balance, disabled path is silent

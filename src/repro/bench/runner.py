@@ -37,21 +37,36 @@ _WHOLE = None
 
 
 def _run_unit(exp_id: str, variant, config: ExperimentConfig,
-              engine: str, plan_cache: bool, trace: bool = False):
+              engine: str, plan_cache: bool, trace: bool = False,
+              cache_dir: str | None = None):
     """Execute one work unit; module-level so it pickles into pool workers.
 
-    Returns ``(payload, elapsed_s, (cache_hits, cache_misses), spans)``
-    where the payload is the experiment's table list (whole-experiment
-    unit) or one variant result, and ``spans`` is the unit's
+    Returns ``(payload, elapsed_s, (cache_hits, cache_misses), spans,
+    disk_stats)`` where the payload is the experiment's table list
+    (whole-experiment unit) or one variant result, ``spans`` is the unit's
     :func:`repro.obs.export_events` delta when ``trace`` is set (None
-    otherwise).
+    otherwise), and ``disk_stats`` is the unit's artifact-cache snapshot
+    delta (None when no disk cache is active).
+
+    ``cache_dir`` selects the disk artifact cache for this unit: ``None``
+    leaves the process default alone (pool workers then adopt
+    ``REPRO_CACHE_DIR`` from their environment), the empty string disables
+    it, and a path enables it.
     """
     from repro import obs
+    from repro.core.artifactcache import (
+        configure_artifact_cache,
+        get_artifact_cache,
+    )
     from repro.core.plancache import default_cache, set_plan_cache_enabled
     from repro.gpusim.executor import set_default_engine
 
     set_default_engine(engine)
     set_plan_cache_enabled(plan_cache)
+    if cache_dir is not None:
+        configure_artifact_cache(cache_dir or None)
+    disk = get_artifact_cache()
+    disk0 = disk.snapshot() if disk is not None else None
     exp = get_experiment(exp_id)
     stats = default_cache().stats
     hits0, misses0 = stats.hits, stats.misses
@@ -69,12 +84,22 @@ def _run_unit(exp_id: str, variant, config: ExperimentConfig,
     elapsed = time.perf_counter() - start
     if trace:
         spans = obs.export_events(since=watermark)
-    return payload, elapsed, (stats.hits - hits0, stats.misses - misses0), spans
+    disk_stats = None
+    if disk is not None:
+        disk_stats = disk.snapshot()
+        for name, tier in disk_stats["tiers"].items():
+            for k in tier:
+                tier[k] -= disk0["tiers"][name][k]
+        for k in ("hits", "misses", "writes", "corrupt"):
+            disk_stats[k] -= disk0[k]
+    return (payload, elapsed, (stats.hits - hits0, stats.misses - misses0),
+            spans, disk_stats)
 
 
 def run_units(units, config: ExperimentConfig, jobs: int,
               engine: str = "fast", plan_cache: bool = True,
-              chunksize: int = 1, trace: bool = False):
+              chunksize: int = 1, trace: bool = False,
+              cache_dir: str | None = None):
     """Run ``(exp_id, variant)`` units, preserving submission order.
 
     ``jobs <= 1`` runs inline in this process (no pool, no pickling);
@@ -82,17 +107,25 @@ def run_units(units, config: ExperimentConfig, jobs: int,
     returned list matches ``units`` index-for-index, so callers can merge
     deterministically.  With ``trace``, pooled units' span payloads are
     folded into this process's tracer (worker events keep their pid, so
-    the Chrome trace shows one row per worker process).
+    the Chrome trace shows one row per worker process).  ``cache_dir``
+    (see :func:`_run_unit`) points every unit — pooled or inline — at one
+    shared disk artifact cache.
     """
+    if cache_dir:
+        # export REPRO_CACHE_DIR before the pool spawns so workers inherit
+        from repro.core.artifactcache import configure_artifact_cache
+
+        configure_artifact_cache(cache_dir)
     if jobs <= 1 or len(units) <= 1:
         return [
-            _run_unit(exp_id, variant, config, engine, plan_cache, trace)
+            _run_unit(exp_id, variant, config, engine, plan_cache, trace,
+                      cache_dir)
             for exp_id, variant in units
         ]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
             pool.submit(_run_unit, exp_id, variant, config, engine,
-                        plan_cache, trace)
+                        plan_cache, trace, cache_dir)
             for exp_id, variant in units
         ]
         results = [f.result() for f in futures]
@@ -137,6 +170,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-plan-cache", action="store_true",
                         help="disable the launch-plan cache (cold builds "
                              "every run; for measurement)")
+    parser.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                        help="persist workload analyses, plans and run "
+                             "results under DIR so repeat runs and --jobs "
+                             "workers share them (see docs/performance.md)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="disable the disk artifact cache even if "
+                             "REPRO_CACHE_DIR is set in the environment")
     parser.add_argument("--trace", type=Path, default=None, metavar="JSON",
                         help="enable the repro.obs tracing layer and write "
                              "a Chrome-trace (chrome://tracing / Perfetto) "
@@ -170,6 +210,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     engine = "exact" if args.exact else "fast"
     plan_cache = not args.no_plan_cache
+    if args.cache_dir and args.no_disk_cache:
+        print("--cache-dir and --no-disk-cache are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.no_disk_cache:
+        cache_dir: str | None = ""
+    elif args.cache_dir:
+        cache_dir = str(args.cache_dir)
+    else:
+        cache_dir = None
     if args.trace:
         from repro import obs
 
@@ -192,7 +242,7 @@ def main(argv: list[str] | None = None) -> int:
         spans.append((exp_id, first, len(units) - first))
 
     results = run_units(units, config, args.jobs, engine, plan_cache,
-                        trace=args.trace is not None)
+                        trace=args.trace is not None, cache_dir=cache_dir)
 
     status = 0
     for exp_id, first, count in spans:
@@ -224,6 +274,19 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  [{exp.id} profile: {count} unit(s), "
                   f"plan cache {hits} hit(s) / {misses} miss(es), "
                   f"engine={engine}]")
+            disk_chunks = [r[4] for r in chunk if r[4] is not None]
+            if disk_chunks:
+                dh = sum(d["hits"] for d in disk_chunks)
+                dm = sum(d["misses"] for d in disk_chunks)
+                dw = sum(d["writes"] for d in disk_chunks)
+                dc = sum(d["corrupt"] for d in disk_chunks)
+                per_tier = ", ".join(
+                    f"{tier} {sum(d['tiers'][tier]['hits'] for d in disk_chunks)}h/"
+                    f"{sum(d['tiers'][tier]['misses'] for d in disk_chunks)}m"
+                    for tier in ("analysis", "plan", "run")
+                )
+                print(f"  [{exp.id} disk cache: {dh} hit(s) / {dm} miss(es) "
+                      f"/ {dw} write(s) / {dc} corrupt ({per_tier})]")
     if args.trace:
         from repro import obs
 

@@ -1,5 +1,18 @@
 """``repro.core`` — the paper's contribution: parallelization templates."""
 
+from repro.core.analysis import (
+    TreeAnalysis,
+    WorkloadAnalysis,
+    analysis_stats,
+    clear_analysis_cache,
+    get_analysis,
+    get_tree_analysis,
+)
+from repro.core.artifactcache import (
+    ArtifactCache,
+    configure_artifact_cache,
+    get_artifact_cache,
+)
 from repro.core.autotune import autotune, sweep
 from repro.core.codegen import SUPPORTED_TEMPLATES, LoopNestSpec, generate_cuda
 from repro.core.base import NestedLoopTemplate, TemplateRun, check_schedule
@@ -45,5 +58,8 @@ __all__ = [
     "NESTED_LOOP_TEMPLATES", "LOAD_BALANCING_TEMPLATES", "ALL_TEMPLATES",
     "resolve", "canonical_name", "get_template",
     "autotune", "sweep",
+    "WorkloadAnalysis", "TreeAnalysis", "get_analysis", "get_tree_analysis",
+    "analysis_stats", "clear_analysis_cache",
+    "ArtifactCache", "configure_artifact_cache", "get_artifact_cache",
     "LoopNestSpec", "generate_cuda", "SUPPORTED_TEMPLATES",
 ]

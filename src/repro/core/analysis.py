@@ -1,0 +1,225 @@
+"""Workload-invariant analysis, computed once per workload fingerprint.
+
+Every nested-loop template schedules the *same* iteration-space facts —
+trip-count statistics, the sorted-degree order behind every ``lbTHRES``
+partition, per-stream memory-segment ids — and every tree template walks
+the same structural arrays (degrees, sibling ranks, ancestor hop chains).
+This module hoists those facts out of the per-``(template, params)`` build
+path into a :class:`WorkloadAnalysis` / :class:`TreeAnalysis` artifact
+keyed on the workload fingerprint alone, so a parameter sweep over N
+points computes them once and the cheap ``specialize`` stage assembles the
+remaining launch graph N times.
+
+Artifacts are cached twice: in a process-wide in-memory map, and (when a
+cache directory is configured) in the ``analysis`` tier of the disk-backed
+:mod:`~repro.core.artifactcache`, where bench ``--jobs`` workers and
+service pool processes share them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.core.artifactcache import get_artifact_cache
+
+__all__ = [
+    "WorkloadAnalysis",
+    "TreeAnalysis",
+    "get_analysis",
+    "get_tree_analysis",
+    "analysis_stats",
+    "clear_analysis_cache",
+]
+
+#: segment size used by the pair-trace coalescing model (see
+#: ``core.mapping._apply_streams`` — Kepler L1-cached accesses)
+_TRACE_SEGMENT_BYTES = 128
+
+
+class WorkloadAnalysis:
+    """Template-independent facts about one :class:`NestedLoopWorkload`.
+
+    Everything here is a pure function of the workload trace, so instances
+    are keyed on the workload fingerprint and shared by every template and
+    every ``(block size, lbTHRES)`` point.  Threshold partitions and
+    per-stream segment ids are memoized on the instance, so they also ride
+    along through the disk cache.
+    """
+
+    def __init__(self, fingerprint: str, trip_counts: np.ndarray,
+                 stream_segments: list[np.ndarray]) -> None:
+        self.fingerprint = fingerprint
+        self.outer_size = int(trip_counts.size)
+        self.n_pairs = int(trip_counts.sum())
+        #: stable ascending-trip order of the outer iterations
+        self.order = np.argsort(trip_counts, kind="stable")
+        self.sorted_trips = trip_counts[self.order]
+        #: trip-count histogram: distinct trip values and their frequencies
+        self.trip_values, self.trip_freqs = np.unique(
+            trip_counts, return_counts=True
+        )
+        #: per-stream global-memory segment ids (addresses // 128), pair order
+        self._segments = stream_segments
+        self._partitions: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    @classmethod
+    def from_workload(cls, workload) -> "WorkloadAnalysis":
+        """Analyze a workload (the expensive, once-per-fingerprint path)."""
+        segments = [
+            stream.addresses // _TRACE_SEGMENT_BYTES
+            for stream in workload.streams
+        ]
+        return cls(workload.fingerprint(), workload.trip_counts, segments)
+
+    def partition(self, threshold: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(small, large)`` outer ids — large iff ``f(i) > threshold``.
+
+        Identical to :func:`~repro.core.dual_queue.split_by_threshold`
+        (both ascending id order), but derived from the precomputed sorted
+        order: one binary search plus two subset sorts instead of two
+        full-array comparisons per candidate threshold.  Memoized per
+        threshold — exactly the values an autotune sweep revisits.
+        """
+        threshold = int(threshold)
+        cached = self._partitions.get(threshold)
+        if cached is None:
+            k = int(np.searchsorted(self.sorted_trips, threshold, side="right"))
+            cached = (np.sort(self.order[:k]), np.sort(self.order[k:]))
+            self._partitions[threshold] = cached
+        return cached
+
+    def stream_segments(self, stream_index: int) -> np.ndarray:
+        """Precomputed segment ids of one access stream (pair order)."""
+        return self._segments[stream_index]
+
+
+class TreeAnalysis:
+    """Template-independent structure of one :class:`RecursiveTreeWorkload`.
+
+    Covers what all three tree templates re-derive per build: out-degrees,
+    the internal-node set and its nested-launch fan-out (rec-naive),
+    per-node sibling ranks and child-degree sums (rec-hier), and the full
+    ancestor hop chain the flat template's atomic model walks.
+    """
+
+    def __init__(self, fingerprint: str, tree) -> None:
+        self.fingerprint = fingerprint
+        n = tree.n_nodes
+        self.n_nodes = n
+        self.degrees = tree.out_degrees
+        self.internal = np.flatnonzero(self.degrees > 0)
+        #: number of internal children of each node (rec-naive spawn count)
+        child_internal = np.zeros(n, dtype=np.int64)
+        if self.internal.size:
+            non_root = self.internal[self.internal != 0]
+            np.add.at(child_internal, tree.parents[non_root], 1)
+        self.spawns = child_internal[self.internal]
+        #: rank of each node among its siblings (child-slice position)
+        self.sibling_rank = np.zeros(n, dtype=np.int64)
+        if self.internal.size:
+            ranks = np.concatenate([
+                np.arange(deg, dtype=np.int64)
+                for deg in self.degrees[self.degrees > 0].tolist()
+            ])
+            self.sibling_rank[tree.children] = ranks
+        #: sum of the children's degrees (grandchild count) per node
+        self.child_deg_sum = np.zeros(n, dtype=np.int64)
+        if n > 1:
+            np.add.at(self.child_deg_sum, tree.parents[1:], self.degrees[1:])
+        needs = np.flatnonzero(self.child_deg_sum > 0)
+        if 0 not in needs:
+            needs = np.union1d(needs, np.array([0]))
+        #: nodes owning a rec-hier launch (have grandchildren, plus root)
+        self.needs_launch = needs
+        # ancestor-chain walk: hop k of node v touches its k-th ancestor
+        hop_nodes: list[np.ndarray] = []
+        hop_ancestors: list[np.ndarray] = []
+        hop_ids: list[np.ndarray] = []
+        current = tree.parents.copy()
+        hop = 0
+        alive = np.flatnonzero(current >= 0)
+        while alive.size:
+            hop_nodes.append(alive)
+            hop_ancestors.append(current[alive])
+            hop_ids.append(np.full(alive.size, hop, dtype=np.int64))
+            nxt = np.full(n, -1, dtype=np.int64)
+            nxt[alive] = tree.parents[current[alive]]
+            current = nxt
+            alive = np.flatnonzero(current >= 0)
+            hop += 1
+        if hop_nodes:
+            self.hop_nodes = np.concatenate(hop_nodes)
+            self.hop_ancestors = np.concatenate(hop_ancestors)
+            self.hop_ids = np.concatenate(hop_ids)
+            self.ancestor_counts = np.bincount(self.hop_ancestors, minlength=n)
+        else:
+            self.hop_nodes = np.zeros(0, dtype=np.int64)
+            self.hop_ancestors = np.zeros(0, dtype=np.int64)
+            self.hop_ids = np.zeros(0, dtype=np.int64)
+            self.ancestor_counts = np.zeros(n, dtype=np.int64)
+        #: segment ids of the 8-byte parent-pointer loads along the chain
+        self.hop_segments = (self.hop_ancestors * 8) // _TRACE_SEGMENT_BYTES
+
+    @classmethod
+    def from_workload(cls, workload) -> "TreeAnalysis":
+        """Analyze a tree workload (once per fingerprint)."""
+        return cls(workload.fingerprint(), workload.tree)
+
+
+#: in-memory analysis store: fingerprint -> analysis artifact
+_memory: dict[str, object] = {}
+_stats = {"hits": 0, "misses": 0, "disk_hits": 0}
+#: keep the in-memory map bounded; analyses are a few arrays each
+_MAX_ENTRIES = 256
+
+
+def _get(workload, kind: str, factory) -> object:
+    fingerprint = workload.fingerprint()
+    cached = _memory.get(fingerprint)
+    if cached is not None:
+        _stats["hits"] += 1
+        if obs.enabled():
+            obs.add_counter("analysis_cache.hits")
+        return cached
+    _stats["misses"] += 1
+    if obs.enabled():
+        obs.add_counter("analysis_cache.misses")
+    disk = get_artifact_cache()
+    disk_key = (kind, fingerprint)
+    analysis = disk.get("analysis", disk_key) if disk is not None else None
+    if analysis is not None:
+        _stats["disk_hits"] += 1
+    else:
+        with obs.span("analysis.build", kind=kind,
+                      workload=getattr(workload, "name", "?")):
+            analysis = factory(workload)
+        if disk is not None:
+            disk.put("analysis", disk_key, analysis)
+    if len(_memory) >= _MAX_ENTRIES:
+        _memory.pop(next(iter(_memory)))
+    _memory[fingerprint] = analysis
+    return analysis
+
+
+def get_analysis(workload) -> WorkloadAnalysis:
+    """The (cached) analysis artifact of a nested-loop workload."""
+    return _get(workload, "nested", WorkloadAnalysis.from_workload)
+
+
+def get_tree_analysis(workload) -> TreeAnalysis:
+    """The (cached) analysis artifact of a recursive tree workload."""
+    return _get(workload, "tree", TreeAnalysis.from_workload)
+
+
+def analysis_stats() -> dict[str, int]:
+    """Copy of the in-memory analysis-cache counters."""
+    return dict(_stats)
+
+
+def clear_analysis_cache(reset_stats: bool = False) -> None:
+    """Drop cached analyses (optionally also the counters)."""
+    _memory.clear()
+    if reset_stats:
+        for k in _stats:
+            _stats[k] = 0

@@ -1,0 +1,169 @@
+"""Disk-backed artifact cache shared across processes.
+
+The in-memory plan and analysis caches die with their process, so every
+bench ``--jobs`` worker and every service pool process re-derives the same
+workload analyses, plans and (deterministic) execution results.  This
+module persists those artifacts under a configurable cache directory in
+three tiers:
+
+* ``analysis`` — :class:`~repro.core.analysis.WorkloadAnalysis` /
+  ``TreeAnalysis`` artifacts, keyed on the workload fingerprint alone;
+* ``plan`` — built ``(LaunchGraph, schedule)`` plans (bare graphs for tree
+  templates), keyed on the full plan key;
+* ``run`` — :class:`~repro.gpusim.executor.ExecutionResult` objects keyed
+  on ``(plan key, engine)``.  The simulator is deterministic, so a result
+  is a pure function of its key; the run tier is bypassed whenever a
+  caller asks for timelines or tracing is on (those need a live run).
+
+Entries are pickles named by a blake2b digest of the key's ``repr`` plus a
+format version.  Writes are atomic (temp file + ``os.replace``) so
+concurrent workers never observe a torn entry; reads are
+corruption-tolerant — any unreadable entry counts as a miss (and bumps the
+``corrupt`` counter), never raises.  Keys must therefore be repr-stable
+across processes: fingerprint strings, names and numbers, not live
+objects.
+
+Configuration is process-wide: :func:`configure_artifact_cache` sets (or
+disables) the cache, and setting it also exports ``REPRO_CACHE_DIR`` so
+pool workers spawned afterwards inherit the same directory;
+:func:`get_artifact_cache` lazily picks that variable up in processes that
+were never configured explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro import obs
+from repro.errors import ConfigError
+
+__all__ = [
+    "ArtifactCache",
+    "TIERS",
+    "configure_artifact_cache",
+    "get_artifact_cache",
+]
+
+#: cache tiers, in pipeline order
+TIERS = ("analysis", "plan", "run")
+
+#: bump to invalidate every existing cache entry on a format change
+_FORMAT_VERSION = "v1"
+
+#: environment variable carrying the cache dir into pool workers
+ENV_VAR = "REPRO_CACHE_DIR"
+
+
+class ArtifactCache:
+    """Pickle store under ``cache_dir`` with per-tier hit/miss counters."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.stats: dict[str, dict[str, int]] = {
+            tier: {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+            for tier in TIERS
+        }
+
+    def _path(self, tier: str, key: object) -> Path:
+        if tier not in TIERS:
+            raise ConfigError(f"unknown cache tier {tier!r}; known: {TIERS}")
+        digest = hashlib.blake2b(
+            f"{_FORMAT_VERSION}|{key!r}".encode(), digest_size=16
+        ).hexdigest()
+        return self.cache_dir / tier / f"{digest}.pkl"
+
+    def get(self, tier: str, key: object) -> object | None:
+        """The cached artifact, or None.  Never raises on bad entries."""
+        path = self._path(tier, key)
+        stats = self.stats[tier]
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            stats["misses"] += 1
+            if obs.enabled():
+                obs.add_counter(f"artifact_cache.{tier}.misses")
+            return None
+        except Exception:
+            # torn/corrupted/alien entry: degrade to a miss, never crash
+            stats["corrupt"] += 1
+            stats["misses"] += 1
+            if obs.enabled():
+                obs.add_counter(f"artifact_cache.{tier}.corrupt")
+                obs.add_counter(f"artifact_cache.{tier}.misses")
+            return None
+        stats["hits"] += 1
+        if obs.enabled():
+            obs.add_counter(f"artifact_cache.{tier}.hits")
+        return value
+
+    def put(self, tier: str, key: object, value: object) -> None:
+        """Store an artifact atomically; I/O failures are swallowed
+        (a full or read-only disk degrades the cache, not the run)."""
+        path = self._path(tier, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            return
+        self.stats[tier]["writes"] += 1
+        if obs.enabled():
+            obs.add_counter(f"artifact_cache.{tier}.writes")
+
+    def snapshot(self) -> dict:
+        """Per-tier counters plus totals (``--profile`` / BENCH records)."""
+        total = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+        tiers = {}
+        for tier in TIERS:
+            tiers[tier] = dict(self.stats[tier])
+            for k in total:
+                total[k] += self.stats[tier][k]
+        return {"cache_dir": str(self.cache_dir), "tiers": tiers, **total}
+
+
+#: process-wide cache instance; ``False`` = not yet configured (allows the
+#: REPRO_CACHE_DIR fallback), ``None`` = explicitly disabled
+_cache: ArtifactCache | None | bool = False
+
+
+def configure_artifact_cache(cache_dir: str | Path | None) -> ArtifactCache | None:
+    """Set the process-wide disk cache (None disables it).
+
+    Enabling also exports ``REPRO_CACHE_DIR`` so worker processes forked or
+    spawned afterwards share the same directory without explicit plumbing.
+    """
+    global _cache
+    if cache_dir is None:
+        _cache = None
+        os.environ.pop(ENV_VAR, None)
+        return None
+    _cache = ArtifactCache(cache_dir)
+    os.environ[ENV_VAR] = str(_cache.cache_dir)
+    return _cache
+
+
+def get_artifact_cache() -> ArtifactCache | None:
+    """The process-wide disk cache, or None when disabled.
+
+    Unconfigured processes adopt ``REPRO_CACHE_DIR`` from the environment
+    (how bench and service pool workers find the shared directory).
+    """
+    global _cache
+    if _cache is False:
+        env = os.environ.get(ENV_VAR)
+        _cache = ArtifactCache(env) if env else None
+    return _cache

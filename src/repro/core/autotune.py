@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.core.analysis import analysis_stats, get_analysis
 from repro.core.base import TemplateRun
 from repro.core.params import TemplateParams
 from repro.core.registry import LOAD_BALANCING_TEMPLATES, resolve
@@ -32,8 +33,14 @@ def sweep(
     thresholds: Iterable[int] = DEFAULT_THRESHOLDS,
     base_params: TemplateParams | None = None,
 ) -> list[TemplateRun]:
-    """Run every (template, threshold) combination; returns all runs."""
+    """Run every (template, threshold) combination; returns all runs.
+
+    The workload analysis is fetched once up front, so every candidate
+    build is a pure specialize stage against the same cached
+    :class:`~repro.core.analysis.WorkloadAnalysis` artifact.
+    """
     base_params = base_params or TemplateParams()
+    get_analysis(workload)  # prime the analysis cache for all candidates
     runs: list[TemplateRun] = []
     for name in templates:
         template = resolve(name, kind="nested-loop")
@@ -79,5 +86,19 @@ def autotune(
 ) -> TemplateRun:
     """The fastest (template, threshold) combination for a workload.
 
-    Tie-breaking is deterministic (see :func:`best_run`)."""
-    return best_run(sweep(workload, config, templates, thresholds, base_params))
+    Tie-breaking is deterministic (see :func:`best_run`).  The winning run
+    carries a ``tuning_report`` attribute summarizing the sweep: candidate
+    count and the analysis-cache hit/miss counters accumulated while the
+    sweep specialized every candidate against one shared analysis.
+    """
+    before = analysis_stats()
+    runs = sweep(workload, config, templates, thresholds, base_params)
+    winner = best_run(runs)
+    after = analysis_stats()
+    winner.tuning_report = {
+        "candidates": len(runs),
+        "analysis_cache": {
+            k: after[k] - before[k] for k in after
+        },
+    }
+    return winner

@@ -8,12 +8,14 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 import numpy as np
 
 from repro import obs
+from repro.core.analysis import WorkloadAnalysis, get_analysis
+from repro.core.artifactcache import get_artifact_cache
 from repro.core.params import TemplateParams
 from repro.core.plancache import default_cache
 from repro.core.workload import NestedLoopWorkload
 from repro.errors import PlanError
 from repro.gpusim.config import DeviceConfig
-from repro.gpusim.executor import ExecutionResult, GpuExecutor
+from repro.gpusim.executor import ExecutionResult, GpuExecutor, get_default_engine
 from repro.gpusim.kernels import LaunchGraph
 from repro.gpusim.profiler import ProfileMetrics, profile
 
@@ -30,13 +32,16 @@ def plan_key(
 
     Only the params fields named in the template's ``PLAN_RELEVANT_PARAMS``
     enter the key (None means all fields): sweeping a parameter the
-    template's plan never reads keeps hitting the same entry.
+    template's plan never reads keeps hitting the same entry.  The device
+    enters as its content fingerprint string, so equal configs constructed
+    in different processes produce identical (and repr-stable) keys — the
+    disk artifact cache depends on this.
     """
     relevant = getattr(template, "PLAN_RELEVANT_PARAMS", None)
     if relevant is None:
         relevant = tuple(f.name for f in dataclass_fields(params))
     param_items = tuple((name, getattr(params, name)) for name in relevant)
-    return (workload_fingerprint, template.name, config, param_items)
+    return (workload_fingerprint, template.name, config.fingerprint(), param_items)
 
 
 @dataclass
@@ -93,14 +98,37 @@ class NestedLoopTemplate(ABC):
     #: plan cache keys only on these (None = key on every field)
     PLAN_RELEVANT_PARAMS: tuple[str, ...] | None = None
 
-    @abstractmethod
     def build(
         self,
         workload: NestedLoopWorkload,
         config: DeviceConfig,
         params: TemplateParams,
     ) -> tuple[LaunchGraph, dict[str, np.ndarray]]:
-        """Produce the launch graph + phase schedule for a workload."""
+        """Produce the launch graph + phase schedule for a workload.
+
+        Two-stage pipeline: fetch (or compute) the workload-invariant
+        :class:`WorkloadAnalysis` from the fingerprint-keyed analysis
+        cache, then :meth:`specialize` it to this concrete ``(config,
+        params)`` point.  A parameter sweep over N points therefore pays
+        the analysis once and runs only the cheap specialize stage N times.
+        """
+        return self.specialize(workload, get_analysis(workload), config, params)
+
+    @abstractmethod
+    def specialize(
+        self,
+        workload: NestedLoopWorkload,
+        analysis: WorkloadAnalysis,
+        config: DeviceConfig,
+        params: TemplateParams,
+    ) -> tuple[LaunchGraph, dict[str, np.ndarray]]:
+        """Assemble the launch graph for one concrete parameter point.
+
+        ``analysis`` holds everything that depends on the workload alone
+        (sorted trip order, threshold partitions, per-stream segment ids);
+        implementations must not mutate it — it is shared across templates,
+        parameter points and (via the disk cache) processes.
+        """
 
     def run(
         self,
@@ -113,11 +141,17 @@ class NestedLoopTemplate(ABC):
 
         Plans are served from the process-wide plan cache when an identical
         (workload, template, plan-relevant params, device) build was done
-        before; cached graphs are shared, so treat them as read-only.
+        before, falling back to the disk artifact cache (shared across
+        bench/service worker processes) when one is configured; cached
+        graphs are shared, so treat them as read-only.  Execution results
+        are themselves cached in the disk ``run`` tier — the simulator is
+        deterministic — except when a timeline or tracing is requested,
+        which needs a live run.
         """
         params = params or TemplateParams()
         cache = default_cache()
         key = plan_key(self, workload.fingerprint(), config, params)
+        disk = get_artifact_cache()
         cached = cache.get(key)
         if cached is not None:
             graph, schedule = cached
@@ -126,14 +160,32 @@ class NestedLoopTemplate(ABC):
                             workload=workload.name)
                 obs.add_counter("plan_cache.hits")
         else:
-            with obs.span("plan.build", template=self.name,
-                          workload=workload.name):
-                graph, schedule = self.build(workload, config, params)
-                check_schedule(schedule, workload.outer_size)
+            plan = disk.get("plan", key) if disk is not None else None
+            if plan is None:
+                with obs.span("plan.build", template=self.name,
+                              workload=workload.name):
+                    graph, schedule = self.build(workload, config, params)
+                    check_schedule(schedule, workload.outer_size)
+                if disk is not None:
+                    disk.put("plan", key, (graph, schedule))
+            else:
+                graph, schedule = plan
             cache.put(key, (graph, schedule))
             obs.add_counter("plan_cache.misses")
         executor = executor or GpuExecutor(config)
-        result = executor.run(graph)
+        use_run_tier = (
+            disk is not None
+            and not executor.record_timeline
+            and not obs.enabled()
+        )
+        result = None
+        if use_run_tier:
+            run_key = (key, executor.engine or get_default_engine())
+            result = disk.get("run", run_key)
+        if result is None:
+            result = executor.run(graph)
+            if use_run_tier:
+                disk.put("run", run_key, result)
         metrics = profile(graph, result, config)
         return TemplateRun(
             template=self.name,

@@ -20,7 +20,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import NestedLoopTemplate
-from repro.core.dual_queue import split_by_threshold
 from repro.core.mapping import (
     add_block_mapped_inner,
     add_outer_setup,
@@ -46,6 +45,7 @@ def _phase_one(
     small: np.ndarray,
     large: np.ndarray,
     buffer_in_shared: bool,
+    analysis=None,
 ) -> KernelCostBuilder:
     """Thread-mapped phase: process small iterations, delay large ones."""
     n = workload.outer_size
@@ -62,7 +62,8 @@ def _phase_one(
     )
     add_outer_setup(builder, workload, n)
     if small.size:
-        add_thread_mapped_inner(builder, workload, small, small)
+        add_thread_mapped_inner(builder, workload, small, small,
+                                analysis=analysis)
     if large.size:
         # append cost: compare + buffer write per delayed iteration
         flags = np.zeros(n, dtype=np.int64)
@@ -85,12 +86,12 @@ class DelayedBufferGlobalTemplate(NestedLoopTemplate):
 
     name = "dbuf-global"
 
-    def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
-              params: TemplateParams):
-        small, large = split_by_threshold(workload.trip_counts, params.lb_threshold)
+    def specialize(self, workload: NestedLoopWorkload, analysis,
+                   config: DeviceConfig, params: TemplateParams):
+        small, large = analysis.partition(params.lb_threshold)
         graph = LaunchGraph()
         graph.add(_phase_one(workload, config, params, small, large,
-                             buffer_in_shared=False).build())
+                             buffer_in_shared=False, analysis=analysis).build())
         if large.size:
             # grid sized to saturate the device; work split evenly
             occ_blocks = config.sm_count * config.max_blocks_per_sm
@@ -106,7 +107,7 @@ class DelayedBufferGlobalTemplate(NestedLoopTemplate):
                 registers_per_thread=params.registers_per_thread,
             )
             add_outer_setup(builder, workload, large.size, indirect=True)
-            add_partitioned_pairs(builder, workload, large)
+            add_partitioned_pairs(builder, workload, large, analysis=analysis)
             graph.add(builder.build())
         return graph, {"inline": small, "buffered": large}
 
@@ -116,12 +117,12 @@ class DelayedBufferSharedTemplate(NestedLoopTemplate):
 
     name = "dbuf-shared"
 
-    def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
-              params: TemplateParams):
-        small, large = split_by_threshold(workload.trip_counts, params.lb_threshold)
+    def specialize(self, workload: NestedLoopWorkload, analysis,
+                   config: DeviceConfig, params: TemplateParams):
+        small, large = analysis.partition(params.lb_threshold)
         n = workload.outer_size
         builder = _phase_one(workload, config, params, small, large,
-                             buffer_in_shared=True)
+                             buffer_in_shared=True, analysis=analysis)
         if large.size:
             # The in-block phase keeps each delayed iteration in the block
             # that owns it (thread id -> block id): no redistribution, so
@@ -131,6 +132,7 @@ class DelayedBufferSharedTemplate(NestedLoopTemplate):
             # phase 2 uses the same (192-thread) blocks
             add_block_mapped_inner(
                 builder, workload, large, owner_block, coalesce_stores=True,
+                analysis=analysis,
             )
         graph = LaunchGraph()
         graph.add(builder.build())

@@ -44,10 +44,10 @@ class DualQueueTemplate(NestedLoopTemplate):
 
     name = "dual-queue"
 
-    def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
-              params: TemplateParams):
+    def specialize(self, workload: NestedLoopWorkload, analysis,
+                   config: DeviceConfig, params: TemplateParams):
         n = workload.outer_size
-        small, large = split_by_threshold(workload.trip_counts, params.lb_threshold)
+        small, large = analysis.partition(params.lb_threshold)
         graph = LaunchGraph()
 
         # --- queue construction kernel (thread-mapped over all iterations)
@@ -82,6 +82,7 @@ class DualQueueTemplate(NestedLoopTemplate):
             add_thread_mapped_inner(
                 sb, workload, small,
                 np.arange(small.size, dtype=np.int64),
+                analysis=analysis,
             )
             graph.add(sb.build())
         schedule["small-queue"] = small
@@ -97,6 +98,7 @@ class DualQueueTemplate(NestedLoopTemplate):
             add_block_mapped_inner(
                 lb, workload, large,
                 np.arange(large.size, dtype=np.int64),
+                analysis=analysis,
             )
             graph.add(lb.build())
         schedule["large-queue"] = large

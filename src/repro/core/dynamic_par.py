@@ -17,7 +17,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import NestedLoopTemplate
-from repro.core.dual_queue import split_by_threshold
 from repro.core.mapping import (
     _sequence_within,
     add_block_mapped_inner,
@@ -48,6 +47,7 @@ def _parent_phase(
     small: np.ndarray,
     large: np.ndarray,
     launches_per_large: bool,
+    analysis=None,
 ) -> KernelCostBuilder:
     """Thread-mapped parent kernel: small inline, large spawn/buffer."""
     n = workload.outer_size
@@ -61,7 +61,8 @@ def _parent_phase(
     )
     add_outer_setup(builder, workload, n)
     if small.size:
-        add_thread_mapped_inner(builder, workload, small, small)
+        add_thread_mapped_inner(builder, workload, small, small,
+                                analysis=analysis)
     if large.size:
         if launches_per_large:
             # each large lane marshals and enqueues one child grid
@@ -83,6 +84,7 @@ def _bulk_single_block_children(
     large: np.ndarray,
     config: DeviceConfig,
     params: TemplateParams,
+    analysis=None,
 ) -> tuple[np.ndarray, WarpExecStats, list[MemoryTraffic], "object"]:
     """Vectorized per-child costs for one-iteration single-block grids.
 
@@ -119,10 +121,14 @@ def _bulk_single_block_children(
     tx_per_child = np.zeros(n_children, dtype=np.float64)
     load_traffic = MemoryTraffic(segment_bytes=config.mem_segment_bytes)
     store_traffic = MemoryTraffic(segment_bytes=config.mem_segment_bytes)
-    for stream in workload.streams:
-        addr = stream.addresses[pair_idx]
+    for si, stream in enumerate(workload.streams):
+        if analysis is not None:
+            addr, segments = None, analysis.stream_segments(si)[pair_idx]
+        else:
+            addr, segments = stream.addresses[pair_idx], None
         tx = transaction_counts(child, group, addr, n_children,
-                                agg_divisor=max_chunk * wpb)
+                                agg_divisor=max_chunk * wpb,
+                                segments=segments)
         tx_per_child += tx
         record = MemoryTraffic(
             requested_bytes=int(pair_idx.size) * stream.element_bytes,
@@ -165,17 +171,19 @@ class DparNaiveTemplate(NestedLoopTemplate):
     name = "dpar-naive"
     uses_dynamic_parallelism = True
 
-    def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
-              params: TemplateParams):
+    def specialize(self, workload: NestedLoopWorkload, analysis,
+                   config: DeviceConfig, params: TemplateParams):
         require_device_support(config, self.name)
-        small, large = split_by_threshold(workload.trip_counts, params.lb_threshold)
+        small, large = analysis.partition(params.lb_threshold)
         graph = LaunchGraph()
         parent_builder = _parent_phase(
-            workload, config, params, small, large, launches_per_large=True
+            workload, config, params, small, large, launches_per_large=True,
+            analysis=analysis,
         )
         if large.size:
             block_cycles, child_stats, traffic, atomic_stats = (
-                _bulk_single_block_children(workload, large, config, params)
+                _bulk_single_block_children(workload, large, config, params,
+                                            analysis=analysis)
             )
             # children's counters are absorbed into the parent record so
             # the per-child Launch objects stay lightweight
@@ -226,13 +234,14 @@ class DparOptTemplate(NestedLoopTemplate):
     name = "dpar-opt"
     uses_dynamic_parallelism = True
 
-    def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
-              params: TemplateParams):
+    def specialize(self, workload: NestedLoopWorkload, analysis,
+                   config: DeviceConfig, params: TemplateParams):
         require_device_support(config, self.name)
-        small, large = split_by_threshold(workload.trip_counts, params.lb_threshold)
+        small, large = analysis.partition(params.lb_threshold)
         graph = LaunchGraph()
         parent_builder = _parent_phase(
-            workload, config, params, small, large, launches_per_large=False
+            workload, config, params, small, large, launches_per_large=False,
+            analysis=analysis,
         )
         spawning_blocks = np.zeros(0, dtype=np.int64)
         buffered_counts = np.zeros(0, dtype=np.int64)
@@ -266,6 +275,7 @@ class DparOptTemplate(NestedLoopTemplate):
             add_block_mapped_inner(
                 child, workload, members,
                 np.arange(members.size, dtype=np.int64),
+                analysis=analysis,
             )
             graph.add(child.build(parent=parent, parent_block=int(b)))
         return graph, {"inline": small, "nested": large}

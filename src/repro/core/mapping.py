@@ -42,26 +42,34 @@ def _apply_streams(
     group_ids: np.ndarray,
     coalesce_stores: bool = False,
     group_divisor: int | None = None,
+    analysis=None,
 ) -> None:
     """Cost every access stream + atomics of the selected pairs.
 
     ``group_divisor`` is the per-warp slot count when groups are encoded as
     ``warp * n_slots + slot``; it unlocks the value-sort fast path of
-    :func:`transaction_counts`.
+    :func:`transaction_counts`.  When a
+    :class:`~repro.core.analysis.WorkloadAnalysis` is supplied, the
+    per-stream memory-segment ids come precomputed from it instead of
+    being re-derived from raw addresses on every parameter point.
     """
     n = pair_idx.size
     if n == 0:
         return
-    for stream in workload.streams:
+    for si, stream in enumerate(workload.streams):
+        segments = None
         if coalesce_stores and stream.kind == "store" and stream.staged_in_shared:
             # Staged through shared memory and written back coalesced: the
             # global traffic becomes contiguous in pair order.
             addr = pair_idx * stream.element_bytes
             builder.add_shared_accesses(2 * n)  # stage in + flush out
+        elif analysis is not None:
+            addr = None
+            segments = analysis.stream_segments(si)[pair_idx]
         else:
             addr = stream.addresses[pair_idx]
         tx = transaction_counts(warp_ids, group_ids, addr, builder.n_warps,
-                                agg_divisor=group_divisor)
+                                agg_divisor=group_divisor, segments=segments)
         builder.add_traffic(tx, n * stream.element_bytes, stream.kind)
     if workload.atomic_targets is not None:
         targets = workload.atomic_targets[pair_idx]
@@ -130,6 +138,7 @@ def add_thread_mapped_inner(
     outer_ids: np.ndarray,
     thread_ids: np.ndarray,
     trips: np.ndarray | None = None,
+    analysis=None,
 ) -> None:
     """Inner loops run one-outer-per-thread (Fig. 1(a) baseline mapping).
 
@@ -160,7 +169,7 @@ def add_thread_mapped_inner(
     max_step = int(steps.max()) + 1
     group_ids = warp_ids * max_step + steps
     _apply_streams(builder, workload, pair_idx, warp_ids, group_ids,
-                   group_divisor=max_step)
+                   group_divisor=max_step, analysis=analysis)
 
 
 def add_block_mapped_inner(
@@ -169,6 +178,7 @@ def add_block_mapped_inner(
     outer_ids: np.ndarray,
     block_ids: np.ndarray,
     coalesce_stores: bool = False,
+    analysis=None,
 ) -> None:
     """Inner loops run one-outer-per-block: threads stride over f(i).
 
@@ -215,7 +225,7 @@ def add_block_mapped_inner(
     group_ids = (warp_ids * max_seq + pair_seq) * max_chunk + chunk
     _apply_streams(builder, workload, pair_idx, warp_ids, group_ids,
                    coalesce_stores=coalesce_stores,
-                   group_divisor=max_seq * max_chunk)
+                   group_divisor=max_seq * max_chunk, analysis=analysis)
 
 
 def add_partitioned_pairs(
@@ -223,6 +233,7 @@ def add_partitioned_pairs(
     workload: NestedLoopWorkload,
     outer_ids: np.ndarray,
     coalesce_stores: bool = False,
+    analysis=None,
 ) -> None:
     """The buffered pair stream split evenly across the builder's blocks.
 
@@ -255,7 +266,7 @@ def add_partitioned_pairs(
     group_ids = warp_ids * max_step + step
     _apply_streams(builder, workload, pair_idx, warp_ids, group_ids,
                    coalesce_stores=coalesce_stores,
-                   group_divisor=max_step)
+                   group_divisor=max_step, analysis=analysis)
 
 
 def _sequence_within(ids: np.ndarray) -> np.ndarray:

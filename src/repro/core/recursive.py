@@ -27,6 +27,8 @@ from typing import Literal
 import numpy as np
 
 from repro import obs
+from repro.core.analysis import TreeAnalysis, get_tree_analysis
+from repro.core.artifactcache import get_artifact_cache
 from repro.core.base import TemplateRun, plan_key
 from repro.core.params import TemplateParams
 from repro.core.plancache import default_cache
@@ -40,7 +42,7 @@ from repro.gpusim.costmodel import (
     resident_warps_estimate,
 )
 from repro.gpusim.dynpar import require_device_support
-from repro.gpusim.executor import GpuExecutor
+from repro.gpusim.executor import GpuExecutor, get_default_engine
 from repro.gpusim.kernels import KernelCosts, Launch, LaunchGraph, ProfileCounters
 from repro.gpusim.profiler import profile
 from repro.gpusim.warps import WarpExecStats
@@ -98,6 +100,11 @@ class RecursiveTreeWorkload:
         self._fingerprint = digest
         return digest
 
+    def invalidate_fingerprint(self) -> None:
+        """Drop the memoized fingerprint after mutating the tree in place
+        (see ``NestedLoopWorkload.invalidate_fingerprint``)."""
+        self._fingerprint = None
+
 
 class _TreeTemplateBase:
     """Shared run() wrapper for the tree templates."""
@@ -109,6 +116,14 @@ class _TreeTemplateBase:
 
     def build(self, workload: RecursiveTreeWorkload, config: DeviceConfig,
               params: TemplateParams) -> LaunchGraph:
+        """Two-stage pipeline: cached tree analysis, then specialize."""
+        return self.specialize(workload, get_tree_analysis(workload),
+                               config, params)
+
+    def specialize(self, workload: RecursiveTreeWorkload,
+                   analysis: TreeAnalysis, config: DeviceConfig,
+                   params: TemplateParams) -> LaunchGraph:
+        """Assemble the launch graph for one concrete parameter point."""
         raise NotImplementedError
 
     def run(
@@ -123,11 +138,16 @@ class _TreeTemplateBase:
         params = params or TemplateParams()
         cache = default_cache()
         key = plan_key(self, workload.fingerprint(), config, params)
+        disk = get_artifact_cache()
         graph = cache.get(key)
         if graph is None:
-            with obs.span("plan.build", template=self.name,
-                          workload=workload.name):
-                graph = self.build(workload, config, params)
+            graph = disk.get("plan", key) if disk is not None else None
+            if graph is None:
+                with obs.span("plan.build", template=self.name,
+                              workload=workload.name):
+                    graph = self.build(workload, config, params)
+                if disk is not None:
+                    disk.put("plan", key, graph)
             cache.put(key, graph)
             obs.add_counter("plan_cache.misses")
         elif obs.enabled():
@@ -135,7 +155,19 @@ class _TreeTemplateBase:
                         workload=workload.name)
             obs.add_counter("plan_cache.hits")
         executor = executor or GpuExecutor(config)
-        result = executor.run(graph)
+        use_run_tier = (
+            disk is not None
+            and not executor.record_timeline
+            and not obs.enabled()
+        )
+        result = None
+        if use_run_tier:
+            run_key = (key, executor.engine or get_default_engine())
+            result = disk.get("run", run_key)
+        if result is None:
+            result = executor.run(graph)
+            if use_run_tier:
+                disk.put("run", run_key, result)
         metrics = profile(graph, result, config)
         return TemplateRun(
             template=self.name,
@@ -154,7 +186,7 @@ class FlatTreeTemplate(_TreeTemplateBase):
     name = "flat"
     PLAN_RELEVANT_PARAMS = ("thread_block", "registers_per_thread")
 
-    def build(self, workload, config, params):
+    def specialize(self, workload, analysis, config, params):
         """One thread-mapped kernel; each thread walks its ancestor chain."""
         tree = workload.tree
         n = tree.n_nodes
@@ -168,32 +200,19 @@ class FlatTreeTemplate(_TreeTemplateBase):
         builder.add_uniform(n, insts=8.0)
         builder.add_loop(levels, insts_per_iter=workload.inner_insts)
 
-        # ancestor-chain walk: hop k of node v touches its k-th ancestor
-        hop_nodes: list[np.ndarray] = []
-        hop_ancestors: list[np.ndarray] = []
-        hop_ids: list[np.ndarray] = []
-        current = tree.parents.copy()
-        hop = 0
-        alive = np.flatnonzero(current >= 0)
-        while alive.size:
-            hop_nodes.append(alive)
-            hop_ancestors.append(current[alive])
-            hop_ids.append(np.full(alive.size, hop, dtype=np.int64))
-            nxt = np.full(n, -1, dtype=np.int64)
-            nxt[alive] = tree.parents[current[alive]]
-            current = nxt
-            alive = np.flatnonzero(current >= 0)
-            hop += 1
-        if hop_nodes:
-            nodes = np.concatenate(hop_nodes)
-            ancestors = np.concatenate(hop_ancestors)
-            hops = np.concatenate(hop_ids)
+        # ancestor-chain walk (precomputed): hop k of node v touches its
+        # k-th ancestor
+        nodes = analysis.hop_nodes
+        ancestors = analysis.hop_ancestors
+        hops = analysis.hop_ids
+        if nodes.size:
             warp = builder.warp_of_thread(nodes)
             max_hop = int(hops.max()) + 1
             group = warp * max_hop + hops
             # parent-pointer loads (scattered within the chain)
-            tx = transaction_counts(warp, group, ancestors * 8, builder.n_warps,
-                                    agg_divisor=max_hop)
+            tx = transaction_counts(warp, group, None, builder.n_warps,
+                                    agg_divisor=max_hop,
+                                    segments=analysis.hop_segments)
             builder.add_traffic(tx, int(nodes.size) * 8, "load")
             # one atomic RMW per (node, ancestor) pair
             from repro.gpusim.atomics import flat_atomic_cycles
@@ -203,8 +222,7 @@ class FlatTreeTemplate(_TreeTemplateBase):
             )
             builder.add_atomic_cycles(cycles, stats)
             # hot addresses: RMW multiplicity per ancestor
-            counts = np.bincount(ancestors, minlength=n)
-            builder.add_hot_address_tail(counts)
+            builder.add_hot_address_tail(analysis.ancestor_counts)
         graph = LaunchGraph()
         graph.add(builder.build())
         return graph
@@ -263,13 +281,13 @@ class RecNaiveTreeTemplate(_TreeTemplateBase):
     name = "rec-naive"
     uses_dynamic_parallelism = True
 
-    def build(self, workload, config, params):
+    def specialize(self, workload, analysis, config, params):
         """One single-block launch per internal node, spawned per thread."""
         require_device_support(config, self.name)
         tree = workload.tree
         cfg = config
-        degrees = tree.out_degrees
-        internal = np.flatnonzero(degrees > 0)
+        degrees = analysis.degrees
+        internal = analysis.internal
         graph = LaunchGraph()
         if internal.size == 0:
             # single trivial root kernel
@@ -283,13 +301,7 @@ class RecNaiveTreeTemplate(_TreeTemplateBase):
 
         d = degrees[internal]
         wpb_of = -(-d // cfg.warp_size)
-        child_internal = np.zeros(tree.n_nodes, dtype=np.int64)
-        np.add.at(
-            child_internal,
-            tree.parents[internal[internal != 0]],
-            1,
-        )
-        spawns = child_internal[internal]
+        spawns = analysis.spawns
 
         # per-launch cost, vectorized over internal nodes
         resident = resident_warps_estimate(
@@ -326,13 +338,7 @@ class RecNaiveTreeTemplate(_TreeTemplateBase):
 
         # launches level by level so parents exist before children
         launch_of_node: dict[int, int] = {}
-        sibling_rank = np.zeros(tree.n_nodes, dtype=np.int64)
-        # rank of each node among its siblings = position in child slice
-        ranks = np.concatenate([
-            np.arange(deg, dtype=np.int64)
-            for deg in degrees[degrees > 0].tolist()
-        ]) if np.any(degrees > 0) else np.zeros(0, dtype=np.int64)
-        sibling_rank[tree.children] = ranks
+        sibling_rank = analysis.sibling_rank
         idx_of_internal = {int(v): k for k, v in enumerate(internal.tolist())}
         for node in internal.tolist():
             k = idx_of_internal[node]
@@ -370,27 +376,19 @@ class RecHierTreeTemplate(_TreeTemplateBase):
     name = "rec-hier"
     uses_dynamic_parallelism = True
 
-    def build(self, workload, config, params):
+    def specialize(self, workload, analysis, config, params):
         """Two-level launches: children as blocks, grandchildren as threads."""
         require_device_support(config, self.name)
         tree = workload.tree
         cfg = config
-        degrees = tree.out_degrees
+        degrees = analysis.degrees
         # a node needs a launch iff it has grandchildren (covers 2 levels),
         # plus the root launch which always exists
-        child_deg_sum = np.zeros(tree.n_nodes, dtype=np.int64)
-        np.add.at(child_deg_sum, tree.parents[1:], degrees[1:])
-        needs_launch = np.flatnonzero(child_deg_sum > 0)
-        if 0 not in needs_launch:
-            needs_launch = np.union1d(needs_launch, np.array([0]))
+        child_deg_sum = analysis.child_deg_sum
+        needs_launch = analysis.needs_launch
         graph = LaunchGraph()
 
-        sibling_index = np.zeros(tree.n_nodes, dtype=np.int64)
-        ranks = np.concatenate([
-            np.arange(deg, dtype=np.int64)
-            for deg in degrees[degrees > 0].tolist()
-        ]) if np.any(degrees > 0) else np.zeros(0, dtype=np.int64)
-        sibling_index[tree.children] = ranks
+        sibling_index = analysis.sibling_rank
 
         resident = resident_warps_estimate(
             cfg, params.lb_block, 4,

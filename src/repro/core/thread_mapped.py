@@ -31,8 +31,8 @@ class ThreadMappedTemplate(NestedLoopTemplate):
     name = "baseline"
     PLAN_RELEVANT_PARAMS = ("thread_block", "registers_per_thread", "max_grid_blocks")
 
-    def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
-              params: TemplateParams):
+    def specialize(self, workload: NestedLoopWorkload, analysis,
+                   config: DeviceConfig, params: TemplateParams):
         n = workload.outer_size
         blocks = self._grid_for(n, params.thread_block, params.max_grid_blocks)
         builder = KernelCostBuilder(
@@ -42,7 +42,8 @@ class ThreadMappedTemplate(NestedLoopTemplate):
         )
         outer = np.arange(n, dtype=np.int64)
         add_outer_setup(builder, workload, n)
-        add_thread_mapped_inner(builder, workload, outer, outer)
+        add_thread_mapped_inner(builder, workload, outer, outer,
+                                analysis=analysis)
         graph = LaunchGraph()
         graph.add(builder.build())
         return graph, {"thread": outer}
@@ -59,8 +60,8 @@ class BlockMappedTemplate(NestedLoopTemplate):
     name = "block-mapped"
     PLAN_RELEVANT_PARAMS = ("lb_block", "registers_per_thread", "max_grid_blocks")
 
-    def build(self, workload: NestedLoopWorkload, config: DeviceConfig,
-              params: TemplateParams):
+    def specialize(self, workload: NestedLoopWorkload, analysis,
+                   config: DeviceConfig, params: TemplateParams):
         n = workload.outer_size
         if n > params.max_grid_blocks:
             # one block per iteration; chunk the grid like CUDA grids do
@@ -78,7 +79,8 @@ class BlockMappedTemplate(NestedLoopTemplate):
         )
         outer = np.arange(n, dtype=np.int64)
         add_outer_setup(builder, workload, n)
-        add_block_mapped_inner(builder, workload, outer, outer)
+        add_block_mapped_inner(builder, workload, outer, outer,
+                               analysis=analysis)
         graph = LaunchGraph()
         graph.add(builder.build())
         return graph, {"block": outer}

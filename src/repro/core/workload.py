@@ -170,3 +170,13 @@ class NestedLoopWorkload:
         digest = h.hexdigest()
         self._fingerprint = digest
         return digest
+
+    def invalidate_fingerprint(self) -> None:
+        """Drop the memoized fingerprint after mutating the trace arrays.
+
+        Nothing in the repo mutates workloads, but callers that do edit
+        ``trip_counts``/stream addresses in place must call this or every
+        cache keyed on the fingerprint (plan, analysis, disk) would keep
+        serving plans for the pre-mutation trace.
+        """
+        self._fingerprint = None

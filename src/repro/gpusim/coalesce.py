@@ -164,10 +164,11 @@ def transactions_for_flat(
 def transaction_counts(
     agg_ids: np.ndarray,
     group_ids: np.ndarray,
-    addresses: np.ndarray,
+    addresses: np.ndarray | None,
     n_agg: int,
     segment_bytes: int = 128,
     agg_divisor: int | None = None,
+    segments: np.ndarray | None = None,
 ) -> np.ndarray:
     """Exact transaction counts for an entire loop nest in one pass.
 
@@ -191,11 +192,21 @@ def transaction_counts(
     recovered from a plain value sort of the packed (group, segment) keys,
     which is several times faster than the index-tracking sort the general
     path needs.
+
+    ``segments`` optionally supplies precomputed segment ids (``addresses
+    // segment_bytes``) — the workload-analysis stage caches these per
+    stream so repeated specializations skip the division over the full
+    trace; ``addresses`` may then be None.
     """
     agg_ids = np.asarray(agg_ids, dtype=np.int64)
     group_ids = np.asarray(group_ids, dtype=np.int64)
-    addresses = np.asarray(addresses, dtype=np.int64)
-    if not (agg_ids.shape == group_ids.shape == addresses.shape) or agg_ids.ndim != 1:
+    if segments is None:
+        if addresses is None:
+            raise WorkloadError("either addresses or segments is required")
+        values = np.asarray(addresses, dtype=np.int64)
+    else:
+        values = np.asarray(segments, dtype=np.int64)
+    if not (agg_ids.shape == group_ids.shape == values.shape) or agg_ids.ndim != 1:
         raise WorkloadError(
             "agg_ids, group_ids and addresses must be 1-D arrays of equal length"
         )
@@ -207,12 +218,12 @@ def transaction_counts(
         return np.zeros(n_agg, dtype=np.int64)
     # min/max reductions instead of np.any(x < 0): no boolean temporaries on
     # these million-entry traces, and the maxima are needed below anyway.
-    if int(addresses.min()) < 0 or int(group_ids.min()) < 0 or int(agg_ids.min()) < 0:
+    if int(values.min()) < 0 or int(group_ids.min()) < 0 or int(agg_ids.min()) < 0:
         raise WorkloadError("ids and addresses must be non-negative")
     if int(agg_ids.max()) >= n_agg:
         raise WorkloadError("agg_ids out of range for n_agg")
 
-    segments = addresses // segment_bytes
+    segments = values // segment_bytes if segments is None else values
     seg_span = int(segments.max()) + 1
     group_span = int(group_ids.max()) + 1
     if group_span * seg_span < 2**62:

@@ -15,6 +15,7 @@ devices useful for sensitivity studies.  All time-like constants are in GPU
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
@@ -178,6 +179,26 @@ class DeviceConfig:
     def replace(self, **changes: object) -> "DeviceConfig":
         """Return a copy of this configuration with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """Stable content digest of every architectural field.
+
+        Two configs constructed independently — in different processes,
+        different sessions — fingerprint identically iff their fields are
+        equal, which is what plan keys and the disk artifact cache need
+        (``repr`` of floats is exact round-trip text, so no precision is
+        lost).  Memoized per instance; instances are frozen.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        text = "|".join(
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in dataclasses.fields(self)
+        )
+        digest = hashlib.blake2b(text.encode(), digest_size=12).hexdigest()
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
 
     def describe(self) -> str:
         """Human-readable multi-line summary of the device."""

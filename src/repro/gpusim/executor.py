@@ -181,7 +181,7 @@ class _LaunchState:
 
     __slots__ = (
         "spec", "graph_index", "replica", "serial", "footprint", "n_blocks",
-        "next_block", "outstanding_blocks", "outstanding_children",
+        "next_block", "run_cursor", "outstanding_blocks", "outstanding_children",
         "ready", "dispatch_started", "start_time", "end_time",
         "tree_completed", "parent_state", "group_key", "tail_elapsed",
     )
@@ -194,6 +194,9 @@ class _LaunchState:
         self.footprint = footprint
         self.n_blocks = spec.costs.n_blocks
         self.next_block = 0
+        #: index into ``costs.block_runs()`` of the run ``next_block`` is in
+        #: (maintained by the fast engine's run-batched dispatch)
+        self.run_cursor = 0
         self.outstanding_blocks = self.n_blocks
         self.outstanding_children = 0
         self.ready = False
@@ -803,7 +806,20 @@ class _FastSimulation(_Simulation):
 
     # -------------------------------------------------------------- dispatch
     def _dispatch(self) -> bool:
-        """Place ready blocks onto SMs, accumulating same-target cohorts."""
+        """Place ready blocks onto SMs a whole *run* of identical blocks at
+        a time, accumulating same-target cohorts.
+
+        One SM scan yields the strict-max-free-warps winner (first index
+        wins ties, like :meth:`_Simulation._find_sm`) plus the best
+        free-warp levels left (``L``) and right (``R``) of it among the
+        other eligible SMs.  While the winner's free warps stay at or above
+        ``T = max(L + 1, R)`` it keeps winning the serial per-block scan —
+        the other SMs don't change while it absorbs blocks — so the whole
+        chunk ``min(run length, (W - T) // warps + 1, eligibility caps)``
+        lands in one step instead of one scan per block.  Placement order,
+        cohort grouping and event sequencing are identical to the
+        per-block scan; only the number of scans changes.
+        """
         if not self.ready_list or not self._dispatch_dirty:
             return False
         cfg = self.config
@@ -812,6 +828,7 @@ class _FastSimulation(_Simulation):
         self._dispatch_dirty = False
         progress = False
         active = 0
+        cap = cfg.max_concurrent_kernels
         leftover: list[_LaunchState] = []
         #: (sm index, launch serial, work, floor) -> accumulating cohort
         pending: dict[tuple[int, int, float, float], _Cohort] = {}
@@ -822,59 +839,108 @@ class _FastSimulation(_Simulation):
         #: so a failed footprint stays failed and the rescan can be skipped.
         failed_fps: set[tuple[int, int, int]] = set()
         now = self.now
-        for state in queue:
+        sms = self.sms
+        for qi, state in enumerate(queue):
             if state.fully_dispatched:
                 continue
-            if active >= cfg.max_concurrent_kernels:
-                leftover.append(state)
-                continue
+            if active >= cap:
+                # over the concurrency cap the serial scan only copies the
+                # rest of the queue into leftover; do it wholesale (states
+                # already fully dispatched get skipped on the next pass)
+                leftover.extend(queue[qi:])
+                break
             active += 1
             fp = state.footprint
-            fp_key = (fp.warps, fp.smem, fp.regs)
+            fpw, fps, fpr = fp.warps, fp.smem, fp.regs
+            fp_key = (fpw, fps, fpr)
             if fp_key in failed_fps:
                 leftover.append(state)
                 continue
-            work_list = floor_list = None
+            ends = works = floors = None
             n_blocks = state.n_blocks
             while state.next_block < n_blocks:
-                sm = self._find_sm(fp)
-                if sm is None:
+                best = None
+                best_w = L = R = 0
+                for sm in sms:
+                    if (
+                        sm.free_warps >= fpw
+                        and sm.free_blocks >= 1
+                        and sm.free_smem >= fps
+                        and sm.free_regs >= fpr
+                    ):
+                        w = sm.free_warps
+                        if best is None or w > best_w:
+                            L = best_w
+                            R = 0
+                            best = sm
+                            best_w = w
+                        elif w > R:
+                            R = w
+                if best is None:
                     failed_fps.add(fp_key)
                     break
-                if work_list is None:
-                    work_list, floor_list = state.spec.costs.block_lists()
+                if ends is None:
+                    ends, works, floors = state.spec.costs.block_runs()
                 progress = True
-                bi = state.next_block
-                state.next_block = bi + 1
                 if not state.dispatch_started:
                     state.dispatch_started = True
                     state.start_time = now
-                work = work_list[bi]
-                floor = floor_list[bi]
-                sm.advance(now)
-                sm.free_warps -= fp.warps
-                sm.free_blocks -= 1
-                sm.free_smem -= fp.smem
-                sm.free_regs -= fp.regs
+                ri = state.run_cursor
+                bi = state.next_block
+                run_end = ends[ri]
+                work = works[ri]
+                floor = floors[ri]
+                best.advance(now)
+                if work <= _EPS and floor <= _EPS:
+                    # Zero-work zero-floor blocks never enter service and
+                    # retire inline; each retire restores exactly what its
+                    # placement consumed, so the winner's resources — and
+                    # hence the scan result — are unchanged block to block:
+                    # the whole run retires here without rescanning.
+                    for b in range(bi, run_end):
+                        state.next_block = b + 1
+                        best.free_warps -= fpw
+                        best.free_blocks -= 1
+                        best.free_smem -= fps
+                        best.free_regs -= fpr
+                        self._retire_one(best, state, b)
+                    state.run_cursor = ri + 1
+                    continue
+                # resources are held: the winner absorbs blocks until its
+                # free warps would drop below T or an eligibility cap hits
+                T = max(L + 1, R)
+                k = run_end - bi
+                k = min(k, (best_w - T) // fpw + 1, best_w // fpw,
+                        best.free_blocks)
+                if fps:
+                    k = min(k, best.free_smem // fps)
+                if fpr:
+                    k = min(k, best.free_regs // fpr)
+                best.free_warps -= fpw * k
+                best.free_blocks -= k
+                best.free_smem -= fps * k
+                best.free_regs -= fpr * k
+                state.next_block = bi + k
+                if bi + k == run_end:
+                    state.run_cursor = ri + 1
                 if work <= _EPS:
-                    # Zero-work block: never enters service; complete
-                    # immediately (respecting its floor).
-                    if floor > _EPS:
-                        single = _Cohort(state, floor, now, 0.0)
-                        single.indices.append(bi)
-                        self._push_event(now + floor, "linger_done",
-                                         (sm, single))
-                    else:
-                        self._retire_one(sm, state, bi)
+                    # Zero-work blocks with a floor hold resources until
+                    # the floor drains; one linger event covers the chunk
+                    # (retirement interleaves per block, see _on_linger).
+                    chunk = _Cohort(state, floor, now, 0.0)
+                    chunk.indices.extend(range(bi, bi + k))
+                    self._push_event(now + floor, "linger_done",
+                                     (best, chunk))
                 else:
-                    key = (sm.index, state.serial, work, floor)
+                    key = (best.index, state.serial, work, floor)
                     cohort = pending.get(key)
                     if cohort is None:
-                        cohort = _Cohort(state, floor, now, sm.virtual + work)
+                        cohort = _Cohort(state, floor, now,
+                                         best.virtual + work)
                         pending[key] = cohort
-                    cohort.indices.append(bi)
-                    sm.n_serving += 1
-                    changed_sms.add(sm.index)
+                    cohort.indices.extend(range(bi, bi + k))
+                    best.n_serving += k
+                    changed_sms.add(best.index)
             if state.next_block < n_blocks:
                 leftover.append(state)
         for (sm_index, _serial, _work, _floor), cohort in pending.items():

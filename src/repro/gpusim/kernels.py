@@ -122,6 +122,36 @@ class KernelCosts:
             object.__setattr__(self, "_block_lists", cached)
         return cached
 
+    def block_runs(self) -> tuple[list[int], list[float], list[float]]:
+        """Run-length encoding of ``(work, floor)`` over the block array.
+
+        Returns ``(ends, works, floors)`` where blocks ``[ends[i-1],
+        ends[i])`` (0 for the first run) all share ``works[i]`` /
+        ``floors[i]``.  Template grids are dominated by long runs of
+        identical blocks (uniform phases, bulk children), which is what
+        lets the fast engine place whole runs per SM scan instead of one
+        block at a time.  Cached; treat the lists as read-only.
+        """
+        cached = getattr(self, "_block_runs", None)
+        if cached is None:
+            w, f = self.block_cycles, self.block_floor
+            n = w.shape[0]
+            if n == 0:
+                cached = ([], [], [])
+                object.__setattr__(self, "_block_runs", cached)
+                return cached
+            change = np.empty(n, dtype=bool)
+            change[0] = True
+            np.not_equal(w[1:], w[:-1], out=change[1:])
+            change[1:] |= f[1:] != f[:-1]
+            starts = np.flatnonzero(change)
+            ends = np.empty(starts.shape[0], dtype=np.int64)
+            ends[:-1] = starts[1:]
+            ends[-1] = n
+            cached = (ends.tolist(), w[starts].tolist(), f[starts].tolist())
+            object.__setattr__(self, "_block_runs", cached)
+        return cached
+
 
 @dataclass
 class Launch:

@@ -30,6 +30,7 @@ Instrumented span names (the stable catalogue):
 ====================  ====================================================
 ``plan.build``        template ``build()`` + schedule validation (cache miss)
 ``plan.cache_hit``    instant: plan served from the plan cache
+``analysis.build``    one workload-analysis computation (analysis-cache miss)
 ``gpusim.execute``    one executor pass over a launch graph
 ``gpusim.profile``    metric extraction from an executed graph
 ``service.coalesce``  micro-batcher grouping one collection window
@@ -43,6 +44,14 @@ Instrumented span names (the stable catalogue):
 
 Per-kernel simulated-device events (named after their launches) land on
 a separate ``simulated-device`` track with simulated-clock timestamps.
+
+Counters (also in ``summary()["counters"]``): ``plan_cache.hits`` /
+``plan_cache.misses``, ``analysis_cache.hits`` / ``analysis_cache.misses``,
+and — when a disk cache directory is configured —
+``artifact_cache.<tier>.{hits,misses,writes,corrupt}`` for each of the
+``analysis`` / ``plan`` / ``run`` tiers (see ``docs/performance.md``).
+Counters merge additively across processes via ``mark()`` /
+``export_events()`` / ``merge_events()``.
 """
 
 from __future__ import annotations
@@ -174,12 +183,12 @@ def summary() -> dict:
     return _tracer.summary()
 
 
-def mark() -> tuple[int, int]:
-    """Watermark for :func:`export_events` deltas."""
+def mark() -> tuple:
+    """Watermark for :func:`export_events` deltas (events + counters)."""
     return _tracer.mark()
 
 
-def export_events(since: tuple[int, int] = (0, 0)) -> dict:
+def export_events(since: tuple = (0, 0)) -> dict:
     """Picklable events-since-watermark payload (cross-process merge)."""
     return _tracer.export_events(since)
 

@@ -47,11 +47,23 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--skip-baseline", action="store_true",
                         help="skip the sequential per-request baseline")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist analyses/plans/run results under DIR, "
+                             "shared by the service and its pool workers "
+                             "(see docs/performance.md)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="disable the disk artifact cache even if "
+                             "REPRO_CACHE_DIR is set in the environment")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.cache_dir and args.no_disk_cache:
+        print("--cache-dir and --no-disk-cache are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    cache_dir = "" if args.no_disk_cache else args.cache_dir
     mix = build_request_mix(
         args.requests,
         distinct=args.distinct,
@@ -70,6 +82,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         max_batch=args.max_batch,
         batch_window_s=args.window_ms / 1e3,
+        cache_dir=cache_dir,
     ) as svc:
         batched = run_closed_loop(svc, mix, clients=args.clients)
         stats = svc.stats()

@@ -40,10 +40,14 @@ class Batch:
 class MicroBatcher:
     """Groups ``(request, future)`` pairs into executable batches."""
 
-    def __init__(self, inline_cost_threshold: int = 1_000_000) -> None:
+    def __init__(self, inline_cost_threshold: int = 1_000_000,
+                 cache_dir: str | None = None) -> None:
         if inline_cost_threshold < 0:
             raise ServiceError("inline_cost_threshold cannot be negative")
         self.inline_cost_threshold = inline_cost_threshold
+        #: stamped onto every BatchSpec so pool workers configure the same
+        #: disk artifact cache as the service process (see BatchSpec)
+        self.cache_dir = cache_dir
 
     def route_of(self, request: Request) -> str:
         """Small/large split: cheap work runs inline, heavy work pools.
@@ -79,6 +83,7 @@ class MicroBatcher:
                     device=request.device,
                     params=request.params,
                     engine=request.engine,
+                    cache_dir=self.cache_dir,
                 )
                 batch = Batch(
                     key=key, spec=spec, route=self.route_of(request)

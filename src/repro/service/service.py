@@ -76,6 +76,9 @@ class ServiceConfig:
     device: DeviceConfig = field(default_factory=lambda: KEPLER_K20)
     #: latency/batch-size window kept for percentile stats
     stats_window: int = 4096
+    #: disk artifact cache shared with pool workers: None inherits the
+    #: process default (REPRO_CACHE_DIR), "" disables it, a path enables it
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -110,9 +113,16 @@ class TemplateService:
         run_fn=None,
     ) -> None:
         self.config = config or ServiceConfig()
+        if self.config.cache_dir is not None:
+            # configure before the pool spawns so REPRO_CACHE_DIR (set by
+            # configure) is inherited by the worker processes
+            from repro.core.artifactcache import configure_artifact_cache
+
+            configure_artifact_cache(self.config.cache_dir or None)
         self.stats = ServiceStats(window=self.config.stats_window)
         self.pool = worker_pool or WorkerPool(max_workers=self.config.workers)
-        self.batcher = MicroBatcher(self.config.inline_cost_threshold)
+        self.batcher = MicroBatcher(self.config.inline_cost_threshold,
+                                    cache_dir=self.config.cache_dir)
         self._run_fn = run_fn or execute_batch
         self._queue: asyncio.Queue | None = None
         self._loop_task: asyncio.Task | None = None
@@ -372,6 +382,13 @@ class TemplateService:
         """Service + pool counters in one dict (``stats()`` on handles)."""
         snap = self.stats.snapshot()
         snap["pool"] = self.pool.snapshot()
+        from repro.core.artifactcache import get_artifact_cache
+
+        disk = get_artifact_cache()
+        if disk is not None:
+            # inline-route counters of this process; pool workers keep
+            # their own (summed per batch into execute_batch summaries)
+            snap["disk_cache"] = disk.snapshot()
         if obs.enabled():
             # aggregated per-span-name timings of the traced region; the
             # tracer is process-wide, so concurrent traced work outside

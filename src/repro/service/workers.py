@@ -55,6 +55,9 @@ class BatchSpec:
     device: DeviceConfig = KEPLER_K20
     params: TemplateParams = field(default_factory=TemplateParams)
     engine: str = "fast"
+    #: disk artifact cache for the executing process: None leaves the
+    #: process default alone, "" disables it, a path enables it
+    cache_dir: str | None = None
 
 
 def execute_batch(spec: BatchSpec) -> dict:
@@ -67,7 +70,18 @@ def execute_batch(spec: BatchSpec) -> dict:
     ``cache_hits``/``cache_misses`` are the plan-cache probe deltas of this
     call in the executing process; under concurrent inline batches the
     attribution is approximate (the counters are process-global).
+    ``disk_hits``/``disk_misses`` are the same-call deltas of the disk
+    artifact cache (zero when none is configured).
     """
+    from repro.core.artifactcache import (
+        configure_artifact_cache,
+        get_artifact_cache,
+    )
+
+    if spec.cache_dir is not None:
+        configure_artifact_cache(spec.cache_dir or None)
+    disk = get_artifact_cache()
+    disk0 = disk.snapshot() if disk is not None else None
     tmpl = (
         resolve(spec.template, kind=spec.kind)
         if isinstance(spec.template, str)
@@ -79,6 +93,11 @@ def execute_batch(spec: BatchSpec) -> dict:
     start = time.perf_counter()
     run = tmpl.run(spec.workload, spec.device, spec.params, executor=executor)
     wall = time.perf_counter() - start
+    disk_hits = disk_misses = 0
+    if disk is not None:
+        disk1 = disk.snapshot()
+        disk_hits = disk1["hits"] - disk0["hits"]
+        disk_misses = disk1["misses"] - disk0["misses"]
     return {
         "template": run.template,
         "workload": run.workload,
@@ -87,6 +106,8 @@ def execute_batch(spec: BatchSpec) -> dict:
         "wall_s": wall,
         "cache_hits": stats.hits - hits0,
         "cache_misses": stats.misses - misses0,
+        "disk_hits": disk_hits,
+        "disk_misses": disk_misses,
     }
 
 

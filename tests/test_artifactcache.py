@@ -1,0 +1,156 @@
+"""Disk artifact cache: round trips, atomic writes, corruption tolerance,
+repr-stable keying and the process-wide configure/get plumbing."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import artifactcache
+from repro.core.artifactcache import (
+    ArtifactCache,
+    TIERS,
+    configure_artifact_cache,
+    get_artifact_cache,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_state():
+    """Each test starts unconfigured and leaks neither global nor env."""
+    saved = artifactcache._cache
+    saved_env = os.environ.get(artifactcache.ENV_VAR)
+    artifactcache._cache = False
+    os.environ.pop(artifactcache.ENV_VAR, None)
+    yield
+    artifactcache._cache = saved
+    if saved_env is None:
+        os.environ.pop(artifactcache.ENV_VAR, None)
+    else:
+        os.environ[artifactcache.ENV_VAR] = saved_env
+
+
+class TestRoundTrip:
+    def test_put_get_every_tier(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i, tier in enumerate(TIERS):
+            key = ("wl-fp", tier, i)
+            value = {"tier": tier, "array": np.arange(4) * i}
+            assert cache.get(tier, key) is None  # cold
+            cache.put(tier, key, value)
+            got = cache.get(tier, key)
+            assert got["tier"] == tier
+            np.testing.assert_array_equal(got["array"], value["array"])
+        assert cache.stats["plan"] == {
+            "hits": 1, "misses": 1, "writes": 1, "corrupt": 0}
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("plan", ("a", 1), "first")
+        cache.put("plan", ("a", 2), "second")
+        assert cache.get("plan", ("a", 1)) == "first"
+        assert cache.get("plan", ("a", 2)) == "second"
+
+    def test_key_paths_are_repr_stable(self, tmp_path):
+        """Equal keys built independently (as two processes would) map to
+        the same entry file — the cross-process sharing contract."""
+        cache = ArtifactCache(tmp_path)
+        key_a = ("fp-" + "x" * 3, "dual-queue", (("block_size", 128),))
+        key_b = ("fp-xxx", "dual-queue", (("block_size", 2 ** 7),))
+        assert cache._path("plan", key_a) == cache._path("plan", key_b)
+
+    def test_unknown_tier_raises(self, tmp_path):
+        with pytest.raises(ConfigError, match="unknown cache tier"):
+            ArtifactCache(tmp_path).get("plans", "k")
+
+
+class TestRobustness:
+    def test_corrupted_entry_degrades_to_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("run", "key", [1, 2, 3])
+        (entry,) = list((tmp_path / "run").glob("*.pkl"))
+        entry.write_bytes(b"\x80garbage")
+        assert cache.get("run", "key") is None
+        assert cache.stats["run"]["corrupt"] == 1
+        assert cache.stats["run"]["misses"] == 1
+
+    def test_truncated_entry_degrades_to_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("run", "key", list(range(1000)))
+        (entry,) = list((tmp_path / "run").glob("*.pkl"))
+        entry.write_bytes(entry.read_bytes()[:10])
+        assert cache.get("run", "key") is None
+        assert cache.stats["run"]["corrupt"] == 1
+
+    def test_rewrite_after_corruption_recovers(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("plan", "key", "good")
+        (entry,) = list((tmp_path / "plan").glob("*.pkl"))
+        entry.write_bytes(b"")
+        assert cache.get("plan", "key") is None
+        cache.put("plan", "key", "good again")
+        assert cache.get("plan", "key") == "good again"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(5):
+            cache.put("analysis", i, np.zeros(16))
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_unwritable_directory_degrades_silently(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file where the cache dir should go")
+        cache = ArtifactCache(target)
+        cache.put("plan", "k", "v")  # must not raise
+        assert cache.stats["plan"]["writes"] == 0
+        assert cache.get("plan", "k") is None
+
+    def test_alien_pickle_is_served_as_stored(self, tmp_path):
+        """Entries are plain pickles; whatever loads cleanly is returned
+        (version skew is handled by the format-version key prefix)."""
+        cache = ArtifactCache(tmp_path)
+        path = cache._path("plan", "k")
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"other": "schema"}))
+        assert cache.get("plan", "k") == {"other": "schema"}
+
+
+class TestSnapshot:
+    def test_snapshot_totals_sum_tiers(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("plan", "a", 1)
+        cache.get("plan", "a")
+        cache.get("run", "nope")
+        snap = cache.snapshot()
+        assert snap["cache_dir"] == str(tmp_path)
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["writes"] == 1
+        assert snap["tiers"]["plan"]["hits"] == 1
+        assert snap["tiers"]["run"]["misses"] == 1
+
+
+class TestConfigure:
+    def test_configure_sets_global_and_env(self, tmp_path):
+        cache = configure_artifact_cache(tmp_path)
+        assert get_artifact_cache() is cache
+        assert os.environ[artifactcache.ENV_VAR] == str(tmp_path)
+
+    def test_configure_none_disables_and_clears_env(self, tmp_path):
+        configure_artifact_cache(tmp_path)
+        assert configure_artifact_cache(None) is None
+        assert get_artifact_cache() is None
+        assert artifactcache.ENV_VAR not in os.environ
+
+    def test_unconfigured_process_adopts_env(self, tmp_path):
+        """A pool worker never calls configure; it must pick up the dir
+        its parent exported."""
+        os.environ[artifactcache.ENV_VAR] = str(tmp_path)
+        cache = get_artifact_cache()
+        assert cache is not None
+        assert cache.cache_dir == tmp_path
+
+    def test_unconfigured_without_env_is_disabled(self):
+        assert get_artifact_cache() is None

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Smoke-check the disk artifact cache across process boundaries.
+
+Fast end-to-end gate (wired into ``make test`` as ``make cache-smoke``):
+
+1. **two-process round trip** — a child process runs a template with a
+   fresh ``--cache-dir`` (cold: misses + writes on every tier), then a
+   *second* child process runs the same workload and must hit the disk
+   ``plan`` and ``run`` tiers it never populated itself, producing a
+   bit-identical simulated time;
+2. **analysis sharing** — the second process is also probed with a
+   different template of the same workload, which must reuse the disk
+   ``analysis`` tier (the two-level pipeline's cross-template artifact);
+3. **corruption tolerance** — every cached entry is truncated/garbled in
+   place; a third process must degrade to cold misses (recording
+   ``corrupt`` counts), never crash, and still produce the same result.
+
+Children are spawned with ``sys.executable`` so nothing is inherited via
+fork: every hit in steps 1-3 is a genuine disk round trip.  Exit code 0 =
+all checks passed.  Keep this under a few seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: runs in a fresh child process: execute one template against the shared
+#: cache dir and report simulated time + per-tier cache counters as JSON
+_CHILD = r"""
+import json, sys
+import numpy as np
+from repro.core.artifactcache import configure_artifact_cache
+from repro.core.registry import resolve
+from repro.core.workload import AccessStream, NestedLoopWorkload
+from repro.gpusim.config import KEPLER_K20
+
+cache_dir, template = sys.argv[1], sys.argv[2]
+cache = configure_artifact_cache(cache_dir)
+rng = np.random.default_rng(7)
+trips = rng.zipf(1.8, size=400).clip(max=60).astype(np.int64)
+nnz = int(trips.sum())
+workload = NestedLoopWorkload(
+    name="cache-smoke", trip_counts=trips,
+    streams=[AccessStream("x", rng.integers(0, nnz, size=nnz) * 4)],
+)
+run = resolve(template, kind="nested-loop").run(workload, KEPLER_K20)
+print(json.dumps({"time_ms": run.time_ms, "stats": cache.snapshot()}))
+"""
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_child(cache_dir: str, template: str = "dual-queue") -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_CACHE_DIR", None)  # the child must rely on argv alone
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, cache_dir, template],
+        capture_output=True, text=True, env=env,
+    )
+    if proc.returncode != 0:
+        fail(f"child process failed:\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def tier(report: dict, name: str) -> dict:
+    return report["stats"]["tiers"][name]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as tmp:
+        cold = run_child(tmp)
+        if tier(cold, "plan")["writes"] < 1 or tier(cold, "run")["writes"] < 1:
+            fail(f"cold run wrote nothing: {cold['stats']}")
+        if tier(cold, "plan")["hits"] or tier(cold, "run")["hits"]:
+            fail(f"cold run hit a fresh cache: {cold['stats']}")
+
+        warm = run_child(tmp)
+        if tier(warm, "plan")["hits"] < 1 or tier(warm, "run")["hits"] < 1:
+            fail(f"second process missed the disk cache: {warm['stats']}")
+        if warm["time_ms"] != cold["time_ms"]:
+            fail(f"cached result diverged: {cold['time_ms']} "
+                 f"vs {warm['time_ms']}")
+        print(f"round trip ok: plan {tier(warm, 'plan')['hits']} hit(s), "
+              f"run {tier(warm, 'run')['hits']} hit(s) across processes")
+
+        other = run_child(tmp, template="thread-mapped")
+        if tier(other, "analysis")["hits"] < 1:
+            fail("a different template did not reuse the shared workload "
+                 f"analysis: {other['stats']}")
+        print(f"analysis sharing ok: "
+              f"{tier(other, 'analysis')['hits']} cross-template hit(s)")
+
+        entries = sorted(Path(tmp).rglob("*.pkl"))
+        if not entries:
+            fail("no cache entries on disk after three runs")
+        for i, entry in enumerate(entries):
+            # truncate every other entry, garble the rest
+            if i % 2 == 0:
+                entry.write_bytes(entry.read_bytes()[:3])
+            else:
+                entry.write_bytes(b"not a pickle")
+        mangled = run_child(tmp)
+        stats = mangled["stats"]
+        if stats["corrupt"] < 1:
+            fail(f"corrupted entries were not detected: {stats}")
+        if stats["hits"]:
+            fail(f"a corrupted entry served as a hit: {stats}")
+        if mangled["time_ms"] != cold["time_ms"]:
+            fail(f"recovery run diverged: {cold['time_ms']} "
+                 f"vs {mangled['time_ms']}")
+        print(f"corruption tolerance ok: {stats['corrupt']} corrupt "
+              f"entr{'y' if stats['corrupt'] == 1 else 'ies'} degraded "
+              f"to misses, result unchanged")
+    print("cache smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,12 +4,12 @@ PYTHON ?= python
 # make targets work from a clean checkout, without `pip install -e .`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test lint bench bench-smoke bench-service trace-smoke cache-smoke experiments examples results clean
+.PHONY: install test lint bench bench-smoke bench-service bench-multidevice trace-smoke cache-smoke multidevice-smoke experiments examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke trace-smoke cache-smoke
+test: lint bench-smoke trace-smoke cache-smoke multidevice-smoke
 	$(PYTHON) -m pytest tests/
 
 # ruff when installed, stdlib fallback (syntax, unused imports, debug
@@ -39,10 +39,21 @@ cache-smoke:
 trace-smoke:
 	$(PYTHON) tools/trace_smoke.py
 
+# multi-device execution end-to-end: 1- vs 4-device runs of a loop and a
+# tree app must conserve work (per-device counters sum to single-device
+# totals), merge as max-time/sum-busy, and keep devices=1 bit-for-bit
+multidevice-smoke:
+	$(PYTHON) tools/multidevice_smoke.py
+
 # serving-layer throughput: micro-batched repro.serve vs per-request
 # repro.run; acceptance requires the batched path to win by >= 2x
 bench-service:
 	$(PYTHON) benchmarks/bench_service_throughput.py --min-speedup 2
+
+# multi-device scaling on the fig5 sweep: aggregate throughput of a
+# 4-device group vs one device; acceptance requires >= 2.5x
+bench-multidevice:
+	$(PYTHON) benchmarks/bench_multi_device.py --min-speedup 2.5
 
 # regenerate every paper artifact into results/
 experiments:

@@ -73,6 +73,7 @@ def run(
     workload,
     *,
     device: DeviceConfig = KEPLER_K20,
+    devices: int = 1,
     params: TemplateParams | None = None,
     engine: str | None = None,
     exact: bool | None = None,
@@ -91,6 +92,13 @@ def run(
         :class:`NestedLoopWorkload` or :class:`RecursiveTreeWorkload`.
     device:
         simulated device (default: the paper's Kepler K20).
+    devices:
+        simulated device count.  ``1`` (the default) executes exactly as
+        a single device always has; ``N > 1`` shards the workload across
+        a :class:`~repro.backends.DeviceGroup` of N identical devices
+        and returns a merged run whose ``device_runs`` /
+        ``result.per_device`` keep the per-device components inspectable
+        (see ``docs/architecture.md``).
     params:
         :class:`TemplateParams`; defaults are the paper's choices.
     engine:
@@ -105,6 +113,14 @@ def run(
     kind = _kind_of(workload)
     tmpl = resolve(template, kind=kind) if isinstance(template, str) else template
     engine = _resolve_engine(engine, exact)
+    if devices < 1:
+        raise ConfigError(f"devices must be >= 1, got {devices}")
+    if devices > 1:
+        from repro.backends import backend_for
+
+        backend = backend_for(device, devices, engine=engine)
+        return tmpl.run(workload, device, params or TemplateParams(),
+                        backend=backend)
     executor = GpuExecutor(device, engine=engine) if engine is not None else None
     return tmpl.run(workload, device, params or TemplateParams(), executor=executor)
 
@@ -114,6 +130,7 @@ def compare(
     workload,
     *,
     device: DeviceConfig = KEPLER_K20,
+    devices: int = 1,
     params: TemplateParams | None = None,
     engine: str | None = None,
     exact: bool | None = None,
@@ -121,7 +138,8 @@ def compare(
     """Run several templates on one workload; runs come back in request order."""
     engine = _resolve_engine(engine, exact)
     return [
-        run(t, workload, device=device, params=params, engine=engine)
+        run(t, workload, device=device, devices=devices, params=params,
+            engine=engine)
         for t in templates
     ]
 

@@ -24,7 +24,7 @@ from repro.cpu.costmodel import XEON_E5_2620, CPUConfig
 from repro.cpu.reference import bc_serial
 from repro.errors import GraphError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
-from repro.gpusim.executor import GpuExecutor
+from repro.backends import backend_for
 from repro.graphs.csr import CSRGraph, concat_ranges
 
 __all__ = ["BCApp"]
@@ -115,7 +115,7 @@ class BCApp:
         """Both phases over all configured sources under one template."""
         params = params or TemplateParams()
         tmpl = resolve(template, kind="nested-loop")
-        executor = GpuExecutor(config)
+        executor = backend_for(config)
         runs = []
         for source in self.sources.tolist():
             levels = list(self._source_levels(source))

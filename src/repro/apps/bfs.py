@@ -33,7 +33,7 @@ from repro.gpusim.costmodel import (
     effective_segment_cycles,
     resident_warps_estimate,
 )
-from repro.gpusim.executor import GpuExecutor
+from repro.backends import backend_for
 from repro.gpusim.kernels import KernelCosts, Launch, LaunchGraph, ProfileCounters
 from repro.gpusim.profiler import profile
 from repro.gpusim.warps import WarpExecStats
@@ -107,7 +107,7 @@ class BFSApp:
         """Level-synchronous BFS under a nested-loop template."""
         params = params or TemplateParams()
         tmpl = resolve(template, kind="nested-loop")
-        executor = GpuExecutor(config)
+        executor = backend_for(config)
         runs = [
             tmpl.run(self._level_workload(frontier), config, params, executor)
             for frontier in self._level_frontiers()
@@ -423,7 +423,7 @@ class RecursiveBFSApp:
             raise WorkloadError(f"unknown recursive BFS variant {variant!r}")
         params = params or TemplateParams()
         graph = self._build_graph(config, params, variant == "rec-hier")
-        result = GpuExecutor(config).run(graph)
+        result = backend_for(config).submit(graph)
         metrics = profile(graph, result, config)
         serial = bfs_recursive_serial(self.graph, self.source)
         return AppRun(

@@ -21,7 +21,7 @@ from repro.cpu.costmodel import XEON_E5_2620, CPUConfig, OpCounts
 from repro.cpu.reference import SerialRun
 from repro.errors import GraphError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
-from repro.gpusim.executor import GpuExecutor
+from repro.backends import backend_for
 from repro.graphs.csr import CSRGraph, concat_ranges
 
 __all__ = ["CCApp", "cc_serial"]
@@ -158,7 +158,7 @@ class CCApp:
         """Run label propagation to fixpoint under one template."""
         params = params or TemplateParams()
         tmpl = resolve(template, kind="nested-loop")
-        executor = GpuExecutor(config)
+        executor = backend_for(config)
         runs = [
             tmpl.run(self._round_workload(*round_), config, params, executor)
             for round_ in self._rounds()

@@ -20,7 +20,7 @@ from repro.cpu.costmodel import XEON_E5_2620, CPUConfig
 from repro.cpu.reference import pagerank_serial
 from repro.errors import GraphError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
-from repro.gpusim.executor import GpuExecutor
+from repro.backends import backend_for
 
 __all__ = ["PageRankApp"]
 
@@ -81,7 +81,7 @@ class PageRankApp:
         """Execute ``n_iters`` identical iterations under one template."""
         params = params or TemplateParams()
         tmpl = resolve(template, kind="nested-loop")
-        executor = GpuExecutor(config)
+        executor = backend_for(config)
         one = tmpl.run(self.workload(), config, params, executor)
         # iterations are identical and serialized on the default stream
         runs = [one] * self.n_iters

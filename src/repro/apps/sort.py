@@ -24,7 +24,7 @@ import numpy as np
 from repro.errors import WorkloadError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
 from repro.gpusim.dynpar import require_device_support
-from repro.gpusim.executor import GpuExecutor
+from repro.backends import backend_for
 from repro.gpusim.kernels import KernelCosts, Launch, LaunchGraph
 from repro.gpusim.profiler import ProfileMetrics, profile
 
@@ -278,7 +278,7 @@ class SortApp:
             graph, result = self._quicksort_graph(
                 config, advanced=(variant == "quicksort-advanced")
             )
-        exec_result = GpuExecutor(config).run(graph)
+        exec_result = backend_for(config).submit(graph)
         metrics = profile(graph, exec_result, config)
         expected = np.sort(self.values)
         if not np.array_equal(result, expected):

@@ -20,7 +20,7 @@ from repro.cpu.costmodel import XEON_E5_2620, CPUConfig
 from repro.cpu.reference import sssp_serial
 from repro.errors import GraphError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
-from repro.gpusim.executor import GpuExecutor
+from repro.backends import backend_for
 from repro.graphs.csr import CSRGraph, concat_ranges
 
 __all__ = ["SSSPApp"]
@@ -135,7 +135,7 @@ class SSSPApp:
         """Execute all relaxation rounds under one template."""
         params = params or TemplateParams()
         tmpl = resolve(template, kind="nested-loop")
-        executor = GpuExecutor(config)
+        executor = backend_for(config)
         runs = []
         for frontier, edge_idx, targets, improving, _ in self._rounds():
             wl = self.round_workload(frontier, edge_idx, targets, improving)

@@ -1,0 +1,125 @@
+"""``repro.backends`` — execution backends behind the template layer.
+
+The template ``run()`` wrappers, the apps, the service and the bench
+runner all obtain their execution substrate here instead of constructing
+:class:`~repro.gpusim.executor.GpuExecutor` objects inline.  That one
+seam is what multi-device execution threads through: set the process
+default to N devices (:func:`set_default_devices`, driven by
+``repro.run(..., devices=N)`` and ``python -m repro.bench --devices N``)
+and every template run in the process shards across a
+:class:`~repro.backends.group.DeviceGroup`; leave it at 1 and everything
+behaves — bit for bit, cache keys included — exactly as the
+executor-inline code did.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, BackendCapabilities, capabilities_of
+from repro.backends.group import DeviceGroup, GroupExecutionResult, run_sharded
+from repro.backends.sim import SimBackend
+from repro.errors import ConfigError
+from repro.gpusim.config import DeviceConfig, KEPLER_K20
+from repro.gpusim.executor import GpuExecutor
+
+__all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "DeviceGroup",
+    "GroupExecutionResult",
+    "SimBackend",
+    "backend_for",
+    "capabilities_of",
+    "coerce_backend",
+    "get_default_devices",
+    "run_sharded",
+    "set_default_devices",
+]
+
+_default_devices = 1
+
+#: memoized device groups, keyed on (device fingerprint, n, engine) —
+#: groups are stateful (load counters), so reusing one per topology keeps
+#: least-loaded routing meaningful across runs in the same process
+_groups: dict[tuple, DeviceGroup] = {}
+
+
+def set_default_devices(n: int) -> None:
+    """Select the device count used when no backend/executor is passed.
+
+    The multi-device analogue of
+    :func:`~repro.gpusim.executor.set_default_engine`: the bench runner's
+    ``--devices`` flag routes through here so every template run in a
+    worker process (apps, experiments) shards the same way.
+    """
+    global _default_devices
+    if n < 1:
+        raise ConfigError(f"device count must be >= 1, got {n}")
+    _default_devices = int(n)
+
+
+def get_default_devices() -> int:
+    """The device count currently used by default (1 unless overridden)."""
+    return _default_devices
+
+
+def backend_for(
+    config: DeviceConfig = KEPLER_K20,
+    devices: int | None = None,
+    *,
+    engine: str | None = None,
+    record_timeline: bool = False,
+) -> Backend:
+    """A backend for ``devices`` copies of ``config`` (default topology).
+
+    One device returns a fresh :class:`SimBackend` (stateless, like the
+    inline executors it replaces); more return the process's memoized
+    :class:`DeviceGroup` for that topology.
+    """
+    n = _default_devices if devices is None else devices
+    if n < 1:
+        raise ConfigError(f"device count must be >= 1, got {n}")
+    if n == 1:
+        return SimBackend(config, engine=engine,
+                          record_timeline=record_timeline)
+    if record_timeline:
+        return DeviceGroup(config, n, engine=engine, record_timeline=True)
+    key = (config.fingerprint(), n, engine)
+    group = _groups.get(key)
+    if group is None:
+        group = DeviceGroup(config, n, engine=engine)
+        if len(_groups) >= 32:
+            _groups.pop(next(iter(_groups)))
+        _groups[key] = group
+    return group
+
+
+def coerce_backend(
+    backend: Backend | None,
+    executor,
+    config: DeviceConfig,
+) -> Backend:
+    """Resolve what a template run executes on.
+
+    Precedence: an explicit ``backend``; then ``executor`` (a legacy
+    :class:`GpuExecutor` — wrapped without touching its engine/timeline
+    flags, so caller-supplied executors keep their exact semantics and
+    cache keys — or already a backend); else the process default
+    topology for ``config``.
+    """
+    if backend is not None:
+        if not isinstance(backend, Backend):
+            raise ConfigError(
+                f"backend must be a repro.backends.Backend, "
+                f"got {type(backend).__name__}"
+            )
+        return backend
+    if executor is not None:
+        if isinstance(executor, Backend):
+            return executor
+        if isinstance(executor, GpuExecutor):
+            return SimBackend.from_executor(executor)
+        raise ConfigError(
+            f"executor must be a GpuExecutor or Backend, "
+            f"got {type(executor).__name__}"
+        )
+    return backend_for(config)

@@ -1,0 +1,287 @@
+"""Multi-device backend: shard workloads across N simulated devices.
+
+:class:`DeviceGroup` owns N :class:`~repro.backends.sim.SimBackend`
+members (identical device configs) and supports two modes of use:
+
+* **Graph routing** (:meth:`DeviceGroup.submit`) — one launch graph goes
+  to the least-loaded member, where load is the simulated busy time it
+  has accumulated plus its in-flight submissions.  This is how the
+  serving layer spreads independent batches over devices.
+* **Sharded runs** (:func:`run_sharded`) — one workload is split by the
+  planner in :mod:`repro.core.sharding`, each shard builds and executes
+  its own plan on its member device (concurrently, on a thread pool —
+  the simulator releases no locks but each shard run is pure Python +
+  NumPy, so threads mainly overlap the per-shard executor passes), and
+  the per-device results merge into one combined
+  :class:`GroupExecutionResult` whose components stay inspectable.
+
+Merge semantics mirror real concurrent devices: simulated time is the
+**max** over members (they run in parallel), busy cycles / launch counts
+/ profiler counters are **sums**, and the merged launch graph is the
+concatenation of the shard graphs (parent links and stream ids offset
+per shard) so profiling and inspection tools keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro import obs
+from repro.backends.base import Backend, BackendCapabilities, capabilities_of
+from repro.backends.sim import SimBackend
+from repro.errors import ConfigError
+from repro.gpusim.config import DeviceConfig, KEPLER_K20
+from repro.gpusim.executor import ExecutionResult
+from repro.gpusim.kernels import HOST, LaunchGraph, ProfileCounters
+
+__all__ = ["DeviceGroup", "GroupExecutionResult", "run_sharded"]
+
+
+@dataclass
+class GroupExecutionResult(ExecutionResult):
+    """Merged outcome of a multi-device run; per-device parts attached.
+
+    Aggregate fields follow concurrent-execution semantics — ``cycles`` /
+    ``time_ms`` are the slowest member (the group finishes when the last
+    device does), ``sm_busy_cycles`` / ``sm_count`` / launch counts sum —
+    so ``sm_utilization`` reads as busy cycles over the whole group's
+    cycle budget for the run's duration.
+    """
+
+    #: per-member :class:`ExecutionResult`, indexed by device
+    per_device: list[ExecutionResult] = field(default_factory=list)
+
+    @property
+    def n_devices(self) -> int:
+        """Members that executed a shard."""
+        return len(self.per_device)
+
+
+class DeviceGroup(Backend):
+    """N identical simulated devices behind one backend."""
+
+    name = "group"
+
+    def __init__(
+        self,
+        device: DeviceConfig = KEPLER_K20,
+        n_devices: int = 2,
+        *,
+        engine: str | None = None,
+        record_timeline: bool = False,
+    ) -> None:
+        if n_devices < 1:
+            raise ConfigError(
+                f"a DeviceGroup needs at least 1 device, got {n_devices}"
+            )
+        self.members = [
+            SimBackend(device, engine=engine,
+                       record_timeline=record_timeline, device_index=i)
+            for i in range(n_devices)
+        ]
+        self._capabilities = capabilities_of(device, devices=n_devices)
+        self._lock = threading.Lock()
+        self._inflight = [0] * n_devices
+
+    @property
+    def device(self) -> DeviceConfig:
+        return self.members[0].device
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return self._capabilities
+
+    @property
+    def engine(self) -> str | None:
+        return self.members[0].engine
+
+    @property
+    def record_timeline(self) -> bool:
+        return self.members[0].record_timeline
+
+    # ------------------------------------------------------------- routing
+    def least_loaded(self) -> int:
+        """Member index with the least accumulated + in-flight load."""
+        with self._lock:
+            return self._pick_locked()
+
+    def _pick_locked(self) -> int:
+        avg = (sum(m.busy_ms for m in self.members)
+               / len(self.members)) or 1.0
+        best, best_load = 0, float("inf")
+        for i, member in enumerate(self.members):
+            load = member.busy_ms + self._inflight[i] * avg
+            if load < best_load:
+                best, best_load = i, load
+        return best
+
+    def acquire(self) -> int:
+        """Reserve the least-loaded member for an external execution.
+
+        The serving layer routes pool batches here: the batch runs in a
+        worker process (the member's executor never sees the graph), so
+        the reservation tracks expected load until :meth:`complete`.
+        """
+        with self._lock:
+            i = self._pick_locked()
+            self._inflight[i] += 1
+            return i
+
+    def complete(self, index: int, busy_ms: float = 0.0) -> None:
+        """Release a reservation, crediting the simulated time it ran."""
+        with self._lock:
+            self._inflight[index] = max(0, self._inflight[index] - 1)
+            self.members[index].busy_ms += busy_ms
+
+    def submit(self, graph: LaunchGraph) -> ExecutionResult:
+        """Execute one graph on the least-loaded member."""
+        with self._lock:
+            i = self._pick_locked()
+            self._inflight[i] += 1
+        try:
+            return self.members[i].submit(graph)
+        finally:
+            with self._lock:
+                self._inflight[i] -= 1
+
+    def snapshot(self) -> dict:
+        """Per-device load counters (for service/bench stats)."""
+        with self._lock:
+            return {
+                "devices": len(self.members),
+                "per_device": [
+                    {
+                        "index": i,
+                        "busy_ms": m.busy_ms,
+                        "submissions": m.submissions,
+                        "inflight": self._inflight[i],
+                    }
+                    for i, m in enumerate(self.members)
+                ],
+            }
+
+
+# ------------------------------------------------------------------ merging
+
+def _merge_graphs(graphs: list[LaunchGraph]) -> LaunchGraph:
+    """Concatenate shard graphs, keeping parent links and streams disjoint.
+
+    The merged graph exists for inspection and profiling (occupancy
+    weighting, launch listings) — it is never re-executed, the per-shard
+    results already are the execution.
+    """
+    merged = LaunchGraph()
+    base = 0
+    stream_base = 0
+    for graph in graphs:
+        max_stream = 0
+        for launch in graph.launches:
+            if launch.parent == HOST:
+                max_stream = max(max_stream, launch.stream)
+                merged.add(replace(launch, stream=launch.stream + stream_base))
+            else:
+                merged.add(replace(launch, parent=launch.parent + base))
+        base += len(graph.launches)
+        stream_base += max_stream + 1
+    return merged
+
+
+def _merge_results(results: list[ExecutionResult]) -> GroupExecutionResult:
+    """Fold per-device results into group (concurrent-devices) totals."""
+    counters = ProfileCounters()
+    for r in results:
+        counters.merge(r.counters)
+    records = []
+    for r in results:
+        records.extend(r.records)
+    return GroupExecutionResult(
+        cycles=max(r.cycles for r in results),
+        time_ms=max(r.time_ms for r in results),
+        counters=counters,
+        sm_busy_cycles=sum(r.sm_busy_cycles for r in results),
+        sm_count=sum(r.sm_count for r in results),
+        n_launches=sum(r.n_launches for r in results),
+        n_device_launches=sum(r.n_device_launches for r in results),
+        pool_overflows=sum(r.pool_overflows for r in results),
+        records=records,
+        per_device=list(results),
+    )
+
+
+def _merge_schedules(shards, runs) -> dict[str, np.ndarray]:
+    """Map shard-local schedules back to original outer-iteration ids."""
+    merged: dict[str, list[np.ndarray]] = {}
+    for shard, run in zip(shards, runs):
+        for phase, local_ids in run.schedule.items():
+            local_ids = np.asarray(local_ids, dtype=np.int64)
+            merged.setdefault(phase, []).append(shard.members[local_ids])
+    return {
+        phase: np.sort(np.concatenate(parts))
+        for phase, parts in merged.items()
+    }
+
+
+def run_sharded(template, workload, group: DeviceGroup,
+                config: DeviceConfig, params):
+    """Run one workload sharded across a device group; merge the results.
+
+    Each shard goes through the full single-device ``template.run`` path
+    on its member backend — plan cache, disk artifact cache and run tier
+    all apply per shard (shard fingerprints keep their keys disjoint from
+    whole-workload keys).  Returns a merged
+    :class:`~repro.core.base.TemplateRun` with ``device_runs`` holding
+    the per-shard runs, or ``None`` when the workload cannot shard
+    (caller falls back to single-device execution).
+    """
+    from repro.core.base import check_schedule
+    from repro.core.sharding import shard_workload
+    from repro.gpusim.profiler import profile
+
+    shards = shard_workload(workload, len(group.members))
+    if shards is None:
+        return None
+
+    def run_one(shard):
+        member = group.members[shard.index]
+        with obs.span("device.run", device=shard.index,
+                      template=template.name, workload=shard.workload.name):
+            run = template.run(shard.workload, config, params,
+                               executor=member)
+        if shard.kind == "nested-loop":
+            obs.add_counter(f"device.{shard.index}.outer", shard.n_members)
+            obs.add_counter(f"device.{shard.index}.pairs",
+                            shard.workload.n_pairs)
+        else:
+            obs.add_counter(f"device.{shard.index}.nodes", shard.n_members)
+        return run
+
+    if len(shards) == 1:
+        runs = [run_one(shards[0])]
+    else:
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            runs = list(pool.map(run_one, shards))
+
+    result = _merge_results([r.result for r in runs])
+    graph = _merge_graphs([r.graph for r in runs])
+    if shards[0].kind == "nested-loop":
+        schedule = _merge_schedules(shards, runs)
+        check_schedule(schedule, workload.outer_size)
+    else:
+        schedule = {"nodes": np.arange(workload.tree.n_nodes)}
+    metrics = profile(graph, result, config)
+    from repro.core.base import TemplateRun
+
+    return TemplateRun(
+        template=template.name,
+        workload=workload.name,
+        graph=graph,
+        result=result,
+        metrics=metrics,
+        schedule=schedule,
+        params=runs[0].params,
+        device_runs=runs,
+    )

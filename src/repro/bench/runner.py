@@ -38,7 +38,7 @@ _WHOLE = None
 
 def _run_unit(exp_id: str, variant, config: ExperimentConfig,
               engine: str, plan_cache: bool, trace: bool = False,
-              cache_dir: str | None = None):
+              cache_dir: str | None = None, devices: int = 1):
     """Execute one work unit; module-level so it pickles into pool workers.
 
     Returns ``(payload, elapsed_s, (cache_hits, cache_misses), spans,
@@ -58,10 +58,12 @@ def _run_unit(exp_id: str, variant, config: ExperimentConfig,
         configure_artifact_cache,
         get_artifact_cache,
     )
+    from repro.backends import set_default_devices
     from repro.core.plancache import default_cache, set_plan_cache_enabled
     from repro.gpusim.executor import set_default_engine
 
     set_default_engine(engine)
+    set_default_devices(devices)
     set_plan_cache_enabled(plan_cache)
     if cache_dir is not None:
         configure_artifact_cache(cache_dir or None)
@@ -99,7 +101,7 @@ def _run_unit(exp_id: str, variant, config: ExperimentConfig,
 def run_units(units, config: ExperimentConfig, jobs: int,
               engine: str = "fast", plan_cache: bool = True,
               chunksize: int = 1, trace: bool = False,
-              cache_dir: str | None = None):
+              cache_dir: str | None = None, devices: int = 1):
     """Run ``(exp_id, variant)`` units, preserving submission order.
 
     ``jobs <= 1`` runs inline in this process (no pool, no pickling);
@@ -119,13 +121,13 @@ def run_units(units, config: ExperimentConfig, jobs: int,
     if jobs <= 1 or len(units) <= 1:
         return [
             _run_unit(exp_id, variant, config, engine, plan_cache, trace,
-                      cache_dir)
+                      cache_dir, devices)
             for exp_id, variant in units
         ]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
             pool.submit(_run_unit, exp_id, variant, config, engine,
-                        plan_cache, trace, cache_dir)
+                        plan_cache, trace, cache_dir, devices)
             for exp_id, variant in units
         ]
         results = [f.result() for f in futures]
@@ -167,6 +169,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--exact", action="store_true",
                         help="use the reference event-per-block executor "
                              "engine instead of the cohort fast path")
+    parser.add_argument("--devices", type=int, default=1, metavar="N",
+                        help="simulated devices per run: every template run "
+                             "shards its workload across N devices "
+                             "(default 1; see docs/architecture.md)")
     parser.add_argument("--no-plan-cache", action="store_true",
                         help="disable the launch-plan cache (cold builds "
                              "every run; for measurement)")
@@ -202,6 +208,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.devices < 1:
+        print("--devices must be >= 1", file=sys.stderr)
         return 2
 
     ids = list(registry) if "all" in requested else requested
@@ -242,7 +251,8 @@ def main(argv: list[str] | None = None) -> int:
         spans.append((exp_id, first, len(units) - first))
 
     results = run_units(units, config, args.jobs, engine, plan_cache,
-                        trace=args.trace is not None, cache_dir=cache_dir)
+                        trace=args.trace is not None, cache_dir=cache_dir,
+                        devices=args.devices)
 
     status = 0
     for exp_id, first, count in spans:

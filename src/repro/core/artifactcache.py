@@ -23,6 +23,15 @@ corruption-tolerant — any unreadable entry counts as a miss (and bumps the
 across processes: fingerprint strings, names and numbers, not live
 objects.
 
+Disk usage is bounded: the cache evicts least-recently-used entries
+(mtime order — hits refresh an entry's mtime) whenever the total size
+exceeds ``max_bytes`` (default 1 GiB, overridable per instance or via the
+``REPRO_CACHE_MAX_BYTES`` environment variable; ``0`` disables the cap).
+Eviction is a plain atomic ``unlink``: a concurrent reader that already
+opened the file keeps reading its snapshot, one that races the unlink
+sees a miss and rebuilds — exactly the corruption-degradation contract
+reads already have.
+
 Configuration is process-wide: :func:`configure_artifact_cache` sets (or
 disables) the cache, and setting it also exports ``REPRO_CACHE_DIR`` so
 pool workers spawned afterwards inherit the same directory;
@@ -57,16 +66,48 @@ _FORMAT_VERSION = "v1"
 #: environment variable carrying the cache dir into pool workers
 ENV_VAR = "REPRO_CACHE_DIR"
 
+#: environment variable overriding the default size cap (bytes; 0 = off)
+SIZE_ENV_VAR = "REPRO_CACHE_MAX_BYTES"
+
+#: default disk budget when neither the constructor nor the environment
+#: says otherwise
+DEFAULT_MAX_BYTES = 1 << 30  # 1 GiB
+
+#: puts between full directory rescans (concurrent writers drift the
+#: incrementally-tracked total; a periodic rescan re-anchors it)
+_RESCAN_EVERY = 64
+
+
+def _default_max_bytes() -> int:
+    raw = os.environ.get(SIZE_ENV_VAR)
+    if raw is None:
+        return DEFAULT_MAX_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_MAX_BYTES
+
 
 class ArtifactCache:
-    """Pickle store under ``cache_dir`` with per-tier hit/miss counters."""
+    """Pickle store under ``cache_dir`` with per-tier hit/miss counters.
 
-    def __init__(self, cache_dir: str | Path) -> None:
+    ``max_bytes`` bounds total disk usage (LRU eviction by mtime; 0 means
+    unbounded).  ``None`` defers to ``REPRO_CACHE_MAX_BYTES`` or the
+    1 GiB default.
+    """
+
+    def __init__(self, cache_dir: str | Path,
+                 max_bytes: int | None = None) -> None:
         self.cache_dir = Path(cache_dir)
+        self.max_bytes = _default_max_bytes() if max_bytes is None else max(0, int(max_bytes))
         self.stats: dict[str, dict[str, int]] = {
-            tier: {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+            tier: {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0,
+                   "evictions": 0}
             for tier in TIERS
         }
+        #: incrementally-tracked total size; None = not yet scanned
+        self._size_bytes: int | None = None
+        self._puts_since_scan = 0
 
     def _path(self, tier: str, key: object) -> Path:
         if tier not in TIERS:
@@ -99,6 +140,11 @@ class ArtifactCache:
         stats["hits"] += 1
         if obs.enabled():
             obs.add_counter(f"artifact_cache.{tier}.hits")
+        try:
+            # refresh recency so LRU eviction spares hot entries
+            os.utime(path)
+        except OSError:
+            pass
         return value
 
     def put(self, tier: str, key: object, value: object) -> None:
@@ -107,10 +153,15 @@ class ArtifactCache:
         path = self._path(tier, key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                replaced = path.stat().st_size
+            except OSError:
+                replaced = 0
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
                     pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                written = os.stat(tmp).st_size
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -123,16 +174,73 @@ class ArtifactCache:
         self.stats[tier]["writes"] += 1
         if obs.enabled():
             obs.add_counter(f"artifact_cache.{tier}.writes")
+        if self.max_bytes:
+            self._account_and_evict(written - replaced)
+
+    # -------------------------------------------------------- size bounding
+    def _scan_entries(self) -> list[tuple[float, int, str, "Path"]]:
+        """All cache entries as ``(mtime, size, tier, path)`` tuples."""
+        entries = []
+        for tier in TIERS:
+            tier_dir = self.cache_dir / tier
+            try:
+                with os.scandir(tier_dir) as it:
+                    for entry in it:
+                        if not entry.name.endswith(".pkl"):
+                            continue
+                        try:
+                            st = entry.stat()
+                        except OSError:
+                            continue  # raced an eviction/cleanup
+                        entries.append(
+                            (st.st_mtime, st.st_size, tier, Path(entry.path))
+                        )
+            except OSError:
+                continue
+        return entries
+
+    def _account_and_evict(self, delta: int) -> None:
+        """Track total size incrementally; evict LRU entries over the cap.
+
+        Eviction is a plain ``os.unlink`` per entry: atomic, and safe
+        against concurrent readers — an open file keeps serving its
+        reader, a read racing the unlink degrades to a miss.
+        """
+        self._puts_since_scan += 1
+        if self._size_bytes is None or self._puts_since_scan >= _RESCAN_EVERY:
+            self._size_bytes = sum(e[1] for e in self._scan_entries())
+            self._puts_since_scan = 0
+        else:
+            self._size_bytes += delta
+        if self._size_bytes <= self.max_bytes:
+            return
+        entries = sorted(self._scan_entries())  # oldest mtime first
+        total = sum(e[1] for e in entries)
+        for _, size, tier, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # already gone (another process evicted it)
+            total -= size
+            self.stats[tier]["evictions"] += 1
+            if obs.enabled():
+                obs.add_counter(f"artifact_cache.{tier}.evictions")
+        self._size_bytes = total
+        self._puts_since_scan = 0
 
     def snapshot(self) -> dict:
         """Per-tier counters plus totals (``--profile`` / BENCH records)."""
-        total = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+        total = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0,
+                 "evictions": 0}
         tiers = {}
         for tier in TIERS:
             tiers[tier] = dict(self.stats[tier])
             for k in total:
                 total[k] += self.stats[tier][k]
-        return {"cache_dir": str(self.cache_dir), "tiers": tiers, **total}
+        return {"cache_dir": str(self.cache_dir), "max_bytes": self.max_bytes,
+                "tiers": tiers, **total}
 
 
 #: process-wide cache instance; ``False`` = not yet configured (allows the
@@ -140,18 +248,23 @@ class ArtifactCache:
 _cache: ArtifactCache | None | bool = False
 
 
-def configure_artifact_cache(cache_dir: str | Path | None) -> ArtifactCache | None:
+def configure_artifact_cache(
+    cache_dir: str | Path | None,
+    max_bytes: int | None = None,
+) -> ArtifactCache | None:
     """Set the process-wide disk cache (None disables it).
 
     Enabling also exports ``REPRO_CACHE_DIR`` so worker processes forked or
     spawned afterwards share the same directory without explicit plumbing.
+    ``max_bytes`` caps disk usage (None defers to ``REPRO_CACHE_MAX_BYTES``
+    or the 1 GiB default; 0 disables the cap).
     """
     global _cache
     if cache_dir is None:
         _cache = None
         os.environ.pop(ENV_VAR, None)
         return None
-    _cache = ArtifactCache(cache_dir)
+    _cache = ArtifactCache(cache_dir, max_bytes=max_bytes)
     os.environ[ENV_VAR] = str(_cache.cache_dir)
     return _cache
 

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 import numpy as np
 
 from repro import obs
+from repro.backends import coerce_backend, run_sharded
 from repro.core.analysis import WorkloadAnalysis, get_analysis
 from repro.core.artifactcache import get_artifact_cache
 from repro.core.params import TemplateParams
@@ -15,7 +16,7 @@ from repro.core.plancache import default_cache
 from repro.core.workload import NestedLoopWorkload
 from repro.errors import PlanError
 from repro.gpusim.config import DeviceConfig
-from repro.gpusim.executor import ExecutionResult, GpuExecutor, get_default_engine
+from repro.gpusim.executor import ExecutionResult, get_default_engine
 from repro.gpusim.kernels import LaunchGraph
 from repro.gpusim.profiler import ProfileMetrics, profile
 
@@ -56,6 +57,8 @@ class TemplateRun:
     #: phase name -> outer iteration ids handled by that phase
     schedule: dict[str, np.ndarray] = field(default_factory=dict)
     params: TemplateParams | None = None
+    #: per-shard runs of a multi-device execution (None for single-device)
+    device_runs: list["TemplateRun"] | None = None
 
     @property
     def time_ms(self) -> float:
@@ -135,9 +138,17 @@ class NestedLoopTemplate(ABC):
         workload: NestedLoopWorkload,
         config: DeviceConfig,
         params: TemplateParams | None = None,
-        executor: GpuExecutor | None = None,
+        executor=None,
+        *,
+        backend=None,
     ) -> TemplateRun:
         """Build, validate, execute and profile in one call.
+
+        Execution goes through a :class:`~repro.backends.Backend` —
+        resolved from ``backend``, a legacy ``executor`` (wrapped
+        unchanged), or the process's default device topology.  A
+        multi-device backend shards the workload and merges the
+        per-device runs (see :func:`repro.backends.run_sharded`).
 
         Plans are served from the process-wide plan cache when an identical
         (workload, template, plan-relevant params, device) build was done
@@ -149,6 +160,12 @@ class NestedLoopTemplate(ABC):
         which needs a live run.
         """
         params = params or TemplateParams()
+        backend = coerce_backend(backend, executor, config)
+        if backend.n_devices > 1:
+            merged = run_sharded(self, workload, backend, config, params)
+            if merged is not None:
+                return merged
+            backend = backend.members[0]
         cache = default_cache()
         key = plan_key(self, workload.fingerprint(), config, params)
         disk = get_artifact_cache()
@@ -172,18 +189,17 @@ class NestedLoopTemplate(ABC):
                 graph, schedule = plan
             cache.put(key, (graph, schedule))
             obs.add_counter("plan_cache.misses")
-        executor = executor or GpuExecutor(config)
         use_run_tier = (
             disk is not None
-            and not executor.record_timeline
+            and not backend.record_timeline
             and not obs.enabled()
         )
         result = None
         if use_run_tier:
-            run_key = (key, executor.engine or get_default_engine())
+            run_key = (key, backend.engine or get_default_engine())
             result = disk.get("run", run_key)
         if result is None:
-            result = executor.run(graph)
+            result = backend.submit(graph)
             if use_run_tier:
                 disk.put("run", run_key, result)
         metrics = profile(graph, result, config)

@@ -27,6 +27,7 @@ from typing import Literal
 import numpy as np
 
 from repro import obs
+from repro.backends import coerce_backend, run_sharded
 from repro.core.analysis import TreeAnalysis, get_tree_analysis
 from repro.core.artifactcache import get_artifact_cache
 from repro.core.base import TemplateRun, plan_key
@@ -42,7 +43,7 @@ from repro.gpusim.costmodel import (
     resident_warps_estimate,
 )
 from repro.gpusim.dynpar import require_device_support
-from repro.gpusim.executor import GpuExecutor, get_default_engine
+from repro.gpusim.executor import get_default_engine
 from repro.gpusim.kernels import KernelCosts, Launch, LaunchGraph, ProfileCounters
 from repro.gpusim.profiler import profile
 from repro.gpusim.warps import WarpExecStats
@@ -131,11 +132,19 @@ class _TreeTemplateBase:
         workload: RecursiveTreeWorkload,
         config: DeviceConfig,
         params: TemplateParams | None = None,
-        executor: GpuExecutor | None = None,
+        executor=None,
+        *,
+        backend=None,
     ) -> TemplateRun:
         """Build, execute and profile; the functional result is attached
         to the run's schedule under ``"result"`` for equality testing."""
         params = params or TemplateParams()
+        backend = coerce_backend(backend, executor, config)
+        if backend.n_devices > 1:
+            merged = run_sharded(self, workload, backend, config, params)
+            if merged is not None:
+                return merged
+            backend = backend.members[0]
         cache = default_cache()
         key = plan_key(self, workload.fingerprint(), config, params)
         disk = get_artifact_cache()
@@ -154,18 +163,17 @@ class _TreeTemplateBase:
             obs.instant("plan.cache_hit", template=self.name,
                         workload=workload.name)
             obs.add_counter("plan_cache.hits")
-        executor = executor or GpuExecutor(config)
         use_run_tier = (
             disk is not None
-            and not executor.record_timeline
+            and not backend.record_timeline
             and not obs.enabled()
         )
         result = None
         if use_run_tier:
-            run_key = (key, executor.engine or get_default_engine())
+            run_key = (key, backend.engine or get_default_engine())
             result = disk.get("run", run_key)
         if result is None:
-            result = executor.run(graph)
+            result = backend.submit(graph)
             if use_run_tier:
                 disk.put("run", run_key, result)
         metrics = profile(graph, result, config)

@@ -40,6 +40,8 @@ Instrumented span names (the stable catalogue):
 ``service.request``   one request, admission to response
 ``service.reject``    instant: admission rejection
 ``bench.unit``        one bench-runner work unit (experiment or variant)
+``device.run``        one shard's template run on one device of a
+                      multi-device group (tagged ``device=<i>``)
 ====================  ====================================================
 
 Per-kernel simulated-device events (named after their launches) land on
@@ -48,8 +50,13 @@ a separate ``simulated-device`` track with simulated-clock timestamps.
 Counters (also in ``summary()["counters"]``): ``plan_cache.hits`` /
 ``plan_cache.misses``, ``analysis_cache.hits`` / ``analysis_cache.misses``,
 and — when a disk cache directory is configured —
-``artifact_cache.<tier>.{hits,misses,writes,corrupt}`` for each of the
-``analysis`` / ``plan`` / ``run`` tiers (see ``docs/performance.md``).
+``artifact_cache.<tier>.{hits,misses,writes,corrupt,evictions}`` for each
+of the ``analysis`` / ``plan`` / ``run`` tiers (see
+``docs/performance.md``).  Multi-device runs add per-device counters
+under ``device.<i>.*``: ``launches`` / ``busy_cycles`` on every graph a
+device executes, plus per-shard work totals — ``outer`` / ``pairs`` for
+nested-loop shards, ``nodes`` for tree shards — which sum exactly to the
+single-device workload totals (the multi-device equivalence invariant).
 Counters merge additively across processes via ``mark()`` /
 ``export_events()`` / ``merge_events()``.
 """

@@ -142,6 +142,8 @@ class Response:
     route: str = ""
     #: whether the plan build was served from the plan cache
     cache_hit: bool = False
+    #: device the batch was routed to (0 on a single-device service)
+    device: int = 0
 
     @property
     def ok(self) -> bool:

@@ -74,6 +74,11 @@ class ServiceConfig:
     engine: str = "fast"
     #: default simulated device
     device: DeviceConfig = field(default_factory=lambda: KEPLER_K20)
+    #: simulated devices serving this process: 1 behaves exactly as the
+    #: single-device service always has; N > 1 routes each coalesced
+    #: batch to the least-loaded device of a
+    #: :class:`~repro.backends.DeviceGroup` (see docs/architecture.md)
+    devices: int = 1
     #: latency/batch-size window kept for percentile stats
     stats_window: int = 4096
     #: disk artifact cache shared with pool workers: None inherits the
@@ -95,6 +100,8 @@ class ServiceConfig:
             raise ServiceError(
                 f"unknown engine {self.engine!r}; known: {', '.join(ENGINES)}"
             )
+        if self.devices < 1:
+            raise ServiceError(f"devices must be >= 1, got {self.devices}")
 
 
 class TemplateService:
@@ -123,6 +130,16 @@ class TemplateService:
         self.pool = worker_pool or WorkerPool(max_workers=self.config.workers)
         self.batcher = MicroBatcher(self.config.inline_cost_threshold,
                                     cache_dir=self.config.cache_dir)
+        #: device topology: None for the classic single-device service, a
+        #: DeviceGroup tracking per-device load when devices > 1
+        self.device_group = None
+        if self.config.devices > 1:
+            from repro.backends import DeviceGroup
+
+            self.device_group = DeviceGroup(
+                self.config.device, self.config.devices,
+                engine=self.config.engine,
+            )
         self._run_fn = run_fn or execute_batch
         self._queue: asyncio.Queue | None = None
         self._loop_task: asyncio.Task | None = None
@@ -283,9 +300,16 @@ class TemplateService:
         error: BaseException | None = None
         degraded = False
         attempts = 0
+        device_index = 0
+        if self.device_group is not None:
+            # least-loaded routing: reserve a device for this batch; the
+            # reservation is released (crediting the simulated time the
+            # batch ran) after execution settles
+            device_index = self.device_group.acquire()
+            batch.spec.device_index = device_index
         template_name = str(getattr(batch.requests[0].template_obj, "name", ""))
         with obs.span("service.batch", route=batch.route, size=batch.size,
-                      template=template_name):
+                      template=template_name, device=device_index):
             for attempt in range(1 + self.config.max_retries):
                 attempts += 1
                 try:
@@ -326,6 +350,11 @@ class TemplateService:
                     raise
                 except BaseException as exc:  # noqa: BLE001 - policy boundary
                     error = exc
+        if self.device_group is not None:
+            self.device_group.complete(
+                device_index,
+                busy_ms=summary["time_ms"] if summary is not None else 0.0,
+            )
         if summary is not None:
             self.stats.record_cache(
                 summary.get("cache_hits", 0), summary.get("cache_misses", 0)
@@ -347,6 +376,7 @@ class TemplateService:
                     attempts=attempts + (1 if degraded else 0),
                     route=batch.route if not degraded else "inline",
                     cache_hit=summary.get("cache_hits", 0) > 0,
+                    device=device_index,
                 )
             else:
                 response = Response(
@@ -394,6 +424,8 @@ class TemplateService:
             # tracer is process-wide, so concurrent traced work outside
             # this service shows up too
             snap["obs"] = obs.summary()
+        if self.device_group is not None:
+            snap["devices"] = self.device_group.snapshot()
         snap["config"] = {
             "max_pending": self.config.max_pending,
             "max_batch": self.config.max_batch,
@@ -401,5 +433,6 @@ class TemplateService:
             "inline_cost_threshold": self.config.inline_cost_threshold,
             "workers": self.config.workers,
             "engine": self.config.engine,
+            "devices": self.config.devices,
         }
         return snap

@@ -20,12 +20,12 @@ import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.backends import SimBackend
 from repro.core.params import TemplateParams
 from repro.core.plancache import default_cache
 from repro.core.registry import resolve
 from repro.errors import ServiceError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
-from repro.gpusim.executor import GpuExecutor
 
 __all__ = [
     "BatchSpec",
@@ -58,6 +58,9 @@ class BatchSpec:
     #: disk artifact cache for the executing process: None leaves the
     #: process default alone, "" disables it, a path enables it
     cache_dir: str | None = None
+    #: device this batch was routed to by the service's DeviceGroup;
+    #: None on a single-device service (no per-device obs counters)
+    device_index: int | None = None
 
 
 def execute_batch(spec: BatchSpec) -> dict:
@@ -89,9 +92,10 @@ def execute_batch(spec: BatchSpec) -> dict:
     )
     stats = default_cache().stats
     hits0, misses0 = stats.hits, stats.misses
-    executor = GpuExecutor(spec.device, engine=spec.engine)
+    backend = SimBackend(spec.device, engine=spec.engine,
+                         device_index=spec.device_index)
     start = time.perf_counter()
-    run = tmpl.run(spec.workload, spec.device, spec.params, executor=executor)
+    run = tmpl.run(spec.workload, spec.device, spec.params, executor=backend)
     wall = time.perf_counter() - start
     disk_hits = disk_misses = 0
     if disk is not None:
@@ -108,6 +112,7 @@ def execute_batch(spec: BatchSpec) -> dict:
         "cache_misses": stats.misses - misses0,
         "disk_hits": disk_hits,
         "disk_misses": disk_misses,
+        "device": spec.device_index or 0,
     }
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps.base import AppRun, combine_rounds
-from repro.core import NestedLoopWorkload, TemplateParams, get_template
+from repro.core import NestedLoopWorkload, TemplateParams, resolve
 from repro.core.workload import AccessStream
 from repro.gpusim import KEPLER_K20
 from repro.gpusim.profiler import ProfileMetrics
@@ -18,7 +18,7 @@ def make_run(seed=0, n=500):
         name="wl", trip_counts=trips,
         streams=[AccessStream("g", rng.integers(0, nnz, size=nnz) * 4)],
     )
-    return get_template("baseline").run(wl, KEPLER_K20, TemplateParams())
+    return resolve("baseline", kind="nested-loop").run(wl, KEPLER_K20, TemplateParams())
 
 
 class TestAppRun:

@@ -44,7 +44,8 @@ class TestRoundTrip:
             assert got["tier"] == tier
             np.testing.assert_array_equal(got["array"], value["array"])
         assert cache.stats["plan"] == {
-            "hits": 1, "misses": 1, "writes": 1, "corrupt": 0}
+            "hits": 1, "misses": 1, "writes": 1, "corrupt": 0,
+            "evictions": 0}
 
     def test_distinct_keys_do_not_collide(self, tmp_path):
         cache = ArtifactCache(tmp_path)
@@ -130,6 +131,73 @@ class TestSnapshot:
         assert snap["writes"] == 1
         assert snap["tiers"]["plan"]["hits"] == 1
         assert snap["tiers"]["run"]["misses"] == 1
+
+
+class TestSizeCap:
+    def _filler(self, n=800):
+        return b"x" * n
+
+    def test_lru_eviction_keeps_newest(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=5000)
+        for i in range(12):
+            cache.put("plan", ("k", i), self._filler())
+        assert cache.stats["plan"]["evictions"] > 0
+        # newest entries survive, oldest are gone
+        assert cache.get("plan", ("k", 11)) is not None
+        assert cache.get("plan", ("k", 0)) is None
+        total = sum(p.stat().st_size for p in tmp_path.rglob("*.pkl"))
+        assert total <= 5000
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=5000)
+        cache.put("plan", "hot", self._filler())
+        for i in range(3):
+            cache.put("plan", ("cold", i), self._filler())
+            os.utime(cache._path("plan", ("cold", i)),
+                     (i + 1e9, i + 1e9))  # force strict mtime order
+            cache.get("plan", "hot")  # keeps "hot" most recent
+        for i in range(4):
+            cache.put("plan", ("more", i), self._filler())
+        assert cache.get("plan", "hot") is not None
+
+    def test_eviction_crosses_tiers(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=3000)
+        cache.put("analysis", "old", self._filler())
+        os.utime(cache._path("analysis", "old"), (1e9, 1e9))
+        for i in range(4):
+            cache.put("run", ("r", i), self._filler())
+        assert cache.get("analysis", "old") is None
+        assert cache.stats["analysis"]["evictions"] == 1
+
+    def test_zero_means_unbounded(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=0)
+        for i in range(20):
+            cache.put("plan", ("k", i), self._filler())
+        assert cache.snapshot()["evictions"] == 0
+        assert all(cache.get("plan", ("k", i)) is not None
+                   for i in range(20))
+
+    def test_env_var_sets_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(artifactcache.SIZE_ENV_VAR, "12345")
+        assert ArtifactCache(tmp_path).max_bytes == 12345
+        monkeypatch.setenv(artifactcache.SIZE_ENV_VAR, "not-a-number")
+        assert ArtifactCache(tmp_path).max_bytes == \
+            artifactcache.DEFAULT_MAX_BYTES
+
+    def test_evicted_read_degrades_to_miss_then_rebuilds(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=2000)
+        cache.put("plan", "a", self._filler())
+        os.utime(cache._path("plan", "a"), (1e9, 1e9))
+        for i in range(3):
+            cache.put("plan", ("b", i), self._filler())
+        assert cache.get("plan", "a") is None  # miss, not an error
+        cache.put("plan", "a", "rebuilt")
+        assert cache.get("plan", "a") == "rebuilt"
+
+    def test_snapshot_reports_cap(self, tmp_path):
+        snap = ArtifactCache(tmp_path, max_bytes=4096).snapshot()
+        assert snap["max_bytes"] == 4096
+        assert snap["evictions"] == 0
 
 
 class TestConfigure:

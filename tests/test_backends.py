@@ -1,0 +1,223 @@
+"""Backend seam + multi-device sharding invariants.
+
+The contracts the tentpole refactor rests on:
+
+* ``SimBackend`` is a transparent wrapper — a single-device run through
+  the backend seam is bit-for-bit identical to the pre-refactor inline
+  ``GpuExecutor`` path, and its fingerprint equals the bare device
+  fingerprint (so plan/run cache keys are unchanged at ``devices=1``).
+* ``DeviceGroup`` sharding preserves the work: merged schedules cover
+  every outer iteration exactly once, per-device work counters sum to
+  the single-device totals, and merged timing is the max (concurrent
+  devices), not the sum.
+* Shard fingerprints are disjoint from whole-workload fingerprints so
+  multi-device cache entries never collide with single-device ones.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import obs
+from repro.backends import (
+    DeviceGroup,
+    SimBackend,
+    backend_for,
+    coerce_backend,
+    set_default_devices,
+)
+from repro.backends.group import run_sharded
+from repro.core.params import TemplateParams
+from repro.core.recursive import RecursiveTreeWorkload
+from repro.core.registry import resolve
+from repro.core.sharding import clear_shard_cache, shard_workload
+from repro.core.workload import NestedLoopWorkload
+from repro.errors import ConfigError
+from repro.gpusim.config import KEPLER_K20
+from repro.gpusim.executor import GpuExecutor
+from repro.trees.generator import generate_tree
+
+
+@pytest.fixture()
+def loop_wl():
+    rng = np.random.default_rng(42)
+    trips = rng.zipf(1.6, size=400).clip(max=300)
+    return NestedLoopWorkload("backend-loop", trips.astype(np.int64))
+
+
+@pytest.fixture()
+def tree_wl():
+    return RecursiveTreeWorkload(generate_tree(depth=7, outdegree=3,
+                                               sparsity=0.2, seed=9))
+
+
+@pytest.fixture(autouse=True)
+def _reset_devices():
+    yield
+    set_default_devices(1)
+    clear_shard_cache()
+
+
+class TestSimBackend:
+    def test_single_device_is_bit_for_bit(self, loop_wl):
+        tmpl = resolve("dbuf-global")
+        via_backend = tmpl.run(loop_wl, KEPLER_K20,
+                               backend=SimBackend(KEPLER_K20))
+        via_executor = tmpl.run(loop_wl, KEPLER_K20,
+                                executor=GpuExecutor(KEPLER_K20))
+        assert via_backend.result.cycles == via_executor.result.cycles
+        assert via_backend.result.counters == via_executor.result.counters
+        assert via_backend.metrics.as_dict() == via_executor.metrics.as_dict()
+
+    def test_fingerprint_matches_bare_device(self):
+        assert SimBackend(KEPLER_K20).fingerprint() == KEPLER_K20.fingerprint()
+
+    def test_capabilities_reflect_device(self):
+        caps = SimBackend(KEPLER_K20).capabilities
+        assert caps.devices == 1
+        assert caps.shared_mem_per_block == KEPLER_K20.shared_mem_per_block
+        assert caps.supports(resolve("dpar-opt")) == caps.dynamic_parallelism
+
+    def test_from_executor_preserves_instance(self):
+        ex = GpuExecutor(KEPLER_K20, engine="exact")
+        backend = SimBackend.from_executor(ex)
+        assert backend.executor is ex
+        assert backend.engine == "exact"
+
+    def test_coerce_accepts_legacy_executor(self):
+        ex = GpuExecutor(KEPLER_K20)
+        backend = coerce_backend(None, ex, KEPLER_K20)
+        assert isinstance(backend, SimBackend)
+        assert backend.executor is ex
+
+
+class TestSharding:
+    def test_loop_shards_partition_outer(self, loop_wl):
+        shards = shard_workload(loop_wl, 4)
+        members = np.concatenate([s.members for s in shards])
+        assert np.array_equal(np.sort(members),
+                              np.arange(loop_wl.outer_size))
+        assert sum(s.workload.n_pairs for s in shards) == loop_wl.n_pairs
+
+    def test_loop_shards_are_balanced(self, loop_wl):
+        shards = shard_workload(loop_wl, 4)
+        pair_counts = [s.workload.n_pairs for s in shards]
+        # heaviest-first round-robin: no shard dominates
+        assert max(pair_counts) <= 2 * min(pair_counts) + max(loop_wl.trip_counts)
+
+    def test_tree_shards_partition_non_root_nodes(self, tree_wl):
+        shards = shard_workload(tree_wl, 4)
+        # each shard re-roots a subset under a synthetic root
+        total = sum(s.workload.tree.n_nodes - 1 for s in shards)
+        assert total == tree_wl.tree.n_nodes - 1
+
+    def test_shard_fingerprints_disjoint(self, loop_wl):
+        shards = shard_workload(loop_wl, 3)
+        fps = {s.workload.fingerprint() for s in shards}
+        assert len(fps) == 3
+        assert loop_wl.fingerprint() not in fps
+
+    def test_shard_plans_memoized(self, loop_wl):
+        a = shard_workload(loop_wl, 3)
+        b = shard_workload(loop_wl, 3)
+        assert a is b
+
+    def test_unshardable_returns_none(self):
+        tiny = NestedLoopWorkload("tiny", np.array([5], dtype=np.int64))
+        assert shard_workload(tiny, 4) is None
+
+
+class TestDeviceGroup:
+    def test_merged_schedule_covers_workload(self, loop_wl):
+        group = DeviceGroup(KEPLER_K20, 4)
+        run = resolve("dual-queue").run(loop_wl, KEPLER_K20, backend=group)
+        covered = np.concatenate(list(run.schedule.values()))
+        assert np.array_equal(np.sort(covered), np.arange(loop_wl.outer_size))
+
+    def test_merged_time_is_max_not_sum(self, loop_wl):
+        group = DeviceGroup(KEPLER_K20, 4)
+        run = resolve("dbuf-global").run(loop_wl, KEPLER_K20, backend=group)
+        per_dev = [r.result.time_ms for r in run.device_runs]
+        assert run.result.time_ms == pytest.approx(max(per_dev))
+        assert run.result.time_ms < sum(per_dev)
+
+    def test_busy_cycles_and_launches_sum(self, loop_wl):
+        group = DeviceGroup(KEPLER_K20, 4)
+        run = resolve("dbuf-global").run(loop_wl, KEPLER_K20, backend=group)
+        assert run.result.sm_busy_cycles == sum(
+            r.result.sm_busy_cycles for r in run.device_runs)
+        assert run.result.n_launches == sum(
+            r.result.n_launches for r in run.device_runs)
+
+    def test_device_counters_sum_to_single_device_totals(self, loop_wl):
+        group = DeviceGroup(KEPLER_K20, 4)
+        obs.reset()
+        obs.set_enabled(True)
+        try:
+            resolve("dbuf-global").run(loop_wl, KEPLER_K20, backend=group)
+            counters = obs.summary()["counters"]
+        finally:
+            obs.set_enabled(False)
+            obs.reset()
+        outer = sum(v for k, v in counters.items() if k.endswith(".outer"))
+        pairs = sum(v for k, v in counters.items() if k.endswith(".pairs"))
+        assert outer == loop_wl.outer_size
+        assert pairs == loop_wl.n_pairs
+
+    def test_tree_multi_device_runs(self, tree_wl):
+        group = DeviceGroup(KEPLER_K20, 4)
+        run = resolve("rec-naive").run(tree_wl, KEPLER_K20, backend=group)
+        assert run.device_runs is not None
+        assert len(run.device_runs) >= 2
+        assert run.result.cycles > 0
+
+    def test_unshardable_falls_back_to_one_device(self):
+        tiny = NestedLoopWorkload("tiny", np.array([5], dtype=np.int64))
+        group = DeviceGroup(KEPLER_K20, 4)
+        run = resolve("thread-mapped").run(tiny, KEPLER_K20, backend=group)
+        assert run.device_runs is None
+        assert run.result.cycles > 0
+
+    def test_run_sharded_none_when_unshardable(self):
+        tiny = NestedLoopWorkload("tiny", np.array([5], dtype=np.int64))
+        group = DeviceGroup(KEPLER_K20, 2)
+        assert run_sharded(resolve("thread-mapped"), tiny, group,
+                           KEPLER_K20, TemplateParams()) is None
+
+    def test_least_loaded_routing(self):
+        group = DeviceGroup(KEPLER_K20, 3)
+        idx = group.acquire()
+        assert group.least_loaded() != idx
+        group.complete(idx, busy_ms=100.0)
+        assert group.least_loaded() != idx
+
+    def test_group_fingerprint_distinct_from_single(self):
+        group = DeviceGroup(KEPLER_K20, 2)
+        assert group.fingerprint() != KEPLER_K20.fingerprint()
+        assert group.fingerprint().endswith("x2")
+
+
+class TestFacade:
+    def test_run_devices_kwarg(self, loop_wl):
+        single = repro.run("dbuf-global", loop_wl)
+        multi = repro.run("dbuf-global", loop_wl, devices=4)
+        assert multi.device_runs is not None
+        assert len(multi.device_runs) == 4
+        # same total work, executed concurrently
+        assert multi.result.time_ms < single.result.time_ms
+
+    def test_run_devices_one_is_default_path(self, loop_wl):
+        a = repro.run("dual-queue", loop_wl)
+        b = repro.run("dual-queue", loop_wl, devices=1)
+        assert a.result.cycles == b.result.cycles
+        assert a.metrics.as_dict() == b.metrics.as_dict()
+
+    def test_run_rejects_bad_devices(self, loop_wl):
+        with pytest.raises(ConfigError):
+            repro.run("dual-queue", loop_wl, devices=0)
+
+    def test_backend_for_memoizes_groups(self):
+        a = backend_for(KEPLER_K20, devices=3)
+        b = backend_for(KEPLER_K20, devices=3)
+        assert a is b
+        assert backend_for(KEPLER_K20, devices=1) is not a

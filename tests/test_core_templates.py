@@ -12,7 +12,7 @@ from repro.core import (
     NestedLoopWorkload,
     TemplateParams,
     check_schedule,
-    get_template,
+    resolve,
     split_by_threshold,
 )
 from repro.errors import ConfigError, LaunchError, PlanError, WorkloadError
@@ -121,11 +121,11 @@ class TestCheckSchedule:
 class TestRegistry:
     def test_all_templates_instantiable(self):
         for name in NESTED_LOOP_TEMPLATES:
-            assert get_template(name).name == name
+            assert resolve(name, kind="nested-loop").name == name
 
     def test_unknown_template(self):
         with pytest.raises(PlanError, match="unknown template"):
-            get_template("magic")
+            resolve("magic", kind="nested-loop")
 
     def test_load_balancing_subset(self):
         assert set(LOAD_BALANCING_TEMPLATES) <= set(NESTED_LOOP_TEMPLATES)
@@ -135,7 +135,7 @@ class TestTemplateRuns:
     @pytest.mark.parametrize("name", sorted(NESTED_LOOP_TEMPLATES))
     def test_schedule_conserves_iterations(self, name):
         wl = make_workload(irregular_trips(500, seed=3), atomics=True)
-        run = get_template(name).run(wl, KEPLER_K20, TemplateParams(lb_threshold=16))
+        run = resolve(name, kind="nested-loop").run(wl, KEPLER_K20, TemplateParams(lb_threshold=16))
         # check_schedule already ran inside run(); sanity-check the result
         total = sum(v.size for v in run.schedule.values())
         assert total == wl.outer_size
@@ -146,7 +146,7 @@ class TestTemplateRuns:
     def test_threshold_respected(self, name):
         wl = make_workload(irregular_trips(500, seed=4))
         params = TemplateParams(lb_threshold=24)
-        run = get_template(name).run(wl, KEPLER_K20, params)
+        run = resolve(name, kind="nested-loop").run(wl, KEPLER_K20, params)
         phases = run.schedule
         # the "fast path" phase only holds small iterations
         small_key = [k for k in phases if k in ("small-queue", "inline")][0]
@@ -156,51 +156,51 @@ class TestTemplateRuns:
 
     def test_baseline_single_kernel(self):
         wl = make_workload(irregular_trips(300, seed=5))
-        run = get_template("baseline").run(wl, KEPLER_K20)
+        run = resolve("baseline", kind="nested-loop").run(wl, KEPLER_K20)
         assert run.metrics.kernel_calls == 1
 
     def test_dbuf_global_two_kernels(self):
         wl = make_workload(irregular_trips(300, seed=6))
-        run = get_template("dbuf-global").run(wl, KEPLER_K20)
+        run = resolve("dbuf-global", kind="nested-loop").run(wl, KEPLER_K20)
         assert run.metrics.kernel_calls == 2
 
     def test_dbuf_shared_single_kernel(self):
         wl = make_workload(irregular_trips(300, seed=6))
-        run = get_template("dbuf-shared").run(wl, KEPLER_K20)
+        run = resolve("dbuf-shared", kind="nested-loop").run(wl, KEPLER_K20)
         assert run.metrics.kernel_calls == 1
 
     def test_dual_queue_three_kernels(self):
         wl = make_workload(irregular_trips(300, seed=7))
-        run = get_template("dual-queue").run(wl, KEPLER_K20)
+        run = resolve("dual-queue", kind="nested-loop").run(wl, KEPLER_K20)
         assert run.metrics.kernel_calls == 3
 
     def test_dpar_naive_child_count(self):
         wl = make_workload(irregular_trips(300, seed=8))
         params = TemplateParams(lb_threshold=16)
         _, large = split_by_threshold(wl.trip_counts, 16)
-        run = get_template("dpar-naive").run(wl, KEPLER_K20, params)
+        run = resolve("dpar-naive", kind="nested-loop").run(wl, KEPLER_K20, params)
         assert run.metrics.device_kernel_calls == large.size
 
     def test_dpar_opt_fewer_children_than_naive(self):
         wl = make_workload(irregular_trips(2000, seed=9))
         params = TemplateParams(lb_threshold=16)
-        naive = get_template("dpar-naive").run(wl, KEPLER_K20, params)
-        opt = get_template("dpar-opt").run(wl, KEPLER_K20, params)
+        naive = resolve("dpar-naive", kind="nested-loop").run(wl, KEPLER_K20, params)
+        opt = resolve("dpar-opt", kind="nested-loop").run(wl, KEPLER_K20, params)
         assert 0 < opt.metrics.device_kernel_calls
         assert opt.metrics.device_kernel_calls < naive.metrics.device_kernel_calls
 
     def test_dpar_rejected_on_fermi(self):
         wl = make_workload(irregular_trips(100, seed=10))
         with pytest.raises(LaunchError, match="dynamic parallelism"):
-            get_template("dpar-naive").run(wl, FERMI_C2050)
+            resolve("dpar-naive", kind="nested-loop").run(wl, FERMI_C2050)
         with pytest.raises(LaunchError, match="dynamic parallelism"):
-            get_template("dpar-opt").run(wl, FERMI_C2050)
+            resolve("dpar-opt", kind="nested-loop").run(wl, FERMI_C2050)
 
     def test_dbuf_templates_work_on_fermi(self):
         # the paper's motivation: delayed buffers bring load balancing to
         # devices without nested launch support
         wl = make_workload(irregular_trips(300, seed=11))
-        run = get_template("dbuf-shared").run(wl, FERMI_C2050)
+        run = resolve("dbuf-shared", kind="nested-loop").run(wl, FERMI_C2050)
         assert run.time_ms > 0
 
 
@@ -212,7 +212,7 @@ class TestPerformanceShapes:
         wl = make_workload(irregular_trips(4000, seed=12), atomics=True)
         params = TemplateParams(lb_threshold=32)
         return {
-            name: get_template(name).run(wl, KEPLER_K20, params)
+            name: resolve(name, kind="nested-loop").run(wl, KEPLER_K20, params)
             for name in NESTED_LOOP_TEMPLATES
         }
 
@@ -234,7 +234,7 @@ class TestPerformanceShapes:
         wl = make_workload(irregular_trips(3000, seed=13))
         effs = []
         for lbt in (32, 64, 256, 1024):
-            run = get_template("dbuf-shared").run(
+            run = resolve("dbuf-shared", kind="nested-loop").run(
                 wl, KEPLER_K20, TemplateParams(lb_threshold=lbt)
             )
             effs.append(run.metrics.warp_execution_efficiency)
@@ -244,8 +244,8 @@ class TestPerformanceShapes:
     def test_regular_workload_gains_little(self):
         # On a regular nested loop, load balancing has nothing to fix.
         wl = make_workload(np.full(3000, 24), seed=14, name="regular")
-        base = get_template("baseline").run(wl, KEPLER_K20)
-        dbuf = get_template("dbuf-shared").run(wl, KEPLER_K20)
+        base = resolve("baseline", kind="nested-loop").run(wl, KEPLER_K20)
+        dbuf = resolve("dbuf-shared", kind="nested-loop").run(wl, KEPLER_K20)
         assert base.metrics.warp_execution_efficiency > 0.9
         assert dbuf.time_ms == pytest.approx(base.time_ms, rel=0.25)
 

@@ -1,0 +1,84 @@
+"""The hard-deprecated legacy entry points: warn loudly, forward exactly.
+
+``get_template`` and the ``exact=`` kwarg are kept only as shims; these
+tests pin down both halves of that contract — a :class:`DeprecationWarning`
+is always emitted, and the forwarded behavior is identical to the
+replacement API.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.registry import get_template, resolve
+from repro.core.workload import NestedLoopWorkload
+from repro.errors import ConfigError, PlanError
+
+
+@pytest.fixture()
+def workload():
+    rng = np.random.default_rng(7)
+    return NestedLoopWorkload("deprecations", rng.integers(0, 25, size=150))
+
+
+class TestGetTemplateShim:
+    def test_warns(self):
+        with pytest.warns(DeprecationWarning, match="get_template"):
+            get_template("dual-queue")
+
+    @pytest.mark.parametrize("name", [
+        "thread-mapped", "block-mapped", "dual-queue", "dbuf-global",
+        "dbuf-shared", "dpar-naive", "dpar-opt", "baseline",
+    ])
+    def test_forwards_to_resolve(self, name):
+        with pytest.warns(DeprecationWarning):
+            legacy = get_template(name)
+        modern = resolve(name, kind="nested-loop")
+        assert type(legacy) is type(modern)
+        assert legacy.name == modern.name
+
+    def test_keeps_kind_restriction(self):
+        # the shim is the nested-loop lookup; tree names must still fail
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(PlanError, match="tree template"):
+                get_template("rec-hier")
+
+    def test_unknown_name_still_fails(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(PlanError, match="unknown template"):
+                get_template("no-such-template")
+
+
+class TestExactKwargAlias:
+    def test_exact_true_warns_and_forwards(self, workload):
+        with pytest.warns(DeprecationWarning, match="exact= kwarg"):
+            legacy = repro.run("dbuf-global", workload, exact=True)
+        modern = repro.run("dbuf-global", workload, engine="exact")
+        assert legacy.time_ms == modern.time_ms
+        assert legacy.metrics.as_dict() == modern.metrics.as_dict()
+
+    def test_exact_false_warns_and_forwards(self, workload):
+        with pytest.warns(DeprecationWarning, match="exact= kwarg"):
+            legacy = repro.run("dbuf-global", workload, exact=False)
+        modern = repro.run("dbuf-global", workload, engine="fast")
+        assert legacy.time_ms == modern.time_ms
+
+    def test_compare_forwards_too(self, workload):
+        with pytest.warns(DeprecationWarning, match="exact= kwarg"):
+            legacy = repro.compare(["dual-queue"], workload, exact=True)
+        modern = repro.compare(["dual-queue"], workload, engine="exact")
+        assert legacy[0].time_ms == modern[0].time_ms
+
+    def test_conflict_rejected(self, workload):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError, match="conflicting engine"):
+                repro.run("dbuf-global", workload,
+                          engine="fast", exact=True)
+
+    def test_modern_path_is_warning_free(self, workload):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.run("dbuf-global", workload, engine="exact")
+            resolve("dual-queue", kind="nested-loop")

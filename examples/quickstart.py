@@ -4,9 +4,9 @@
 This is the 5-minute tour of the library: build a synthetic CiteSeer-like
 graph, wrap SpMV over it, and compare the paper's parallelization
 templates on the simulated K20 with the one-call facade —
-``repro.run(name, workload)`` / ``repro.compare(names, workload)`` —
-reporting timing, warp efficiency and memory efficiency, exactly the
-metrics the paper reports.
+``repro.run(workload)`` auto-selects a template; ``repro.compare(workload,
+names)`` races named ones — reporting timing, warp efficiency and memory
+efficiency, exactly the metrics the paper reports.
 
 Run:  python examples/quickstart.py
 """
@@ -27,7 +27,7 @@ def main() -> None:
     workload = SpMVApp(graph).workload()
     params = TemplateParams(lb_threshold=32)
     names = [n for n, (kind, _) in ALL_TEMPLATES.items() if kind == "nested-loop"]
-    runs = repro.compare(names, workload, device=KEPLER_K20, params=params)
+    runs = repro.compare(workload, names, device=KEPLER_K20, params=params)
 
     header = (f"{'template':13s} {'time [ms]':>10s} {'speedup':>8s} "
               f"{'warp eff':>9s} {'gld eff':>8s} {'kernels':>8s}")

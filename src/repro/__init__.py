@@ -13,6 +13,9 @@ Subpackages
 ``repro.core``
     the paper's contribution: parallelization templates for irregular
     nested loops and recursive computations.
+``repro.ir``
+    explicit-parallelism IR + pass pipeline behind ``template="auto"``:
+    threshold promotion, launch consolidation, auto-select lowering.
 ``repro.apps``
     the seven evaluated applications plus the sort case study.
 ``repro.bench``
@@ -23,14 +26,19 @@ Subpackages
     tracing/observability layer: spans, counters, Chrome-trace export.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from repro.api import compare, run, serve
+from repro.api import compare, explain, run, serve
+from repro.core.params import TemplateParams
+from repro.core.recursive import RecursiveTreeWorkload
+from repro.core.registry import resolve
+from repro.core.workload import AccessStream, NestedLoopWorkload
 from repro.errors import (
     ConfigError,
     DatasetError,
     ExperimentError,
     GraphError,
+    IRError,
     LaunchError,
     PlanError,
     ReproError,
@@ -40,8 +48,10 @@ from repro.errors import (
 
 __all__ = [
     "__version__",
-    "run", "compare", "serve",
+    "run", "compare", "explain", "serve",
+    "resolve", "TemplateParams",
+    "NestedLoopWorkload", "RecursiveTreeWorkload", "AccessStream",
     "ReproError", "ConfigError", "LaunchError", "WorkloadError",
-    "PlanError", "GraphError", "DatasetError", "ExperimentError",
-    "ServiceError",
+    "PlanError", "IRError", "GraphError", "DatasetError",
+    "ExperimentError", "ServiceError",
 ]

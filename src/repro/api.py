@@ -1,16 +1,22 @@
 """One-call facade over the template machinery.
 
-``repro.run("dbuf-shared", workload)`` is the whole API: the template is
-resolved by paper name from the unified registry, the right template
-family is picked from the workload type (nested-loop vs recursive tree),
-and the result is the usual :class:`~repro.core.base.TemplateRun`.
-``repro.compare`` runs several templates on one workload and returns the
-runs in request order — the quickstart table in one call.
-``repro.serve`` brings up the long-lived serving runtime
-(:mod:`repro.service`) for streams of requests instead of single calls.
+``repro.run(workload)`` is the whole API: the IR pass pipeline picks the
+parallelization template (and its parameters) for the workload — build
+IR, promote/consolidate, lower onto the registry (see ``docs/ir.md``) —
+and the result is the usual :class:`~repro.core.base.TemplateRun` with
+the :class:`~repro.ir.select.Selection` attached.  Naming a template is
+the *override* form: ``repro.run(workload, "dbuf-shared")`` skips
+selection and runs that template.  ``repro.compare`` runs several
+templates on one workload and returns the runs in request order;
+``repro.explain`` returns the selection audit trail (IR before/after the
+passes, every pass decision, the chosen template/params) without
+executing anything beyond what selection itself needs.  ``repro.serve``
+brings up the long-lived serving runtime (:mod:`repro.service`).
 
 Both run functions accept a template *instance* in place of a name, for
-custom templates that never entered the registry.
+custom templates that never entered the registry.  The legacy
+template-first argument order (``run("dbuf-shared", workload)``) still
+works with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -25,9 +31,10 @@ from repro.core.registry import resolve
 from repro.core.workload import NestedLoopWorkload
 from repro.errors import ConfigError, WorkloadError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
-from repro.gpusim.executor import ENGINES, GpuExecutor
+from repro.gpusim.executor import GpuExecutor, resolve_engine
+from repro.ir.select import auto_select, is_auto
 
-__all__ = ["run", "compare", "serve"]
+__all__ = ["run", "compare", "explain", "serve"]
 
 
 def _kind_of(workload) -> str:
@@ -41,55 +48,61 @@ def _kind_of(workload) -> str:
     )
 
 
-def _resolve_engine(engine: str | None, exact: bool | None) -> str | None:
-    """Merge the ``engine`` kwarg with the deprecated ``exact`` alias.
+def _is_workload(obj) -> bool:
+    return isinstance(obj, (NestedLoopWorkload, RecursiveTreeWorkload))
 
-    Returns the engine to force, or None to defer to the process-wide
-    default (:func:`repro.gpusim.executor.set_default_engine`).
+
+def _resolve_engine(engine: str | None) -> str | None:
+    """Validate the engine choice (one shared check; see
+    :func:`repro.gpusim.executor.resolve_engine`)."""
+    return resolve_engine(engine)
+
+
+def _accept_legacy_order(first, second, caller: str):
+    """Support the pre-IR ``caller(template, workload)`` argument order.
+
+    The modern order is workload first.  A workload in the first position
+    passes straight through; a workload in the *second* position is the
+    legacy order — swapped back with a :class:`DeprecationWarning`.
     """
-    if exact is not None:
-        warnings.warn(
-            'the exact= kwarg is deprecated; use engine="exact" or '
-            'engine="fast"',
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        alias = "exact" if exact else "fast"
-        if engine is not None and engine != alias:
-            raise ConfigError(
-                f"conflicting engine selection: engine={engine!r} but "
-                f"exact={exact!r}"
-            )
-        engine = alias
-    if engine is not None and engine not in ENGINES:
-        raise ConfigError(
-            f"unknown engine {engine!r}; known: {', '.join(ENGINES)}"
-        )
-    return engine
+    if _is_workload(first) or not _is_workload(second):
+        return first, second
+    warnings.warn(
+        f"repro.{caller}() now takes the workload first: "
+        f"{caller}(workload, template). The template-first order is "
+        "deprecated.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return second, first
 
 
 def run(
-    template,
     workload,
+    template="auto",
     *,
     device: DeviceConfig = KEPLER_K20,
     devices: int = 1,
     params: TemplateParams | None = None,
     engine: str | None = None,
-    exact: bool | None = None,
 ) -> TemplateRun:
-    """Run one template on one workload and return the full result.
+    """Run a workload and return the full result.
 
     Parameters
     ----------
-    template:
-        canonical paper name (``"thread-mapped"``, ``"dbuf-shared"``,
-        ``"rec-hier"``, ...) or an already-constructed template instance.
-        Names are restricted to the template family matching the workload
-        type, so ``run("flat", nested_loop_workload)`` fails loudly
-        instead of silently misdispatching.
     workload:
         :class:`NestedLoopWorkload` or :class:`RecursiveTreeWorkload`.
+    template:
+        ``"auto"`` (the default) selects the template through the IR pass
+        pipeline — build, threshold promotion, launch consolidation,
+        lowering — racing autotune's cost signal where the lowering is
+        ambiguous; the decision is attached to the returned run as
+        ``.selection``.  To override, pass a canonical paper name
+        (``"thread-mapped"``, ``"dbuf-shared"``, ``"rec-hier"``, ...) or
+        an already-constructed template instance.  Names are restricted
+        to the template family matching the workload type, so
+        ``run(nested_loop_workload, "flat")`` fails loudly instead of
+        silently misdispatching.
     device:
         simulated device (default: the paper's Kepler K20).
     devices:
@@ -100,48 +113,95 @@ def run(
         ``result.per_device`` keep the per-device components inspectable
         (see ``docs/architecture.md``).
     params:
-        :class:`TemplateParams`; defaults are the paper's choices.
+        :class:`TemplateParams`; defaults are the paper's choices.  Under
+        ``template="auto"`` these are the starting point — the selection
+        may derive a different ``lb_threshold`` (the race winner's).
     engine:
         ``"fast"`` (cohort-batched executor, the default) or ``"exact"``
         (the reference event-per-block engine; same results to within
         1e-6 — see ``docs/performance.md``).  None defers to the
         process-wide default engine.
-    exact:
-        deprecated boolean alias for ``engine`` (``True`` -> "exact",
-        ``False`` -> "fast"); emits a :class:`DeprecationWarning`.
     """
+    workload, template = _accept_legacy_order(workload, template, "run")
     kind = _kind_of(workload)
+    engine = _resolve_engine(engine)
+    selection = None
+    if is_auto(template):
+        selection = auto_select(workload, device, params, engine)
+        template, params = selection.template, selection.params
     tmpl = resolve(template, kind=kind) if isinstance(template, str) else template
-    engine = _resolve_engine(engine, exact)
     if devices < 1:
         raise ConfigError(f"devices must be >= 1, got {devices}")
     if devices > 1:
         from repro.backends import backend_for
 
         backend = backend_for(device, devices, engine=engine)
-        return tmpl.run(workload, device, params or TemplateParams(),
-                        backend=backend)
-    executor = GpuExecutor(device, engine=engine) if engine is not None else None
-    return tmpl.run(workload, device, params or TemplateParams(), executor=executor)
+        result = tmpl.run(workload, device, params or TemplateParams(),
+                          backend=backend)
+    else:
+        executor = GpuExecutor(device, engine=engine) if engine is not None else None
+        result = tmpl.run(workload, device, params or TemplateParams(),
+                          executor=executor)
+    result.selection = selection
+    return result
 
 
 def compare(
-    templates: Iterable,
     workload,
+    templates: Iterable | None = None,
     *,
+    include=None,
     device: DeviceConfig = KEPLER_K20,
     devices: int = 1,
     params: TemplateParams | None = None,
     engine: str | None = None,
-    exact: bool | None = None,
 ) -> list[TemplateRun]:
-    """Run several templates on one workload; runs come back in request order."""
-    engine = _resolve_engine(engine, exact)
+    """Run several templates on one workload; runs come back in request order.
+
+    ``templates`` defaults to ``("auto",)`` — just the auto-selected run.
+    ``include`` appends extra entries (a name or an iterable of names)
+    without restating the list: ``compare(wl, ["thread-mapped"],
+    include="auto")`` runs the named template plus the auto pick.
+    """
+    workload, templates = _accept_legacy_order(workload, templates, "compare")
+    if templates is None:
+        templates = ("auto",)
+    elif isinstance(templates, str) or not isinstance(templates, Iterable):
+        templates = (templates,)
+    else:
+        templates = tuple(templates)
+    if include is not None:
+        extra = (include,) if (
+            isinstance(include, str) or not isinstance(include, Iterable)
+        ) else tuple(include)
+        templates = templates + extra
+    engine = _resolve_engine(engine)
     return [
-        run(t, workload, device=device, devices=devices, params=params,
+        run(workload, t, device=device, devices=devices, params=params,
             engine=engine)
         for t in templates
     ]
+
+
+def explain(
+    workload,
+    *,
+    device: DeviceConfig = KEPLER_K20,
+    params: TemplateParams | None = None,
+    engine: str | None = None,
+) -> dict:
+    """The auto-select audit trail for a workload, as a structured dict.
+
+    Keys: ``template`` / ``params`` (the decision), ``kind``, ``ir`` /
+    ``final_ir`` (the loop structure before and after the passes, nested
+    dicts), ``decisions`` (every pass rewrite), ``reasons`` (the lowering
+    rationale), ``raced`` (the candidates the cost race compared, empty
+    for unambiguous lowerings) and ``fingerprint`` (the final IR digest
+    that keyed the decision).  Selection is cached, so explaining and
+    then running costs one selection, not two.
+    """
+    engine = _resolve_engine(engine)
+    return auto_select(workload, device, params, engine).to_dict()
 
 
 def serve(config=None, **config_kwargs):

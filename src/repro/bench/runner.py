@@ -28,7 +28,9 @@ from repro.bench.registry import (
     all_experiments,
     get_experiment,
 )
+from repro.errors import ConfigError
 from repro.gpusim.config import preset
+from repro.gpusim.executor import resolve_engine
 
 __all__ = ["main", "run_units"]
 
@@ -166,9 +168,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print per-experiment wall time and plan-cache "
                              "hit/miss counts")
+    parser.add_argument("--engine", default=None, metavar="NAME",
+                        help="executor engine: fast (cohort-batched, the "
+                             "default) or exact (reference event-per-block)")
     parser.add_argument("--exact", action="store_true",
-                        help="use the reference event-per-block executor "
-                             "engine instead of the cohort fast path")
+                        help="shorthand for --engine exact")
     parser.add_argument("--devices", type=int, default=1, metavar="N",
                         help="simulated devices per run: every template run "
                              "shards its workload across N devices "
@@ -217,7 +221,16 @@ def main(argv: list[str] | None = None) -> int:
     config = ExperimentConfig(
         scale=args.scale, seed=args.seed, device=preset(args.device),
     )
-    engine = "exact" if args.exact else "fast"
+    if args.exact and args.engine not in (None, "exact"):
+        print("--exact conflicts with --engine "
+              f"{args.engine}", file=sys.stderr)
+        return 2
+    try:
+        # same validation (and message) as repro.run and the service
+        engine = resolve_engine("exact" if args.exact else args.engine) or "fast"
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     plan_cache = not args.no_plan_cache
     if args.cache_dir and args.no_disk_cache:
         print("--cache-dir and --no-disk-cache are mutually exclusive",

@@ -39,7 +39,6 @@ from repro.core.registry import (
     LOAD_BALANCING_TEMPLATES,
     NESTED_LOOP_TEMPLATES,
     canonical_name,
-    get_template,
     resolve,
 )
 from repro.core.thread_mapped import BlockMappedTemplate, ThreadMappedTemplate
@@ -56,7 +55,7 @@ __all__ = [
     "RecursiveTreeWorkload", "FlatTreeTemplate", "RecNaiveTreeTemplate",
     "RecHierTreeTemplate", "TREE_TEMPLATES",
     "NESTED_LOOP_TEMPLATES", "LOAD_BALANCING_TEMPLATES", "ALL_TEMPLATES",
-    "resolve", "canonical_name", "get_template",
+    "resolve", "canonical_name",
     "autotune", "sweep",
     "WorkloadAnalysis", "TreeAnalysis", "get_analysis", "get_tree_analysis",
     "analysis_stats", "clear_analysis_cache",

@@ -62,6 +62,32 @@ class WorkloadAnalysis:
         #: per-stream global-memory segment ids (addresses // 128), pair order
         self._segments = stream_segments
         self._partitions: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._trip_cumsum: np.ndarray | None = None
+
+    def trip_summary(self) -> tuple[int, int, int, int]:
+        """``(count, total, lo, hi)`` of the inner loop — the trip-count
+        metadata the parallelization IR carries (see :mod:`repro.ir`)."""
+        lo = int(self.sorted_trips[0]) if self.outer_size else 0
+        hi = int(self.sorted_trips[-1]) if self.outer_size else 0
+        return (self.outer_size, self.n_pairs, lo, hi)
+
+    def split_counts(self, threshold: int) -> tuple[int, int, int, int]:
+        """``(n_small, n_large, pairs_small, pairs_large)`` of the lbTHRES
+        partition at ``threshold`` — the sizes without the id arrays.
+
+        Derived from the precomputed sorted order (one binary search plus
+        a memoized prefix sum), so the IR promotion pass can weigh a
+        threshold without materializing :meth:`partition`'s index arrays.
+        Consistent with :meth:`partition`: large iff ``f(i) > threshold``.
+        """
+        # getattr: instances unpickled from a pre-IR disk cache lack the slot
+        if getattr(self, "_trip_cumsum", None) is None:
+            self._trip_cumsum = np.concatenate(
+                ([0], np.cumsum(self.sorted_trips))
+            )
+        k = int(np.searchsorted(self.sorted_trips, int(threshold), side="right"))
+        pairs_small = int(self._trip_cumsum[k])
+        return (k, self.outer_size - k, pairs_small, self.n_pairs - pairs_small)
 
     @classmethod
     def from_workload(cls, workload) -> "WorkloadAnalysis":
@@ -165,6 +191,27 @@ class TreeAnalysis:
     def from_workload(cls, workload) -> "TreeAnalysis":
         """Analyze a tree workload (once per fingerprint)."""
         return cls(workload.fingerprint(), workload.tree)
+
+    def structure_summary(self) -> dict[str, int]:
+        """Plain-int structural facts for the parallelization IR build.
+
+        ``children``: instances/total/lo/hi of the per-internal-node child
+        loop (rec-naive's launch unit); ``grandchildren``: the same for
+        the per-launch-owner grandchild loop (rec-hier's launch unit).
+        """
+        internal_deg = self.degrees[self.internal]
+        launch_deg = self.child_deg_sum[self.needs_launch]
+        return {
+            "n_nodes": int(self.n_nodes),
+            "n_internal": int(self.internal.size),
+            "children_total": int(internal_deg.sum()),
+            "children_lo": int(internal_deg.min()) if internal_deg.size else 0,
+            "children_hi": int(internal_deg.max()) if internal_deg.size else 0,
+            "n_launch_owners": int(self.needs_launch.size),
+            "grandchildren_total": int(launch_deg.sum()),
+            "grandchildren_lo": int(launch_deg.min()) if launch_deg.size else 0,
+            "grandchildren_hi": int(launch_deg.max()) if launch_deg.size else 0,
+        }
 
 
 #: in-memory analysis store: fingerprint -> analysis artifact

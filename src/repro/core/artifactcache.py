@@ -13,7 +13,10 @@ three tiers:
 * ``run`` — :class:`~repro.gpusim.executor.ExecutionResult` objects keyed
   on ``(plan key, engine)``.  The simulator is deterministic, so a result
   is a pure function of its key; the run tier is bypassed whenever a
-  caller asks for timelines or tracing is on (those need a live run).
+  caller asks for timelines or tracing is on (those need a live run);
+* ``select`` — :class:`~repro.ir.select.Selection` records of the
+  ``template="auto"`` lowering, keyed on ``(workload fingerprint, device
+  fingerprint, pass-config key, params, engine)``.
 
 Entries are pickles named by a blake2b digest of the key's ``repr`` plus a
 format version.  Writes are atomic (temp file + ``os.replace``) so
@@ -58,7 +61,7 @@ __all__ = [
 ]
 
 #: cache tiers, in pipeline order
-TIERS = ("analysis", "plan", "run")
+TIERS = ("analysis", "select", "plan", "run")
 
 #: bump to invalidate every existing cache entry on a format change
 _FORMAT_VERSION = "v1"

@@ -59,6 +59,9 @@ class TemplateRun:
     params: TemplateParams | None = None
     #: per-shard runs of a multi-device execution (None for single-device)
     device_runs: list["TemplateRun"] | None = None
+    #: the auto-select decision behind a ``template="auto"`` run
+    #: (:class:`~repro.ir.select.Selection`; None for named-template runs)
+    selection: object | None = None
 
     @property
     def time_ms(self) -> float:

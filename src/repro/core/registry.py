@@ -6,14 +6,9 @@ Fig. 3 — is reachable through one :func:`resolve` call.  Canonical names
 follow the paper (``thread-mapped``, ``dbuf-global``, ``rec-hier``, ...);
 the alias map accepts the historical spellings (``baseline``) and
 underscore variants, so existing callers keep working.
-
-``get_template`` survives as a deprecated shim over
-``resolve(name, kind="nested-loop")``.
 """
 
 from __future__ import annotations
-
-import warnings
 
 from repro.core.base import NestedLoopTemplate
 from repro.core.delayed_buffer import (
@@ -38,7 +33,6 @@ __all__ = [
     "TEMPLATE_ALIASES",
     "canonical_name",
     "resolve",
-    "get_template",
 ]
 
 #: all nested-loop templates by paper name (legacy keys kept: ``baseline``
@@ -126,17 +120,3 @@ def resolve(name: str, kind: str | None = None):
             f"template {name!r} is a {actual_kind} template, not {kind}"
         )
     return cls()
-
-
-def get_template(name: str) -> NestedLoopTemplate:
-    """Deprecated: use :func:`resolve` (``resolve(name, kind="nested-loop")``).
-
-    Kept as a thin shim so pre-facade callers continue to work.
-    """
-    warnings.warn(
-        "get_template() is deprecated; use repro.core.registry.resolve() "
-        "or the repro.run()/repro.compare() facade",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return resolve(name, kind="nested-loop")

@@ -30,6 +30,12 @@ class PlanError(ReproError):
     duplicated, lane assignments out of range)."""
 
 
+class IRError(PlanError):
+    """A parallelization-IR structure is malformed or trip-count
+    inconsistent, or a compiler pass produced an invalid rewrite.
+    Subclasses :class:`PlanError`: an invalid IR is an invalid plan."""
+
+
 class GraphError(ReproError):
     """An invalid graph or tree structure (malformed CSR, bad indices)."""
 

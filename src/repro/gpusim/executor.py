@@ -45,6 +45,7 @@ __all__ = [
     "ExecutionResult",
     "LaunchRecord",
     "ENGINES",
+    "resolve_engine",
     "set_default_engine",
     "get_default_engine",
 ]
@@ -58,12 +59,26 @@ ENGINES = ("fast", "exact")
 _default_engine = "fast"
 
 
+def resolve_engine(engine: str | None, *, error=ConfigError) -> str | None:
+    """Validate an engine name; the one engine-string check in the repo.
+
+    Returns the engine unchanged (``None`` means "defer to the process
+    default").  Every entry point — ``repro.run``, the serving layer, the
+    bench CLI — funnels through here, so an invalid name fails with the
+    same message everywhere; ``error`` only selects which exception class
+    carries it (the service raises its own :class:`ServiceError`).
+    """
+    if engine is not None and engine not in ENGINES:
+        raise error(f"unknown engine {engine!r}; known: {', '.join(ENGINES)}")
+    return engine
+
+
 def set_default_engine(name: str) -> None:
     """Select the engine used when :class:`GpuExecutor` gets ``engine=None``.
 
-    The bench runner's ``--exact`` flag routes through here so every
+    The bench runner's ``--engine`` flag routes through here so every
     executor constructed anywhere in a run (apps, templates, experiments)
-    falls back to the reference event-per-block engine.
+    falls back to the selected engine.
     """
     global _default_engine
     if name not in ENGINES:
@@ -241,10 +256,7 @@ class GpuExecutor:
         max_launch_instances: int = 2_000_000,
         engine: str | None = None,
     ) -> None:
-        if engine is not None and engine not in ENGINES:
-            raise ConfigError(
-                f"unknown engine {engine!r}; known: {', '.join(ENGINES)}"
-            )
+        resolve_engine(engine)
         self.config = config
         self.record_timeline = record_timeline
         self.max_launch_instances = max_launch_instances

@@ -1,0 +1,70 @@
+"""``repro.ir`` — the explicit-parallelism IR and its pass pipeline.
+
+The compiler layer behind ``repro.run(workload, template="auto")``.  A
+workload is lifted into a nested seq/par loop structure with trip-count
+metadata (:mod:`~repro.ir.nodes`, built by :mod:`~repro.ir.build`),
+validated (:mod:`~repro.ir.validate`), transformed by the threshold
+promotion and launch consolidation passes (:mod:`~repro.ir.passes`), and
+lowered onto the canonical registry templates with derived parameters
+(:mod:`~repro.ir.select`).  See ``docs/ir.md``.
+
+Typical use::
+
+    from repro import ir
+
+    tree = ir.from_workload(workload)          # build + validate
+    result = ir.run_pipeline(tree)             # transform
+    selection = ir.auto_select(workload, dev)  # build + transform + lower
+    print(selection.template, selection.params.lb_threshold)
+    print(selection.final_ir.pretty())
+"""
+
+from __future__ import annotations
+
+from repro.ir.build import from_workload, ir_kind_of
+from repro.ir.nodes import KINDS, MAPPINGS, LoopNode, TripInfo, par, seq
+from repro.ir.passes import (
+    PASS_PIPELINE,
+    PassConfig,
+    PassContext,
+    PassDecision,
+    PipelineResult,
+    consolidate_pass,
+    promote_pass,
+    run_pipeline,
+)
+from repro.ir.select import (
+    AUTO,
+    Selection,
+    auto_select,
+    clear_selection_cache,
+    is_auto,
+)
+from repro.ir.validate import check_trip_consistency, check_well_formed, validate
+
+__all__ = [
+    "AUTO",
+    "KINDS",
+    "MAPPINGS",
+    "PASS_PIPELINE",
+    "LoopNode",
+    "PassConfig",
+    "PassContext",
+    "PassDecision",
+    "PipelineResult",
+    "Selection",
+    "TripInfo",
+    "auto_select",
+    "check_trip_consistency",
+    "check_well_formed",
+    "clear_selection_cache",
+    "consolidate_pass",
+    "from_workload",
+    "ir_kind_of",
+    "is_auto",
+    "par",
+    "promote_pass",
+    "run_pipeline",
+    "seq",
+    "validate",
+]

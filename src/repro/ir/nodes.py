@@ -1,0 +1,204 @@
+"""The explicit-parallelism IR: nested Seq/Par loop structure.
+
+The unit of representation is the :class:`LoopNode` — one loop (or loop
+level) of the computation, carrying a label, its trip-count metadata
+(:class:`TripInfo`) and its children, modeled on prickle's ``ParRepr``
+(``Seq(label, children)`` / ``Par(label, trips, children)``) extended with
+the facts the parallelization passes need:
+
+* ``kind`` — ``"seq"`` (must run in order), ``"par"`` (iterations are
+  independent), or ``"split"`` (a partition wrapper: its children cover
+  its iteration space exactly, the form the threshold-promotion pass
+  produces).
+* ``trips`` — how often the loop runs (``count`` instances) and how much
+  work each instance does (``total`` iterations overall, ``lo``/``hi``
+  per-instance bounds, ``known`` exact-vs-estimated).
+* ``mapping`` — the lowering decision passes attach: ``"none"`` (not yet
+  decided), ``"thread"`` (thread-mapped / flat), ``"block"``
+  (consolidated block-mapped kernel group), ``"launch"``
+  (dynamic-parallelism child launches).
+
+Nodes are frozen: passes rewrite by building new nodes (``replace`` /
+``with_children``).  ``key()`` flattens a node to nested tuples of
+literals — the repr-stable identity that feeds selection and artifact
+cache keys (``ast.literal_eval(repr(key)) == key``, the same contract
+plan keys obey).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import IRError
+
+__all__ = ["KINDS", "MAPPINGS", "TripInfo", "LoopNode", "seq", "par"]
+
+#: node kinds: sequential loop, parallel loop, partition wrapper
+KINDS = ("seq", "par", "split")
+#: lowering decisions a pass may attach to a node
+MAPPINGS = ("none", "thread", "block", "launch")
+
+
+@dataclass(frozen=True)
+class TripInfo:
+    """Trip-count metadata of one loop.
+
+    ``count`` is how many *instances* of the loop run (a loop nested in a
+    1000-iteration parent has ``count=1000``); ``total`` is the summed
+    iteration count across all instances; ``lo``/``hi`` bound the
+    per-instance trip counts.  ``known`` distinguishes exact counts
+    (derived from a workload trace) from estimates.
+    """
+
+    count: int
+    total: int
+    lo: int
+    hi: int
+    known: bool = True
+
+    def __post_init__(self) -> None:
+        if self.count < 0 or self.total < 0:
+            raise IRError("trip counts cannot be negative")
+        if self.lo < 0 or self.lo > self.hi:
+            raise IRError(f"trip bounds out of order: lo={self.lo} hi={self.hi}")
+        if self.count == 0 and self.total != 0:
+            raise IRError("a loop with no instances cannot have iterations")
+        if self.count > 0 and not (
+            self.count * self.lo <= self.total <= self.count * self.hi
+        ):
+            raise IRError(
+                f"trip total {self.total} inconsistent with "
+                f"count={self.count} lo={self.lo} hi={self.hi}"
+            )
+
+    @property
+    def uniform(self) -> bool:
+        """Every instance runs the same number of iterations."""
+        return self.lo == self.hi
+
+    @property
+    def mean(self) -> float:
+        """Average iterations per instance (0.0 for an empty loop)."""
+        return self.total / self.count if self.count else 0.0
+
+    def key(self) -> tuple:
+        """Repr-stable literal identity."""
+        return (self.count, self.total, self.lo, self.hi, self.known)
+
+
+@dataclass(frozen=True)
+class LoopNode:
+    """One loop of the nested seq/par structure (see module docstring)."""
+
+    kind: str
+    label: str
+    trips: TripInfo
+    mapping: str = "none"
+    children: tuple["LoopNode", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise IRError(f"unknown node kind {self.kind!r}; known: {KINDS}")
+        if self.mapping not in MAPPINGS:
+            raise IRError(
+                f"unknown mapping {self.mapping!r}; known: {MAPPINGS}"
+            )
+        if not isinstance(self.label, str) or not self.label:
+            raise IRError("node label must be a non-empty string")
+        if not isinstance(self.children, tuple):
+            # accept lists at construction for convenience, store tuples
+            object.__setattr__(self, "children", tuple(self.children))
+
+    # ------------------------------------------------------------ structure
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def walk(self):
+        """Preorder traversal of the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, label: str) -> "LoopNode | None":
+        """First node in preorder whose label matches (None if absent)."""
+        for node in self.walk():
+            if node.label == label:
+                return node
+        return None
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    # ------------------------------------------------------------ rewriting
+    def replace(self, **changes) -> "LoopNode":
+        """Copy with changes (passes rewrite via this; nodes are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_children(self, children) -> "LoopNode":
+        return self.replace(children=tuple(children))
+
+    def map_nodes(self, fn) -> "LoopNode":
+        """Bottom-up structural rewrite: ``fn`` sees each node after its
+        children were rewritten and returns the replacement node."""
+        rewritten = tuple(child.map_nodes(fn) for child in self.children)
+        node = self if rewritten == self.children else self.with_children(rewritten)
+        return fn(node)
+
+    # ------------------------------------------------------------- identity
+    def key(self) -> tuple:
+        """Nested literal tuple identity (repr-stable, cache-key safe)."""
+        return (
+            self.kind,
+            self.label,
+            self.trips.key(),
+            self.mapping,
+            tuple(child.key() for child in self.children),
+        )
+
+    def fingerprint(self) -> str:
+        """Content digest of the subtree (keys the selection caches)."""
+        h = hashlib.blake2b(repr(self.key()).encode(), digest_size=16)
+        return h.hexdigest()
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (``repro.explain`` output)."""
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "mapping": self.mapping,
+            "trips": {
+                "count": self.trips.count,
+                "total": self.trips.total,
+                "lo": self.trips.lo,
+                "hi": self.trips.hi,
+                "known": self.trips.known,
+            },
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def pretty(self, indent: int = 0) -> str:
+        """Human-readable tree rendering (one node per line)."""
+        t = self.trips
+        line = (
+            f"{'  ' * indent}{self.kind} {self.label} "
+            f"[count={t.count} total={t.total} trips={t.lo}..{t.hi}"
+            f"{'' if t.known else ' est'}]"
+            f"{'' if self.mapping == 'none' else ' -> ' + self.mapping}"
+        )
+        return "\n".join(
+            [line] + [child.pretty(indent + 1) for child in self.children]
+        )
+
+
+def seq(label: str, trips: TripInfo, children=(), mapping: str = "none") -> LoopNode:
+    """Construct a sequential node."""
+    return LoopNode("seq", label, trips, mapping, tuple(children))
+
+
+def par(label: str, trips: TripInfo, children=(), mapping: str = "none") -> LoopNode:
+    """Construct a parallel node."""
+    return LoopNode("par", label, trips, mapping, tuple(children))

@@ -1,0 +1,313 @@
+"""The transform passes: threshold promotion and launch consolidation.
+
+Two rewrites run over the IR, in order, mirroring the two compiler
+techniques the related work contributes:
+
+* :func:`promote_pass` — **threshold promotion** (Olabi et al.): subloops
+  whose per-instance work exceeds the cost threshold are promoted to
+  dynamic-parallelism child launches (``mapping="launch"``); the rest are
+  demoted to the thread-mapped/flat form (``mapping="thread"``).  An
+  irregular loop with instances on both sides of the threshold is
+  rewritten into a ``split`` wrapper whose two partitions carry the exact
+  partition sizes (from the cached analysis — the same lbTHRES partition
+  the templates build), upholding the work-conservation invariant
+  ``validate`` checks.
+* :func:`consolidate_pass` — **workload consolidation** (Wu/Li/Becchi):
+  promoted launches that would be too many or too small — or that the
+  device cannot launch at all — are aggregated into consolidated
+  block-mapped kernel groups (``mapping="block"``) instead of thousands
+  of tiny child grids.
+
+Both passes are pure functions of ``(IR, PassConfig, PassContext)``:
+deterministic, idempotent (re-running on their own output changes
+nothing) and trip-preserving (the root's total never changes; splits
+partition exactly).  Every rewrite is recorded as a
+:class:`PassDecision`, surfaces in ``repro.explain`` and — when tracing
+is on — as ``ir.pass.<name>`` spans with ``ir.decisions.<name>``
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.errors import IRError
+from repro.ir.nodes import LoopNode, TripInfo
+from repro.ir.validate import validate
+
+__all__ = [
+    "PassConfig",
+    "PassContext",
+    "PassDecision",
+    "PipelineResult",
+    "promote_pass",
+    "consolidate_pass",
+    "run_pipeline",
+    "PASS_PIPELINE",
+]
+
+#: suffixes the promotion split attaches to its partition labels
+SMALL_SUFFIX = "@small"
+LARGE_SUFFIX = "@large"
+
+
+@dataclass(frozen=True)
+class PassConfig:
+    """Knobs of the pass pipeline (frozen; ``key()`` is repr-stable).
+
+    ``lb_threshold`` is the promotion cost threshold (the paper's
+    ``lbTHRES`` — instances with more iterations than this are promoted);
+    ``thresholds`` the candidate set auto-select races when the lowering
+    is ambiguous; ``consolidation_grain`` the mean-iterations floor below
+    which child launches are consolidated into blocks;
+    ``max_child_launches`` the launch-count ceiling above which they are
+    consolidated regardless; ``dynamic_parallelism`` whether the target
+    device can nest launches at all (False demotes every launch).
+    """
+
+    lb_threshold: int = 32
+    thresholds: tuple[int, ...] = (32, 64, 128, 256)
+    #: a child launch must average at least this many iterations to stay a
+    #: launch — below it the grid is too small to amortize the issue cost
+    #: (the regime where the paper's dpar variants lose to the buffered
+    #: block-mapped templates)
+    consolidation_grain: int = 128
+    max_child_launches: int = 1024
+    dynamic_parallelism: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lb_threshold < 1:
+            raise IRError("lb_threshold must be >= 1")
+        if self.consolidation_grain < 0 or self.max_child_launches < 1:
+            raise IRError("consolidation knobs out of range")
+        object.__setattr__(
+            self, "thresholds",
+            tuple(sorted({int(t) for t in self.thresholds} | {self.lb_threshold})),
+        )
+
+    def key(self) -> tuple:
+        """Repr-stable literal identity (feeds the selection cache key)."""
+        return (
+            self.lb_threshold,
+            self.thresholds,
+            self.consolidation_grain,
+            self.max_child_launches,
+            self.dynamic_parallelism,
+        )
+
+
+@dataclass(frozen=True)
+class PassContext:
+    """Workload facts a pass may consult beyond the IR itself.
+
+    ``split_counts`` — when present — maps a threshold to the exact
+    ``(n_small, n_large, iters_small, iters_large)`` partition sizes of
+    the irregular loop (bound to
+    :meth:`~repro.core.analysis.WorkloadAnalysis.split_counts` by the
+    auto-select driver).  Passes fall back to trip-bound arithmetic when
+    it is absent, so the pipeline also runs on hand-built IR.
+    """
+
+    split_counts: object | None = None
+
+
+@dataclass(frozen=True)
+class PassDecision:
+    """One recorded rewrite decision (``repro.explain`` output row)."""
+
+    pass_name: str
+    node: str
+    action: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "node": self.node,
+            "action": self.action,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced."""
+
+    ir: LoopNode
+    decisions: list[PassDecision] = field(default_factory=list)
+
+
+def _is_subloop(node: LoopNode, ancestors: tuple[LoopNode, ...]) -> bool:
+    """A par loop nested under another par loop — a promotion candidate."""
+    return (
+        node.kind == "par"
+        and node.mapping == "none"
+        and any(a.kind == "par" for a in ancestors)
+    )
+
+
+def _split_node(node: LoopNode, threshold: int,
+                counts: tuple[int, int, int, int]) -> LoopNode:
+    """Rewrite one irregular subloop into its lbTHRES split wrapper.
+
+    ``counts`` are the exact partition sizes from the workload analysis;
+    the resulting partitions carry tight, trace-true bounds (small-side
+    instances sit in ``[lo, threshold]``, large-side in
+    ``[threshold + 1, hi]``), so the split always revalidates.
+    """
+    t = node.trips
+    n_small, n_large, iters_small, iters_large = counts
+    small = node.replace(
+        label=node.label + SMALL_SUFFIX,
+        trips=TripInfo(
+            count=n_small, total=iters_small,
+            lo=min(t.lo, threshold), hi=min(t.hi, threshold), known=t.known,
+        ),
+        mapping="thread",
+    )
+    large = node.replace(
+        label=node.label + LARGE_SUFFIX,
+        trips=TripInfo(
+            count=n_large, total=iters_large,
+            lo=max(t.lo, threshold + 1), hi=t.hi, known=t.known,
+        ),
+        mapping="launch",
+    )
+    return LoopNode("split", node.label, t, "none", (small, large))
+
+
+def promote_pass(
+    ir: LoopNode, cfg: PassConfig, ctx: PassContext | None = None,
+) -> tuple[LoopNode, list[PassDecision]]:
+    """Threshold promotion (see module docstring).  Returns (IR, decisions)."""
+    ctx = ctx or PassContext()
+    decisions: list[PassDecision] = []
+
+    def record(node: LoopNode, action: str, detail: str) -> None:
+        decisions.append(PassDecision("promote", node.label, action, detail))
+
+    def rewrite(node: LoopNode, ancestors: tuple[LoopNode, ...]) -> LoopNode:
+        children = tuple(
+            rewrite(c, ancestors + (node,)) for c in node.children
+        )
+        if children != node.children:
+            node = node.with_children(children)
+        if not _is_subloop(node, ancestors):
+            return node
+        t = node.trips
+        if t.count == 0 or t.total == 0:
+            record(node, "demote-thread", "empty loop")
+            return node.replace(mapping="thread")
+        if t.hi <= cfg.lb_threshold:
+            record(
+                node, "demote-thread",
+                f"every instance <= lbTHRES={cfg.lb_threshold} "
+                f"(hi={t.hi})",
+            )
+            return node.replace(mapping="thread")
+        if t.lo > cfg.lb_threshold:
+            record(
+                node, "promote-launch",
+                f"every instance > lbTHRES={cfg.lb_threshold} "
+                f"(lo={t.lo})",
+            )
+            return node.replace(mapping="launch")
+        # bounds straddle the threshold: split exactly when the workload
+        # analysis is bound, else decide the whole node on its mean
+        if ctx.split_counts is None:
+            if t.mean > cfg.lb_threshold:
+                record(
+                    node, "promote-launch",
+                    f"mean {t.mean:.1f} iterations/instance > "
+                    f"lbTHRES={cfg.lb_threshold} (no trip histogram)",
+                )
+                return node.replace(mapping="launch")
+            record(
+                node, "demote-thread",
+                f"mean {t.mean:.1f} iterations/instance <= "
+                f"lbTHRES={cfg.lb_threshold} (no trip histogram)",
+            )
+            return node.replace(mapping="thread")
+        counts = ctx.split_counts(cfg.lb_threshold)
+        n_small, n_large = counts[0], counts[1]
+        if n_large == 0:
+            record(node, "demote-thread",
+                   f"no instance > lbTHRES={cfg.lb_threshold}")
+            return node.replace(mapping="thread")
+        if n_small == 0:
+            record(node, "promote-launch",
+                   f"every instance > lbTHRES={cfg.lb_threshold}")
+            return node.replace(mapping="launch")
+        split = _split_node(node, cfg.lb_threshold, counts)
+        record(
+            node, "split",
+            f"lbTHRES={cfg.lb_threshold}: {n_small} small / "
+            f"{n_large} large instances",
+        )
+        return split
+
+    with obs.span("ir.pass.promote"):
+        out = rewrite(ir, ())
+        if obs.enabled():
+            obs.add_counter("ir.decisions.promote", len(decisions))
+    return out, decisions
+
+
+def consolidate_pass(
+    ir: LoopNode, cfg: PassConfig, ctx: PassContext | None = None,
+) -> tuple[LoopNode, list[PassDecision]]:
+    """Workload consolidation (see module docstring).  Returns (IR, decisions)."""
+    decisions: list[PassDecision] = []
+
+    def rewrite(node: LoopNode) -> LoopNode:
+        if node.mapping != "launch":
+            return node
+        t = node.trips
+        if not cfg.dynamic_parallelism:
+            reason = "device lacks dynamic parallelism"
+        elif t.count > cfg.max_child_launches:
+            reason = (
+                f"{t.count} child launches exceed the "
+                f"{cfg.max_child_launches}-launch ceiling"
+            )
+        elif t.mean < cfg.consolidation_grain:
+            reason = (
+                f"mean {t.mean:.1f} iterations/launch below the "
+                f"{cfg.consolidation_grain}-iteration grain"
+            )
+        else:
+            return node
+        decisions.append(
+            PassDecision("consolidate", node.label, "consolidate-block", reason)
+        )
+        return node.replace(mapping="block")
+
+    with obs.span("ir.pass.consolidate"):
+        out = ir.map_nodes(rewrite)
+        if obs.enabled():
+            obs.add_counter("ir.decisions.consolidate", len(decisions))
+    return out, decisions
+
+
+#: the pipeline, in execution order
+PASS_PIPELINE = (promote_pass, consolidate_pass)
+
+
+def run_pipeline(
+    ir: LoopNode, cfg: PassConfig | None = None,
+    ctx: PassContext | None = None,
+) -> PipelineResult:
+    """Validate, run every pass in order, validate again.
+
+    The trailing validation makes a buggy pass an :class:`IRError` at
+    transform time rather than a silent mis-lowering.
+    """
+    cfg = cfg or PassConfig()
+    validate(ir)
+    result = PipelineResult(ir=ir)
+    for pass_fn in PASS_PIPELINE:
+        result.ir, decisions = pass_fn(result.ir, cfg, ctx)
+        result.decisions.extend(decisions)
+    validate(result.ir)
+    return result

@@ -1,0 +1,78 @@
+"""Structural validation passes over the parallelization IR.
+
+Two invariant families, each usable as a standalone pass and combined in
+:func:`validate` (the pipeline runs it before and after the transform
+passes, so a buggy pass fails loudly instead of mis-lowering):
+
+* **well-formedness** — every node has a legal kind/mapping, labels are
+  unique along any root-to-leaf path (a nested loop cannot be its own
+  ancestor), and a ``split`` wrapper has at least one child.
+* **trip-count consistency** — node-local bounds hold by construction
+  (``TripInfo`` validates itself); across edges, a child loop cannot run
+  more often than its parent has iterations, and the children of a
+  ``split`` node must cover its iteration space *exactly* (counts and
+  totals both sum to the wrapper's — the work-conservation invariant the
+  threshold-promotion pass must uphold, the IR-level analogue of
+  :func:`repro.core.base.check_schedule`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.nodes import LoopNode
+
+__all__ = ["validate", "check_well_formed", "check_trip_consistency"]
+
+
+def check_well_formed(ir: LoopNode) -> None:
+    """Raise :class:`IRError` on structural violations (see module doc)."""
+    if not isinstance(ir, LoopNode):
+        raise IRError(f"IR root must be a LoopNode, got {type(ir).__name__}")
+
+    def visit(node: LoopNode, ancestors: tuple[str, ...]) -> None:
+        if node.label in ancestors:
+            raise IRError(
+                f"loop {node.label!r} nested inside itself "
+                f"(path: {' > '.join(ancestors)})"
+            )
+        if node.kind == "split" and not node.children:
+            raise IRError(f"split node {node.label!r} has no partitions")
+        for child in node.children:
+            if not isinstance(child, LoopNode):
+                raise IRError(
+                    f"child of {node.label!r} is {type(child).__name__}, "
+                    "not LoopNode"
+                )
+            visit(child, ancestors + (node.label,))
+
+    visit(ir, ())
+
+
+def check_trip_consistency(ir: LoopNode) -> None:
+    """Raise :class:`IRError` on cross-edge trip-count violations."""
+    for node in ir.walk():
+        if node.kind == "split":
+            counts = sum(c.trips.count for c in node.children)
+            totals = sum(c.trips.total for c in node.children)
+            if counts != node.trips.count or totals != node.trips.total:
+                raise IRError(
+                    f"split {node.label!r} partitions cover "
+                    f"count={counts}/total={totals}, expected "
+                    f"count={node.trips.count}/total={node.trips.total} "
+                    "(partitions must neither drop nor duplicate work)"
+                )
+        else:
+            for child in node.children:
+                if node.trips.total and child.trips.count > node.trips.total:
+                    raise IRError(
+                        f"loop {child.label!r} has {child.trips.count} "
+                        f"instances but parent {node.label!r} only runs "
+                        f"{node.trips.total} iterations"
+                    )
+
+
+def validate(ir: LoopNode) -> LoopNode:
+    """Run every structural check; returns the IR unchanged on success."""
+    check_well_formed(ir)
+    check_trip_consistency(ir)
+    return ir

@@ -14,7 +14,7 @@ counter or lock is touched.  Turn it on around a region of interest::
 
     obs.reset()
     obs.set_enabled(True)
-    run = repro.run("dbuf-shared", workload)
+    run = repro.run(workload, "dbuf-shared")
     print(obs.summary()["wall_ms"])          # per-span-name aggregates
     obs.write_chrome_trace("trace.json")     # chrome://tracing / Perfetto
     obs.set_enabled(False)
@@ -31,6 +31,11 @@ Instrumented span names (the stable catalogue):
 ``plan.build``        template ``build()`` + schedule validation (cache miss)
 ``plan.cache_hit``    instant: plan served from the plan cache
 ``analysis.build``    one workload-analysis computation (analysis-cache miss)
+``ir.build``          parallelization-IR construction from a workload
+``ir.pass.promote``   threshold-promotion pass over the IR
+``ir.pass.consolidate``  launch-consolidation pass over the IR
+``ir.select``         auto-select lowering (includes candidate race runs;
+                      ``ir.select.cache_hit`` instant on a cached decision)
 ``gpusim.execute``    one executor pass over a launch graph
 ``gpusim.profile``    metric extraction from an executed graph
 ``service.coalesce``  micro-batcher grouping one collection window
@@ -49,9 +54,12 @@ a separate ``simulated-device`` track with simulated-clock timestamps.
 
 Counters (also in ``summary()["counters"]``): ``plan_cache.hits`` /
 ``plan_cache.misses``, ``analysis_cache.hits`` / ``analysis_cache.misses``,
-and — when a disk cache directory is configured —
+``ir.decisions.<pass>`` (rewrite decisions per IR pass),
+``ir.select_cache.hits`` / ``ir.select_cache.misses`` and
+``ir.select.race_candidates`` (auto-select audit trail), and — when a
+disk cache directory is configured —
 ``artifact_cache.<tier>.{hits,misses,writes,corrupt,evictions}`` for each
-of the ``analysis`` / ``plan`` / ``run`` tiers (see
+of the ``analysis`` / ``select`` / ``plan`` / ``run`` tiers (see
 ``docs/performance.md``).  Multi-device runs add per-device counters
 under ``device.<i>.*``: ``launches`` / ``busy_cycles`` on every graph a
 device executes, plus per-shard work totals — ``outer`` / ``pairs`` for

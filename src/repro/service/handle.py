@@ -52,16 +52,20 @@ class ServiceHandle:
 
     # ---------------------------------------------------------------- API
     def submit(
-        self, template, workload, **kwargs
+        self, template, workload=None, **kwargs
     ) -> concurrent.futures.Future:
-        """Submit without blocking; the future resolves to a Response."""
+        """Submit without blocking; the future resolves to a Response.
+
+        ``submit(workload)`` alone (or ``template=None``) uses the
+        config's ``default_template`` — ``"auto"`` unless overridden.
+        """
         if self._closed:
             raise ServiceError("service handle is closed")
         return asyncio.run_coroutine_threadsafe(
             self._service.submit(template, workload, **kwargs), self._loop
         )
 
-    def request(self, template, workload, **kwargs) -> Response:
+    def request(self, template, workload=None, **kwargs) -> Response:
         """Blocking convenience: submit and wait for the response."""
         return self.submit(template, workload, **kwargs).result()
 

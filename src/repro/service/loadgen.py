@@ -113,7 +113,7 @@ def run_unbatched(mix, *, device=None, engine: str = "fast") -> dict:
     start = time.perf_counter()
     for template, workload in mix:
         t0 = time.perf_counter()
-        repro.run(template, workload, device=device, engine=engine)
+        repro.run(workload, template, device=device, engine=engine)
         latencies.append(time.perf_counter() - t0)
     wall = time.perf_counter() - start
     return _summarize(latencies, wall)

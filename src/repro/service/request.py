@@ -22,10 +22,10 @@ from repro.core.params import TemplateParams
 from repro.core.recursive import RecursiveTreeWorkload
 from repro.core.registry import resolve
 from repro.core.workload import NestedLoopWorkload
-from repro.errors import WorkloadError
+from repro.errors import ConfigError, WorkloadError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
-from repro.gpusim.executor import ENGINES
-from repro.errors import ConfigError
+from repro.gpusim.executor import resolve_engine
+from repro.ir.select import auto_select, is_auto
 
 __all__ = [
     "Request",
@@ -87,6 +87,17 @@ class Request:
 
     def __post_init__(self) -> None:
         self.kind = workload_kind(self.workload)
+        resolve_engine(self.engine, error=ConfigError)
+        self.selection = None
+        if is_auto(self.template):
+            # resolve the auto choice at admission: the batch then carries
+            # a concrete template, coalesces with equivalent named
+            # requests, and the degradation path sees real capabilities
+            self.selection = auto_select(
+                self.workload, self.device, self.params, self.engine
+            )
+            self.template = self.selection.template
+            self.params = self.selection.params
         if isinstance(self.template, str):
             self.template_obj = resolve(self.template, kind=self.kind)
             self._template_key = self.template_obj.name
@@ -94,10 +105,6 @@ class Request:
             self.template_obj = self.template
             # custom instances only coalesce with themselves
             self._template_key = (self.template_obj.name, id(self.template))
-        if self.engine not in ENGINES:
-            raise ConfigError(
-                f"unknown engine {self.engine!r}; known: {', '.join(ENGINES)}"
-            )
         self.cost = workload_cost(self.workload)
 
     def batch_key(self) -> tuple:

@@ -33,7 +33,7 @@ from repro import obs
 from repro.core.params import TemplateParams
 from repro.errors import ServiceError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
-from repro.gpusim.executor import ENGINES
+from repro.gpusim.executor import resolve_engine
 from repro.service.batcher import Batch, MicroBatcher
 from repro.service.metrics import ServiceStats
 from repro.service.request import DEGRADE_FALLBACK, Request, Response
@@ -72,6 +72,10 @@ class ServiceConfig:
     degrade: bool = True
     #: default executor engine for requests that don't specify one
     engine: str = "fast"
+    #: template used when ``submit`` is not given one: ``"auto"`` routes
+    #: through the IR auto-select pipeline (see ``docs/ir.md``); any
+    #: canonical name pins every defaulted request to that template
+    default_template: str = "auto"
     #: default simulated device
     device: DeviceConfig = field(default_factory=lambda: KEPLER_K20)
     #: simulated devices serving this process: 1 behaves exactly as the
@@ -96,10 +100,7 @@ class ServiceConfig:
             raise ServiceError("max_retries cannot be negative")
         if self.retry_backoff_s < 0:
             raise ServiceError("retry_backoff_s cannot be negative")
-        if self.engine not in ENGINES:
-            raise ServiceError(
-                f"unknown engine {self.engine!r}; known: {', '.join(ENGINES)}"
-            )
+        resolve_engine(self.engine, error=ServiceError)
         if self.devices < 1:
             raise ServiceError(f"devices must be >= 1, got {self.devices}")
 
@@ -203,15 +204,23 @@ class TemplateService:
     async def submit(
         self,
         template,
-        workload,
+        workload=None,
         *,
         device: DeviceConfig | None = None,
         params: TemplateParams | None = None,
         engine: str | None = None,
     ) -> Response:
-        """Admit one query and await its response."""
+        """Admit one query and await its response.
+
+        ``template`` may be omitted by passing the workload alone
+        (``submit(workload)``) or ``None`` — both fall back to the
+        config's ``default_template`` (``"auto"`` unless overridden), so
+        the service front door matches ``repro.run(workload)``.
+        """
+        if workload is None:
+            template, workload = None, template
         request = Request(
-            template=template,
+            template=self.config.default_template if template is None else template,
             workload=workload,
             device=device or self.config.device,
             params=params or TemplateParams(),

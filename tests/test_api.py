@@ -1,5 +1,5 @@
-"""Tests for the top-level facade (repro.run / repro.compare) and the
-unified template registry."""
+"""Tests for the top-level facade (repro.run / repro.compare /
+repro.explain) and the unified template registry."""
 
 import warnings
 
@@ -13,7 +13,6 @@ from repro.core.registry import (
     NESTED_LOOP_TEMPLATES,
     TREE_TEMPLATE_CLASSES,
     canonical_name,
-    get_template,
     resolve,
 )
 from repro.core.workload import AccessStream, NestedLoopWorkload
@@ -69,29 +68,34 @@ class TestRegistryResolve:
         aliases = {"baseline"}
         assert merged - aliases <= set(ALL_TEMPLATES)
 
-    def test_get_template_deprecated_but_working(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            template = get_template("dual-queue")
-        assert template.name == "dual-queue"
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    def test_resolve_reexported_at_top_level(self):
+        assert repro.resolve is resolve
+        assert repro.TemplateParams is TemplateParams
+        assert repro.NestedLoopWorkload is NestedLoopWorkload
+        assert repro.RecursiveTreeWorkload is RecursiveTreeWorkload
 
 
 class TestRunFacade:
     def test_nested_loop_from_top_level(self, loop_workload):
-        run = repro.run("dbuf-shared", loop_workload)
+        run = repro.run(loop_workload, "dbuf-shared")
         assert run.template == "dbuf-shared"
         assert run.time_ms > 0
 
     def test_tree_from_top_level(self, tree_workload):
-        run = repro.run("rec-hier", tree_workload)
+        run = repro.run(tree_workload, "rec-hier")
         assert run.template == "rec-hier"
         assert run.time_ms > 0
 
+    def test_default_template_is_auto(self, loop_workload):
+        run = repro.run(loop_workload)
+        assert canonical_name(run.template) in ALL_TEMPLATES
+        assert run.selection is not None
+        assert run.selection.template == canonical_name(run.template)
+
     def test_kwargs_device_and_params(self, loop_workload):
-        k20 = repro.run("dual-queue", loop_workload,
+        k20 = repro.run(loop_workload, "dual-queue",
                         params=TemplateParams(lb_threshold=64))
-        fermi = repro.run("dual-queue", loop_workload,
+        fermi = repro.run(loop_workload, "dual-queue",
                           device=FERMI_C2050,
                           params=TemplateParams(lb_threshold=64))
         assert k20.params.lb_threshold == 64
@@ -99,75 +103,94 @@ class TestRunFacade:
 
     def test_template_instance_accepted(self, loop_workload):
         instance = resolve("block-mapped")
-        run = repro.run(instance, loop_workload, device=KEPLER_K20)
+        run = repro.run(loop_workload, instance, device=KEPLER_K20)
         assert run.template == "block-mapped"
 
     def test_family_misdispatch_rejected(self, loop_workload, tree_workload):
         with pytest.raises(PlanError):
-            repro.run("flat", loop_workload)
+            repro.run(loop_workload, "flat")
         with pytest.raises(PlanError):
-            repro.run("thread-mapped", tree_workload)
+            repro.run(tree_workload, "thread-mapped")
 
     def test_bad_workload_type(self):
         with pytest.raises(WorkloadError, match="NestedLoopWorkload"):
-            repro.run("thread-mapped", object())
+            repro.run(object(), "thread-mapped")
+
+    def test_legacy_argument_order_warns_and_forwards(self, loop_workload):
+        with pytest.warns(DeprecationWarning, match="workload first"):
+            legacy = repro.run("dbuf-shared", loop_workload)
+        modern = repro.run(loop_workload, "dbuf-shared")
+        assert legacy.time_ms == modern.time_ms
+
+    def test_exact_kwarg_removed(self, loop_workload):
+        with pytest.raises(TypeError):
+            repro.run(loop_workload, "dbuf-global", exact=True)
 
 
 class TestEngineSelection:
     def test_engine_kwarg_fast_and_exact_agree(self, loop_workload):
-        fast = repro.run("dbuf-global", loop_workload, engine="fast")
-        exact = repro.run("dbuf-global", loop_workload, engine="exact")
+        fast = repro.run(loop_workload, "dbuf-global", engine="fast")
+        exact = repro.run(loop_workload, "dbuf-global", engine="exact")
         assert fast.time_ms == pytest.approx(exact.time_ms, rel=1e-6)
 
     def test_engine_kwarg_no_warning(self, loop_workload):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            repro.run("dbuf-global", loop_workload, engine="exact")
-
-    def test_exact_kwarg_deprecated_alias(self, loop_workload):
-        with pytest.warns(DeprecationWarning, match="exact= kwarg"):
-            old = repro.run("dbuf-global", loop_workload, exact=True)
-        new = repro.run("dbuf-global", loop_workload, engine="exact")
-        assert old.time_ms == new.time_ms
-
-    def test_exact_false_means_fast(self, loop_workload):
-        with pytest.warns(DeprecationWarning):
-            run = repro.run("dbuf-global", loop_workload, exact=False)
-        assert run.time_ms == repro.run(
-            "dbuf-global", loop_workload, engine="fast").time_ms
+            repro.run(loop_workload, "dbuf-global", engine="exact")
 
     def test_compare_accepts_engine(self, loop_workload):
-        runs = repro.compare(["thread-mapped", "dual-queue"], loop_workload,
+        runs = repro.compare(loop_workload, ["thread-mapped", "dual-queue"],
                              engine="exact")
         assert [r.template for r in runs] == ["baseline", "dual-queue"]
-        with pytest.warns(DeprecationWarning):
-            legacy = repro.compare(["dual-queue"], loop_workload, exact=True)
-        assert legacy[0].time_ms == runs[1].time_ms
-
-    def test_conflicting_engine_and_exact_rejected(self, loop_workload):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(repro.ConfigError, match="conflict"):
-                repro.run("dbuf-global", loop_workload,
-                          engine="fast", exact=True)
 
     def test_unknown_engine_rejected(self, loop_workload):
         with pytest.raises(repro.ConfigError, match="unknown engine"):
-            repro.run("dbuf-global", loop_workload, engine="warp")
-
-    def test_matching_engine_and_exact_allowed(self, loop_workload):
-        with pytest.warns(DeprecationWarning):
-            run = repro.run("dbuf-global", loop_workload,
-                            engine="exact", exact=True)
-        assert run.time_ms > 0
+            repro.run(loop_workload, "dbuf-global", engine="warp")
 
 
 class TestCompareFacade:
     def test_order_preserved(self, loop_workload):
         names = ["dbuf-global", "thread-mapped", "dual-queue"]
-        runs = repro.compare(names, loop_workload)
+        runs = repro.compare(loop_workload, names)
         assert [r.template for r in runs] == \
             ["dbuf-global", "baseline", "dual-queue"]
 
+    def test_default_is_auto(self, loop_workload):
+        runs = repro.compare(loop_workload)
+        assert len(runs) == 1
+        assert runs[0].selection is not None
+
+    def test_include_auto(self, loop_workload):
+        runs = repro.compare(loop_workload, ["thread-mapped"], include="auto")
+        assert len(runs) == 2
+        assert runs[0].template == "baseline"
+        assert runs[1].selection is not None
+
+    def test_single_name_string_accepted(self, loop_workload):
+        runs = repro.compare(loop_workload, "dual-queue")
+        assert [r.template for r in runs] == ["dual-queue"]
+
+    def test_legacy_argument_order_warns(self, loop_workload):
+        with pytest.warns(DeprecationWarning, match="workload first"):
+            runs = repro.compare(["dual-queue"], loop_workload)
+        assert runs[0].template == "dual-queue"
+
     def test_positional_args_rejected(self, loop_workload):
         with pytest.raises(TypeError):
-            repro.run("thread-mapped", loop_workload, KEPLER_K20)
+            repro.run(loop_workload, "thread-mapped", KEPLER_K20)
+
+
+class TestExplainFacade:
+    def test_explain_structure(self, loop_workload):
+        info = repro.explain(loop_workload)
+        assert info["template"] in ALL_TEMPLATES
+        assert info["kind"] == "nested-loop"
+        assert isinstance(info["fingerprint"], str)
+        assert isinstance(info["decisions"], list)
+        assert isinstance(info["reasons"], list)
+        assert "final_ir" in info and "ir" in info
+
+    def test_explain_matches_run(self, loop_workload):
+        info = repro.explain(loop_workload)
+        run = repro.run(loop_workload)
+        assert canonical_name(run.template) == info["template"]

@@ -199,22 +199,22 @@ class TestDeviceGroup:
 
 class TestFacade:
     def test_run_devices_kwarg(self, loop_wl):
-        single = repro.run("dbuf-global", loop_wl)
-        multi = repro.run("dbuf-global", loop_wl, devices=4)
+        single = repro.run(loop_wl, "dbuf-global")
+        multi = repro.run(loop_wl, "dbuf-global", devices=4)
         assert multi.device_runs is not None
         assert len(multi.device_runs) == 4
         # same total work, executed concurrently
         assert multi.result.time_ms < single.result.time_ms
 
     def test_run_devices_one_is_default_path(self, loop_wl):
-        a = repro.run("dual-queue", loop_wl)
-        b = repro.run("dual-queue", loop_wl, devices=1)
+        a = repro.run(loop_wl, "dual-queue")
+        b = repro.run(loop_wl, "dual-queue", devices=1)
         assert a.result.cycles == b.result.cycles
         assert a.metrics.as_dict() == b.metrics.as_dict()
 
     def test_run_rejects_bad_devices(self, loop_wl):
         with pytest.raises(ConfigError):
-            repro.run("dual-queue", loop_wl, devices=0)
+            repro.run(loop_wl, "dual-queue", devices=0)
 
     def test_backend_for_memoizes_groups(self):
         a = backend_for(KEPLER_K20, devices=3)

@@ -1,9 +1,10 @@
-"""The hard-deprecated legacy entry points: warn loudly, forward exactly.
+"""Contract for the retired and transitional legacy entry points.
 
-``get_template`` and the ``exact=`` kwarg are kept only as shims; these
-tests pin down both halves of that contract — a :class:`DeprecationWarning`
-is always emitted, and the forwarded behavior is identical to the
-replacement API.
+``get_template`` and the ``exact=`` kwarg are **gone** — these tests pin
+the removal (importing or passing them fails loudly, not silently).  The
+one remaining transitional surface is the argument order of the facade:
+``repro.run(name, workload)`` still works but warns, and forwards exactly
+to the modern workload-first call.
 """
 
 import warnings
@@ -12,9 +13,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.core.registry import get_template, resolve
 from repro.core.workload import NestedLoopWorkload
-from repro.errors import ConfigError, PlanError
 
 
 @pytest.fixture()
@@ -23,62 +22,56 @@ def workload():
     return NestedLoopWorkload("deprecations", rng.integers(0, 25, size=150))
 
 
-class TestGetTemplateShim:
-    def test_warns(self):
-        with pytest.warns(DeprecationWarning, match="get_template"):
-            get_template("dual-queue")
+class TestGetTemplateRemoved:
+    def test_import_fails(self):
+        with pytest.raises(ImportError):
+            from repro.core.registry import get_template  # noqa: F401
 
-    @pytest.mark.parametrize("name", [
-        "thread-mapped", "block-mapped", "dual-queue", "dbuf-global",
-        "dbuf-shared", "dpar-naive", "dpar-opt", "baseline",
-    ])
-    def test_forwards_to_resolve(self, name):
-        with pytest.warns(DeprecationWarning):
-            legacy = get_template(name)
-        modern = resolve(name, kind="nested-loop")
-        assert type(legacy) is type(modern)
-        assert legacy.name == modern.name
-
-    def test_keeps_kind_restriction(self):
-        # the shim is the nested-loop lookup; tree names must still fail
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(PlanError, match="tree template"):
-                get_template("rec-hier")
-
-    def test_unknown_name_still_fails(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(PlanError, match="unknown template"):
-                get_template("no-such-template")
+    def test_not_in_core_namespace(self):
+        import repro.core
+        import repro.core.registry
+        assert not hasattr(repro.core, "get_template")
+        assert not hasattr(repro.core.registry, "get_template")
+        assert "get_template" not in repro.core.registry.__all__
 
 
-class TestExactKwargAlias:
-    def test_exact_true_warns_and_forwards(self, workload):
-        with pytest.warns(DeprecationWarning, match="exact= kwarg"):
-            legacy = repro.run("dbuf-global", workload, exact=True)
-        modern = repro.run("dbuf-global", workload, engine="exact")
+class TestExactKwargRemoved:
+    def test_run_rejects_exact(self, workload):
+        with pytest.raises(TypeError):
+            repro.run(workload, "dbuf-global", exact=True)
+
+    def test_compare_rejects_exact(self, workload):
+        with pytest.raises(TypeError):
+            repro.compare(workload, ["dual-queue"], exact=True)
+
+    def test_engine_is_the_replacement(self, workload):
+        fast = repro.run(workload, "dbuf-global", engine="fast")
+        exact = repro.run(workload, "dbuf-global", engine="exact")
+        assert fast.time_ms == pytest.approx(exact.time_ms, rel=1e-6)
+
+
+class TestLegacyArgumentOrder:
+    def test_run_warns_and_forwards(self, workload):
+        with pytest.warns(DeprecationWarning, match="workload first"):
+            legacy = repro.run("dbuf-global", workload)
+        modern = repro.run(workload, "dbuf-global")
         assert legacy.time_ms == modern.time_ms
         assert legacy.metrics.as_dict() == modern.metrics.as_dict()
 
-    def test_exact_false_warns_and_forwards(self, workload):
-        with pytest.warns(DeprecationWarning, match="exact= kwarg"):
-            legacy = repro.run("dbuf-global", workload, exact=False)
-        modern = repro.run("dbuf-global", workload, engine="fast")
-        assert legacy.time_ms == modern.time_ms
-
-    def test_compare_forwards_too(self, workload):
-        with pytest.warns(DeprecationWarning, match="exact= kwarg"):
-            legacy = repro.compare(["dual-queue"], workload, exact=True)
-        modern = repro.compare(["dual-queue"], workload, engine="exact")
+    def test_compare_warns_and_forwards(self, workload):
+        with pytest.warns(DeprecationWarning, match="workload first"):
+            legacy = repro.compare(["dual-queue"], workload)
+        modern = repro.compare(workload, ["dual-queue"])
         assert legacy[0].time_ms == modern[0].time_ms
 
-    def test_conflict_rejected(self, workload):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigError, match="conflicting engine"):
-                repro.run("dbuf-global", workload,
-                          engine="fast", exact=True)
+    def test_warning_names_the_caller(self, workload):
+        with pytest.warns(DeprecationWarning, match=r"repro\.run\(\)"):
+            repro.run("dual-queue", workload)
+        with pytest.warns(DeprecationWarning, match=r"repro\.compare\(\)"):
+            repro.compare("dual-queue", workload)
 
     def test_modern_path_is_warning_free(self, workload):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            repro.run("dbuf-global", workload, engine="exact")
-            resolve("dual-queue", kind="nested-loop")
+            repro.run(workload, "dbuf-global", engine="exact")
+            repro.compare(workload, ["dual-queue"])

@@ -238,8 +238,8 @@ class TestPlanCacheReset:
         import repro
 
         wl = make_workload(name="inv-cache")
-        repro.run("dbuf-shared", wl)
-        repro.run("dbuf-shared", wl)
+        repro.run(wl, "dbuf-shared")
+        repro.run(wl, "dbuf-shared")
         cache = default_cache()
         assert cache.stats.hits >= 1 and len(cache) >= 1
 
@@ -252,8 +252,8 @@ class TestPlanCacheReset:
         set_plan_cache_enabled(True)
         assert cache.stats.hit_rate == 0.0
         hits0, misses0 = cache.stats.hits, cache.stats.misses
-        repro.run("dbuf-shared", wl)
-        repro.run("dbuf-shared", wl)
+        repro.run(wl, "dbuf-shared")
+        repro.run(wl, "dbuf-shared")
         assert cache.stats.misses - misses0 == 1
         assert cache.stats.hits - hits0 == 1
 

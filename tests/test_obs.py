@@ -53,7 +53,7 @@ class TestDisabled:
         assert s["counters"] == {} and s["wall_ms"] == {}
 
     def test_template_run_records_nothing(self):
-        repro.run("dbuf-shared", make_workload())
+        repro.run(make_workload(), "dbuf-shared")
         assert obs.summary()["events"] == 0
 
     def test_current_stack_empty(self):
@@ -135,8 +135,8 @@ class TestInstrumentation:
     def test_template_run_emits_catalogue_spans(self):
         wl = make_workload(name="obs-catalogue")
         obs.set_enabled(True)
-        repro.run("dbuf-shared", wl)
-        repro.run("dbuf-shared", wl)  # second run hits the plan cache
+        repro.run(wl, "dbuf-shared")
+        repro.run(wl, "dbuf-shared")  # second run hits the plan cache
         s = obs.summary()
         assert s["wall_ms"]["plan.build"]["count"] == 1
         assert s["wall_ms"]["plan.cache_hit"]["count"] == 1
@@ -154,16 +154,16 @@ class TestInstrumentation:
         wl = RecursiveTreeWorkload(
             generate_tree(depth=4, outdegree=3, seed=5), "descendants")
         obs.set_enabled(True)
-        repro.run("flat", wl)
+        repro.run(wl, "flat")
         s = obs.summary()
         assert s["wall_ms"]["plan.build"]["count"] == 1
         assert s["wall_ms"]["gpusim.execute"]["count"] == 1
 
     def test_tracing_does_not_change_results(self):
         wl = make_workload(name="obs-equiv")
-        baseline = repro.run("dual-queue", wl)
+        baseline = repro.run(wl, "dual-queue")
         obs.set_enabled(True)
-        traced = repro.run("dual-queue", wl)
+        traced = repro.run(wl, "dual-queue")
         assert traced.time_ms == pytest.approx(baseline.time_ms, rel=1e-12)
         # the no-timeline contract survives tracing
         assert traced.result.records == []
@@ -172,7 +172,7 @@ class TestInstrumentation:
 class TestChromeExport:
     def test_valid_trace_with_required_names(self):
         obs.set_enabled(True)
-        repro.run("dbuf-shared", make_workload(name="obs-export"))
+        repro.run(make_workload(name="obs-export"), "dbuf-shared")
         trace = obs.chrome_trace()
         count = obs.validate_chrome_trace(
             trace,

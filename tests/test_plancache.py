@@ -30,9 +30,9 @@ class TestHitEquivalence:
         workload = make_workload(seed=11)
         cache = default_cache()
         cache.clear()
-        cold = repro.run("dbuf-shared", workload)
+        cold = repro.run(workload, "dbuf-shared")
         hits0 = cache.stats.hits
-        warm = repro.run("dbuf-shared", workload)
+        warm = repro.run(workload, "dbuf-shared")
         assert cache.stats.hits == hits0 + 1
         assert warm.graph is cold.graph  # shared, not rebuilt
         assert warm.time_ms == cold.time_ms
@@ -47,8 +47,8 @@ class TestHitEquivalence:
         tree_wl = RecursiveTreeWorkload(
             generate_tree(depth=5, outdegree=3, seed=4), "heights")
         default_cache().clear()
-        cold = repro.run("rec-hier", tree_wl)
-        warm = repro.run("rec-hier", tree_wl)
+        cold = repro.run(tree_wl, "rec-hier")
+        warm = repro.run(tree_wl, "rec-hier")
         assert warm.graph is cold.graph
         assert warm.time_ms == cold.time_ms
         assert warm.metrics == cold.metrics

@@ -120,7 +120,7 @@ class TestMicroBatcher:
 
 class TestServiceBasics:
     def test_single_request_matches_repro_run(self, workload):
-        expected = repro.run("dbuf-global", workload)
+        expected = repro.run(workload, "dbuf-global")
 
         async def scenario(service):
             return await service.submit("dbuf-global", workload)
@@ -151,8 +151,8 @@ class TestServiceBasics:
 
     def test_mixed_workloads_answered_correctly(self, workload):
         other = make_workload(name="svc-other", seed=5)
-        expected_a = repro.run("dbuf-global", workload)
-        expected_b = repro.run("dbuf-global", other)
+        expected_a = repro.run(workload, "dbuf-global")
+        expected_b = repro.run(other, "dbuf-global")
         assert expected_a.time_ms != expected_b.time_ms
 
         async def scenario(service):
@@ -170,7 +170,7 @@ class TestServiceBasics:
                                          else other.name)
 
     def test_tree_workloads_served(self, tree_workload):
-        expected = repro.run("rec-hier", tree_workload)
+        expected = repro.run(tree_workload, "rec-hier")
 
         async def scenario(service):
             return await service.submit("rec-hier", tree_workload)
@@ -252,7 +252,7 @@ class TestAdmissionControl:
 
 class TestServiceHandle:
     def test_sync_facade_roundtrip(self, workload):
-        expected = repro.run("dbuf-global", workload)
+        expected = repro.run(workload, "dbuf-global")
         with repro.serve(max_batch=8, batch_window_s=0.01) as svc:
             assert isinstance(svc, ServiceHandle)
             futures = [svc.submit("dbuf-global", workload) for _ in range(6)]

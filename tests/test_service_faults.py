@@ -82,7 +82,7 @@ class TestRetry:
         assert response.ok and not response.degraded
         assert response.attempts == 3
         assert flaky.calls == 3
-        expected = repro.run("dual-queue", workload)
+        expected = repro.run(workload, "dual-queue")
         assert response.time_ms == pytest.approx(expected.time_ms, rel=1e-9)
 
     def test_retry_counters(self, workload):
@@ -131,7 +131,7 @@ class TestDegradation:
         # ThreadMappedTemplate's historical .name is "baseline"
         assert response.template == "baseline"
         assert response.route == "inline"
-        expected = repro.run("thread-mapped", workload)
+        expected = repro.run(workload, "thread-mapped")
         assert response.time_ms == pytest.approx(expected.time_ms, rel=1e-9)
         assert stats["requests"]["degraded"] == 1
         assert stats["requests"]["succeeded"] == 1
@@ -291,7 +291,7 @@ class TestWorkerPool:
             ServiceConfig(inline_cost_threshold=0, workers=1),
         )
         assert response.ok and response.route == "pool"
-        expected = repro.run("dbuf-global", workload)
+        expected = repro.run(workload, "dbuf-global")
         assert response.time_ms == pytest.approx(expected.time_ms, rel=1e-9)
 
 

@@ -217,9 +217,9 @@ class TestSpecializeStage:
         for phase in fresh_schedule:
             np.testing.assert_array_equal(
                 cached_schedule[phase], fresh_schedule[phase])
-        cold = repro.run("dual-queue", workload, params=params)
+        cold = repro.run(workload, "dual-queue", params=params)
         default_cache().clear()
-        warm = repro.run("dual-queue", workload, params=params)
+        warm = repro.run(workload, "dual-queue", params=params)
         assert warm.time_ms == cold.time_ms
 
     def test_sweep_hits_analysis_cache_n_minus_1_times(self):

@@ -46,7 +46,7 @@ def run_with_counters(template: str, workload, devices: int):
     obs.reset()
     obs.set_enabled(True)
     try:
-        run = repro.run(template, workload, devices=devices)
+        run = repro.run(workload, template, devices=devices)
         counters = dict(obs.summary()["counters"])
     finally:
         obs.set_enabled(False)
@@ -92,7 +92,7 @@ def check_loop_app() -> None:
         fail(f"{DEVICES}-device run not faster: {multi.result.time_ms} "
              f"vs {single.result.time_ms} ms")
 
-    baseline = repro.run("dbuf-global", workload)
+    baseline = repro.run(workload, "dbuf-global")
     if baseline.result.cycles != single.result.cycles:
         fail("devices=1 diverged from the plain single-device run")
 

@@ -66,10 +66,10 @@ def check_template_trace() -> None:
     obs.reset()
     obs.set_enabled(True)
     with obs.span("bench.unit", experiment="trace-smoke"):
-        repro.run("dbuf-shared", make_workload())
+        repro.run(make_workload(), "dbuf-shared")
         tree = RecursiveTreeWorkload(
             generate_tree(depth=4, outdegree=3, seed=9), "descendants")
-        repro.run("rec-hier", tree)
+        repro.run(tree, "rec-hier")
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "trace.json"
@@ -126,7 +126,7 @@ def check_service_invariants() -> None:
 
 def check_disabled_is_silent() -> None:
     obs.reset()
-    repro.run("dual-queue", make_workload(seed=5))
+    repro.run(make_workload(seed=5), "dual-queue")
     summary = obs.summary()
     if summary["events"] or summary["sim_events"] or summary["counters"]:
         fail(f"tracing disabled but the tracer recorded: {summary}")

@@ -4,12 +4,12 @@ PYTHON ?= python
 # make targets work from a clean checkout, without `pip install -e .`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test lint bench bench-smoke bench-service bench-multidevice trace-smoke cache-smoke multidevice-smoke ir-smoke experiments examples results clean
+.PHONY: install test lint bench bench-smoke bench-service bench-multidevice bench-queue trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke experiments examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke trace-smoke cache-smoke multidevice-smoke ir-smoke
+test: lint bench-smoke trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke
 	$(PYTHON) -m pytest tests/
 
 # ruff when installed, stdlib fallback (syntax, unused imports, debug
@@ -45,6 +45,14 @@ trace-smoke:
 multidevice-smoke:
 	$(PYTHON) tools/multidevice_smoke.py
 
+# persistent task-queue backend end-to-end: task conservation
+# (enqueued == executed + cancelled), async fixpoints bit-identical to
+# the serial references, queue beating launch-per-round BSP on a
+# high-diameter grid, and barrier-dependent templates falling back to
+# BSP bit-for-bit
+queue-smoke:
+	$(PYTHON) tools/queue_smoke.py
+
 # parallelization IR + auto-select end-to-end: pass pipeline reproduces
 # the golden decision table, selection fingerprints are rebuild-stable,
 # and a warm template="auto" run stays within 5% of naming the selected
@@ -61,6 +69,11 @@ bench-service:
 # 4-device group vs one device; acceptance requires >= 2.5x
 bench-multidevice:
 	$(PYTHON) benchmarks/bench_multi_device.py --min-speedup 2.5
+
+# queue vs BSP execution models across diameters: acceptance requires
+# the queue to beat launch-per-round BSP on >= 1 high-diameter config
+bench-queue:
+	$(PYTHON) benchmarks/bench_queue_vs_bsp.py --min-speedup 1.0
 
 # regenerate every paper artifact into results/
 experiments:

@@ -77,6 +77,38 @@ def _accept_legacy_order(first, second, caller: str):
     return second, first
 
 
+def _coerce_backend_arg(backend, device, devices, engine):
+    """Resolve the facade's ``backend`` argument to (backend, kind).
+
+    ``backend`` may be None (classic paths, untouched), a kind string
+    (``"sim"`` / ``"queue"``) or an already-constructed
+    :class:`~repro.backends.Backend`.  Returns the backend object (or
+    None) plus the kind string auto-select reasons about.
+    """
+    from repro.backends import Backend, backend_for, resolve_backend
+
+    if backend is None:
+        return None, "sim"
+    if isinstance(backend, str):
+        kind = resolve_backend(backend)
+        if kind == "sim" and devices == 1:
+            # the spelled-out default: keep the classic (byte-identical)
+            # executor path rather than a differently-constructed backend
+            return None, "sim"
+        return backend_for(device, devices, engine=engine, kind=kind), kind
+    if isinstance(backend, Backend):
+        if devices != 1:
+            raise ConfigError(
+                "pass either a backend instance or devices>1, not both"
+            )
+        kind = "queue" if backend.capabilities.persistent_queue else "sim"
+        return backend, kind
+    raise ConfigError(
+        f"backend must be a kind string or a repro.backends.Backend, "
+        f"got {type(backend).__name__}"
+    )
+
+
 def run(
     workload,
     template="auto",
@@ -85,6 +117,7 @@ def run(
     devices: int = 1,
     params: TemplateParams | None = None,
     engine: str | None = None,
+    backend=None,
 ) -> TemplateRun:
     """Run a workload and return the full result.
 
@@ -121,23 +154,38 @@ def run(
         (the reference event-per-block engine; same results to within
         1e-6 — see ``docs/performance.md``).  None defers to the
         process-wide default engine.
+    backend:
+        execution model: ``"sim"`` (bulk-synchronous, the default) or
+        ``"queue"`` (Atos-style persistent task queues, single device —
+        see ``docs/taskqueue.md``), or an already-constructed
+        :class:`~repro.backends.Backend` instance.  Under
+        ``template="auto"`` the selection records the chosen backend and
+        its capability reasons (``run.selection`` / ``repro.explain``);
+        queue-incompatible templates fall back to BSP execution.
     """
     workload, template = _accept_legacy_order(workload, template, "run")
     kind = _kind_of(workload)
     engine = _resolve_engine(engine)
-    selection = None
-    if is_auto(template):
-        selection = auto_select(workload, device, params, engine)
-        template, params = selection.template, selection.params
-    tmpl = resolve(template, kind=kind) if isinstance(template, str) else template
     if devices < 1:
         raise ConfigError(f"devices must be >= 1, got {devices}")
-    if devices > 1:
+    backend_obj, backend_kind = _coerce_backend_arg(
+        backend, device, devices, engine
+    )
+    selection = None
+    if is_auto(template):
+        selection = auto_select(workload, device, params, engine,
+                                backend=backend_kind)
+        template, params = selection.template, selection.params
+    tmpl = resolve(template, kind=kind) if isinstance(template, str) else template
+    if backend_obj is not None:
+        result = tmpl.run(workload, device, params or TemplateParams(),
+                          backend=backend_obj)
+    elif devices > 1:
         from repro.backends import backend_for
 
-        backend = backend_for(device, devices, engine=engine)
+        group = backend_for(device, devices, engine=engine)
         result = tmpl.run(workload, device, params or TemplateParams(),
-                          backend=backend)
+                          backend=group)
     else:
         executor = GpuExecutor(device, engine=engine) if engine is not None else None
         result = tmpl.run(workload, device, params or TemplateParams(),
@@ -155,6 +203,7 @@ def compare(
     devices: int = 1,
     params: TemplateParams | None = None,
     engine: str | None = None,
+    backend=None,
 ) -> list[TemplateRun]:
     """Run several templates on one workload; runs come back in request order.
 
@@ -178,7 +227,7 @@ def compare(
     engine = _resolve_engine(engine)
     return [
         run(workload, t, device=device, devices=devices, params=params,
-            engine=engine)
+            engine=engine, backend=backend)
         for t in templates
     ]
 
@@ -189,19 +238,26 @@ def explain(
     device: DeviceConfig = KEPLER_K20,
     params: TemplateParams | None = None,
     engine: str | None = None,
+    backend: str | None = None,
 ) -> dict:
     """The auto-select audit trail for a workload, as a structured dict.
 
-    Keys: ``template`` / ``params`` (the decision), ``kind``, ``ir`` /
-    ``final_ir`` (the loop structure before and after the passes, nested
-    dicts), ``decisions`` (every pass rewrite), ``reasons`` (the lowering
-    rationale), ``raced`` (the candidates the cost race compared, empty
-    for unambiguous lowerings) and ``fingerprint`` (the final IR digest
-    that keyed the decision).  Selection is cached, so explaining and
-    then running costs one selection, not two.
+    Keys: ``template`` / ``params`` (the decision), ``kind``, ``backend``
+    (the chosen execution model, with its capability reasoning in
+    ``reasons``), ``ir`` / ``final_ir`` (the loop structure before and
+    after the passes, nested dicts), ``decisions`` (every pass rewrite),
+    ``reasons`` (the lowering rationale), ``raced`` (the candidates the
+    cost race compared, empty for unambiguous lowerings) and
+    ``fingerprint`` (the final IR digest that keyed the decision).
+    Selection is cached, so explaining and then running costs one
+    selection, not two.
     """
+    from repro.backends import resolve_backend
+
     engine = _resolve_engine(engine)
-    return auto_select(workload, device, params, engine).to_dict()
+    kind = resolve_backend(backend) or "sim"
+    return auto_select(workload, device, params, engine,
+                       backend=kind).to_dict()
 
 
 def serve(config=None, **config_kwargs):

@@ -1,5 +1,12 @@
 """``repro.apps`` — the paper's seven applications + the sort case study."""
 
+from repro.apps.asyncq import (
+    AsyncBFSApp,
+    AsyncSSSPApp,
+    AsyncTreeWalkApp,
+    RequestLog,
+    async_relax_requests,
+)
 from repro.apps.base import AppRun, combine_rounds
 from repro.apps.bc import BCApp
 from repro.apps.cc import CCApp, cc_serial
@@ -26,6 +33,8 @@ __all__ = [
     "AppRun", "combine_rounds",
     "SpMVApp", "SSSPApp", "PageRankApp", "BCApp", "CCApp", "cc_serial",
     "BFSApp", "RecursiveBFSApp", "VisitForest", "unordered_bfs_visits",
+    "AsyncSSSPApp", "AsyncBFSApp", "AsyncTreeWalkApp",
+    "RequestLog", "async_relax_requests",
     "TreeDescendantsApp", "TreeHeightsApp",
     "SortApp", "SORT_VARIANTS", "merge_sort", "quicksort", "PartitionRecord",
 ]

@@ -10,10 +10,20 @@ and every template run in the process shards across a
 :class:`~repro.backends.group.DeviceGroup`; leave it at 1 and everything
 behaves — bit for bit, cache keys included — exactly as the
 executor-inline code did.
+
+The same seam selects the *execution model*: ``backend_for("queue")`` (or
+:func:`set_default_backend`, driven by ``repro.run(..., backend="queue")``
+and ``--backend queue``) returns the Atos-style persistent task-queue
+backend (:mod:`repro.queue`) instead of the bulk-synchronous simulator.
+Templates that need launch-wide barrier semantics
+(``queue_compatible = False``) are routed back to a BSP backend by
+:func:`effective_backend` — capability-aware fallback, counted on the
+``queue.fallbacks`` obs counter.
 """
 
 from __future__ import annotations
 
+from repro import obs
 from repro.backends.base import Backend, BackendCapabilities, capabilities_of
 from repro.backends.group import DeviceGroup, GroupExecutionResult, run_sharded
 from repro.backends.sim import SimBackend
@@ -22,6 +32,7 @@ from repro.gpusim.config import DeviceConfig, KEPLER_K20
 from repro.gpusim.executor import GpuExecutor
 
 __all__ = [
+    "BACKENDS",
     "Backend",
     "BackendCapabilities",
     "DeviceGroup",
@@ -30,17 +41,55 @@ __all__ = [
     "backend_for",
     "capabilities_of",
     "coerce_backend",
+    "effective_backend",
+    "get_default_backend",
     "get_default_devices",
+    "resolve_backend",
     "run_sharded",
+    "set_default_backend",
     "set_default_devices",
 ]
 
+#: execution models a backend kind string may name
+BACKENDS = ("sim", "queue")
+
 _default_devices = 1
+_default_backend = "sim"
 
 #: memoized device groups, keyed on (device fingerprint, n, engine) —
 #: groups are stateful (load counters), so reusing one per topology keeps
 #: least-loaded routing meaningful across runs in the same process
 _groups: dict[tuple, DeviceGroup] = {}
+
+
+def resolve_backend(kind: str | None, *, error=ConfigError) -> str | None:
+    """Validate a backend kind; returns it unchanged (None passes through).
+
+    The backend analogue of
+    :func:`~repro.gpusim.executor.resolve_engine`: one shared check with
+    one message, so the facade, the service and the bench runner reject
+    unknown backends identically.
+    """
+    if kind is not None and kind not in BACKENDS:
+        raise error(f"unknown backend {kind!r}; known: {', '.join(BACKENDS)}")
+    return kind
+
+
+def set_default_backend(kind: str) -> None:
+    """Select the execution model used when no backend is passed.
+
+    Mirrors :func:`set_default_devices`: the bench runner's ``--backend``
+    flag routes through here so every template run in a worker process
+    executes on the same model.
+    """
+    global _default_backend
+    resolve_backend(kind)
+    _default_backend = kind
+
+
+def get_default_backend() -> str:
+    """The backend kind currently used by default (``"sim"`` unless set)."""
+    return _default_backend
 
 
 def set_default_devices(n: int) -> None:
@@ -63,21 +112,43 @@ def get_default_devices() -> int:
 
 
 def backend_for(
-    config: DeviceConfig = KEPLER_K20,
+    config: DeviceConfig | str = KEPLER_K20,
     devices: int | None = None,
     *,
     engine: str | None = None,
     record_timeline: bool = False,
+    kind: str | None = None,
 ) -> Backend:
     """A backend for ``devices`` copies of ``config`` (default topology).
 
-    One device returns a fresh :class:`SimBackend` (stateless, like the
-    inline executors it replaces); more return the process's memoized
-    :class:`DeviceGroup` for that topology.
+    ``kind`` selects the execution model (``"sim"`` or ``"queue"``;
+    defaults to the process default).  As a shorthand the kind may be
+    passed positionally in place of the config — ``backend_for("queue")``
+    — which uses the default device.
+
+    One sim device returns a fresh :class:`SimBackend` (stateless, like
+    the inline executors it replaces); more return the process's memoized
+    :class:`DeviceGroup` for that topology.  The queue model is
+    single-device: asking for a queue backend over several devices is an
+    error rather than a silently different topology.
     """
+    if isinstance(config, str):
+        if kind is not None:
+            raise ConfigError("backend kind given twice")
+        kind, config = config, KEPLER_K20
+    kind = resolve_backend(kind) or _default_backend
     n = _default_devices if devices is None else devices
     if n < 1:
         raise ConfigError(f"device count must be >= 1, got {n}")
+    if kind == "queue":
+        if n > 1:
+            raise ConfigError(
+                f"the queue backend is single-device (per-device queues); "
+                f"got devices={n}"
+            )
+        from repro.queue.backend import QueueBackend
+
+        return QueueBackend(config, engine=engine)
     if n == 1:
         return SimBackend(config, engine=engine,
                           record_timeline=record_timeline)
@@ -123,3 +194,24 @@ def coerce_backend(
             f"got {type(executor).__name__}"
         )
     return backend_for(config)
+
+
+def effective_backend(backend: Backend, template) -> Backend:
+    """Capability-aware routing: fall back to BSP when the queue can't run
+    ``template``.
+
+    Queue-incompatible templates (``queue_compatible = False``, e.g. the
+    shared-memory delayed buffer, whose staging depends on launch-wide
+    two-phase barrier semantics) execute on a plain :class:`SimBackend`
+    over the same device and engine.  Every fallback bumps the
+    ``queue.fallbacks`` obs counter so routing decisions stay observable.
+    Non-queue capability gaps (dynamic parallelism) keep their existing
+    loud failure inside the template build.
+    """
+    caps = backend.capabilities
+    if not caps.persistent_queue or caps.supports(template):
+        return backend
+    if obs.enabled():
+        obs.add_counter("queue.fallbacks")
+        obs.instant("queue.fallback", template=template.name)
+    return SimBackend(backend.device, engine=backend.engine)

@@ -10,7 +10,7 @@ substrate (which decides *what it costs to run them*).  Templates build a
 Separating the two follows the same decomposition Atos and the GPU
 load-balancing programming-model literature make: scheduling policy
 (templates) above, workload partitioning and device placement (backends)
-below.  Two backends ship:
+below.  Three backends ship:
 
 * :class:`~repro.backends.sim.SimBackend` — one simulated device; wraps
   the existing :class:`~repro.gpusim.executor.GpuExecutor` so every
@@ -19,6 +19,10 @@ below.  Two backends ship:
 * :class:`~repro.backends.group.DeviceGroup` — N simulated devices;
   shards whole workloads across members (template runs) and routes
   individual graphs to the least-loaded member (serving batches).
+* :class:`~repro.queue.backend.QueueBackend` — one simulated device
+  running the Atos-style persistent-worker task-queue model instead of
+  bulk-synchronous launches (``capabilities.persistent_queue``; see
+  ``docs/taskqueue.md``).
 
 Capabilities are advertised, not probed: :class:`BackendCapabilities`
 carries the flags a template or scheduler needs before committing a plan
@@ -53,11 +57,19 @@ class BackendCapabilities:
     shared_mem_per_block: int
     #: simulated devices behind this backend (1 for a single device)
     devices: int = 1
+    #: whether execution is persistent-worker task queues instead of
+    #: bulk-synchronous launches (see ``repro.queue``); queue backends
+    #: cannot honor templates that need launch-wide barrier semantics
+    persistent_queue: bool = False
 
     def supports(self, template) -> bool:
         """Whether ``template`` can run here (its declared needs are met)."""
-        if getattr(template, "uses_dynamic_parallelism", False):
-            return self.dynamic_parallelism
+        if (getattr(template, "uses_dynamic_parallelism", False)
+                and not self.dynamic_parallelism):
+            return False
+        if (self.persistent_queue
+                and not getattr(template, "queue_compatible", True)):
+            return False
         return True
 
 
@@ -100,6 +112,17 @@ class Backend(ABC):
     def record_timeline(self) -> bool:
         """Whether submitted runs keep per-launch timing records."""
         return False
+
+    @property
+    def run_cache_tag(self) -> str | None:
+        """Extra disk ``run``-tier key component, or None for the classic
+        layout.
+
+        The BSP backends return None so pre-queue run keys stay
+        byte-identical; execution models whose results differ from the
+        plain simulator (the queue backend) return a repr-stable tag.
+        """
+        return None
 
     @property
     def n_devices(self) -> int:

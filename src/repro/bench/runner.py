@@ -40,7 +40,8 @@ _WHOLE = None
 
 def _run_unit(exp_id: str, variant, config: ExperimentConfig,
               engine: str, plan_cache: bool, trace: bool = False,
-              cache_dir: str | None = None, devices: int = 1):
+              cache_dir: str | None = None, devices: int = 1,
+              backend: str = "sim"):
     """Execute one work unit; module-level so it pickles into pool workers.
 
     Returns ``(payload, elapsed_s, (cache_hits, cache_misses), spans,
@@ -60,12 +61,13 @@ def _run_unit(exp_id: str, variant, config: ExperimentConfig,
         configure_artifact_cache,
         get_artifact_cache,
     )
-    from repro.backends import set_default_devices
+    from repro.backends import set_default_backend, set_default_devices
     from repro.core.plancache import default_cache, set_plan_cache_enabled
     from repro.gpusim.executor import set_default_engine
 
     set_default_engine(engine)
     set_default_devices(devices)
+    set_default_backend(backend)
     set_plan_cache_enabled(plan_cache)
     if cache_dir is not None:
         configure_artifact_cache(cache_dir or None)
@@ -103,7 +105,8 @@ def _run_unit(exp_id: str, variant, config: ExperimentConfig,
 def run_units(units, config: ExperimentConfig, jobs: int,
               engine: str = "fast", plan_cache: bool = True,
               chunksize: int = 1, trace: bool = False,
-              cache_dir: str | None = None, devices: int = 1):
+              cache_dir: str | None = None, devices: int = 1,
+              backend: str = "sim"):
     """Run ``(exp_id, variant)`` units, preserving submission order.
 
     ``jobs <= 1`` runs inline in this process (no pool, no pickling);
@@ -123,13 +126,13 @@ def run_units(units, config: ExperimentConfig, jobs: int,
     if jobs <= 1 or len(units) <= 1:
         return [
             _run_unit(exp_id, variant, config, engine, plan_cache, trace,
-                      cache_dir, devices)
+                      cache_dir, devices, backend)
             for exp_id, variant in units
         ]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
             pool.submit(_run_unit, exp_id, variant, config, engine,
-                        plan_cache, trace, cache_dir, devices)
+                        plan_cache, trace, cache_dir, devices, backend)
             for exp_id, variant in units
         ]
         results = [f.result() for f in futures]
@@ -177,6 +180,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="simulated devices per run: every template run "
                              "shards its workload across N devices "
                              "(default 1; see docs/architecture.md)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="execution model: sim (bulk-synchronous, the "
+                             "default) or queue (persistent task queues; "
+                             "see docs/taskqueue.md)")
     parser.add_argument("--no-plan-cache", action="store_true",
                         help="disable the launch-plan cache (cold builds "
                              "every run; for measurement)")
@@ -228,8 +235,15 @@ def main(argv: list[str] | None = None) -> int:
     try:
         # same validation (and message) as repro.run and the service
         engine = resolve_engine("exact" if args.exact else args.engine) or "fast"
+        from repro.backends import resolve_backend
+
+        backend = resolve_backend(args.backend) or "sim"
     except ConfigError as exc:
         print(exc, file=sys.stderr)
+        return 2
+    if backend == "queue" and args.devices > 1:
+        print("--backend queue is single-device; drop --devices",
+              file=sys.stderr)
         return 2
     plan_cache = not args.no_plan_cache
     if args.cache_dir and args.no_disk_cache:
@@ -265,7 +279,7 @@ def main(argv: list[str] | None = None) -> int:
 
     results = run_units(units, config, args.jobs, engine, plan_cache,
                         trace=args.trace is not None, cache_dir=cache_dir,
-                        devices=args.devices)
+                        devices=args.devices, backend=backend)
 
     status = 0
     for exp_id, first, count in spans:

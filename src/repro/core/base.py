@@ -8,7 +8,7 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 import numpy as np
 
 from repro import obs
-from repro.backends import coerce_backend, run_sharded
+from repro.backends import coerce_backend, effective_backend, run_sharded
 from repro.core.analysis import WorkloadAnalysis, get_analysis
 from repro.core.artifactcache import get_artifact_cache
 from repro.core.params import TemplateParams
@@ -100,6 +100,10 @@ class NestedLoopTemplate(ABC):
     name: str = "abstract"
     #: whether the template needs CC >= 3.5 nested launches
     uses_dynamic_parallelism: bool = False
+    #: whether the plan is legal under persistent-queue execution; False
+    #: for templates whose correctness depends on launch-wide barrier
+    #: semantics (see repro.backends.effective_backend)
+    queue_compatible: bool = True
     #: :class:`TemplateParams` fields this template's build() reads; the
     #: plan cache keys only on these (None = key on every field)
     PLAN_RELEVANT_PARAMS: tuple[str, ...] | None = None
@@ -163,7 +167,9 @@ class NestedLoopTemplate(ABC):
         which needs a live run.
         """
         params = params or TemplateParams()
-        backend = coerce_backend(backend, executor, config)
+        backend = effective_backend(
+            coerce_backend(backend, executor, config), self
+        )
         if backend.n_devices > 1:
             merged = run_sharded(self, workload, backend, config, params)
             if merged is not None:
@@ -200,6 +206,11 @@ class NestedLoopTemplate(ABC):
         result = None
         if use_run_tier:
             run_key = (key, backend.engine or get_default_engine())
+            # non-BSP execution models tag their run entries; the classic
+            # (untagged) key stays byte-identical for sim backends
+            tag = backend.run_cache_tag
+            if tag is not None:
+                run_key = run_key + (tag,)
             result = disk.get("run", run_key)
         if result is None:
             result = backend.submit(graph)

@@ -116,6 +116,11 @@ class DelayedBufferSharedTemplate(NestedLoopTemplate):
     """dbuf-shared: per-block shared-memory buffer, single kernel."""
 
     name = "dbuf-shared"
+    #: the in-kernel two-phase handoff (fill shared buffer, then drain it
+    #: block-wide) assumes every thread of the bulk launch reaches the
+    #: phase boundary together — persistent workers pulling tasks give no
+    #: such launch-wide barrier, so queue backends fall back to BSP
+    queue_compatible = False
 
     def specialize(self, workload: NestedLoopWorkload, analysis,
                    config: DeviceConfig, params: TemplateParams):

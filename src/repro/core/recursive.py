@@ -27,7 +27,7 @@ from typing import Literal
 import numpy as np
 
 from repro import obs
-from repro.backends import coerce_backend, run_sharded
+from repro.backends import coerce_backend, effective_backend, run_sharded
 from repro.core.analysis import TreeAnalysis, get_tree_analysis
 from repro.core.artifactcache import get_artifact_cache
 from repro.core.base import TemplateRun, plan_key
@@ -112,6 +112,8 @@ class _TreeTemplateBase:
 
     name = "abstract"
     uses_dynamic_parallelism = False
+    #: legal under persistent-queue execution (see NestedLoopTemplate)
+    queue_compatible = True
     #: params fields the build reads (see NestedLoopTemplate); None = all
     PLAN_RELEVANT_PARAMS: tuple[str, ...] | None = None
 
@@ -139,7 +141,9 @@ class _TreeTemplateBase:
         """Build, execute and profile; the functional result is attached
         to the run's schedule under ``"result"`` for equality testing."""
         params = params or TemplateParams()
-        backend = coerce_backend(backend, executor, config)
+        backend = effective_backend(
+            coerce_backend(backend, executor, config), self
+        )
         if backend.n_devices > 1:
             merged = run_sharded(self, workload, backend, config, params)
             if merged is not None:
@@ -171,6 +175,11 @@ class _TreeTemplateBase:
         result = None
         if use_run_tier:
             run_key = (key, backend.engine or get_default_engine())
+            # non-BSP execution models tag their run entries (see
+            # NestedLoopTemplate.run)
+            tag = backend.run_cache_tag
+            if tag is not None:
+                run_key = run_key + (tag,)
             result = disk.get("run", run_key)
         if result is None:
             result = backend.submit(graph)

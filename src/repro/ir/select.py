@@ -94,12 +94,18 @@ class Selection:
     raced: tuple[tuple[str, int], ...]
     #: content digest of the final IR (what the decision was made from)
     fingerprint: str
+    #: execution model the selection chose (``"sim"`` or ``"queue"``);
+    #: capability reasoning appears in ``reasons``
+    backend: str = "sim"
 
     def to_dict(self) -> dict:
         """JSON-friendly form (the ``repro.explain`` payload)."""
         return {
             "template": self.template,
             "kind": self.kind,
+            # getattr: "select"-tier disk entries pickled before the
+            # backend field existed must still explain cleanly
+            "backend": getattr(self, "backend", "sim"),
             "params": {
                 f.name: getattr(self.params, f.name)
                 for f in dataclass_fields(self.params)
@@ -209,13 +215,19 @@ def auto_select(
     params: TemplateParams | None = None,
     engine: str | None = None,
     cfg: PassConfig | None = None,
+    backend: str = "sim",
 ) -> Selection:
     """Choose the template (and params) for a workload via the IR pipeline.
 
     Deterministic and cached: the same ``(workload fingerprint, device,
-    pass config, params, engine)`` always yields the same
+    pass config, params, engine, backend)`` always yields the same
     :class:`Selection`, served from memory or the disk ``select`` tier
-    when seen before.
+    when seen before.  ``backend="queue"`` makes the lowering
+    capability-aware: queue-incompatible candidates are dropped (with the
+    reasons recorded), and the selection's ``backend`` field reports
+    whether the pick can actually run on the queue or must fall back to
+    BSP.  The cost race always runs on the BSP simulator, so queue and
+    sim selections share the plan/run caches.
     """
     params = params or TemplateParams()
     kind = ir_kind_of(workload)
@@ -231,6 +243,10 @@ def auto_select(
         _params_key(params),
         engine or get_default_engine(),
     )
+    if backend != "sim":
+        # appended only for non-default backends: PR-6-era sim keys (and
+        # their disk entries) stay byte-identical
+        key = key + (("backend", backend),)
     cached = _memory.get(key)
     if cached is not None:
         if obs.enabled():
@@ -244,7 +260,8 @@ def auto_select(
         obs.add_counter("ir.select_cache.misses")
         with obs.span("ir.select", kind=kind,
                       workload=getattr(workload, "name", "?")):
-            selection = _select(workload, kind, device, params, engine, cfg)
+            selection = _select(workload, kind, device, params, engine, cfg,
+                                backend)
         if disk is not None:
             disk.put("select", key, selection)
     if len(_memory) >= _MAX_ENTRIES:
@@ -253,7 +270,22 @@ def auto_select(
     return selection
 
 
-def _select(workload, kind, device, params, engine, cfg) -> Selection:
+def _queue_filter(candidates: list[str], kind: str) -> tuple[list[str], list[str]]:
+    """Drop queue-incompatible candidates; return (kept, reasons)."""
+    kept, reasons = [], []
+    for name in candidates:
+        if getattr(resolve(name, kind=kind), "queue_compatible", True):
+            kept.append(name)
+        else:
+            reasons.append(
+                f"dropped {name}: not queue-compatible (needs launch-wide "
+                "barrier semantics the persistent workers cannot provide)"
+            )
+    return kept, reasons
+
+
+def _select(workload, kind, device, params, engine, cfg,
+            backend: str = "sim") -> Selection:
     ir = from_workload(workload)
     ctx = PassContext(
         split_counts=get_analysis(workload).split_counts
@@ -266,6 +298,18 @@ def _select(workload, kind, device, params, engine, cfg) -> Selection:
     else:
         candidates, reason = _tree_candidates(subject)
     reasons = [reason]
+    chosen_backend = backend
+    if backend == "queue":
+        kept, drop_reasons = _queue_filter(candidates, kind)
+        reasons.extend(drop_reasons)
+        if kept:
+            candidates = kept
+        else:
+            chosen_backend = "sim"
+            reasons.append(
+                "requested queue backend but no candidate is "
+                "queue-compatible; falling back to BSP execution"
+            )
     if len(candidates) == 1:
         chosen, derived, raced = candidates[0], params, ()
         reasons.append(f"unambiguous lowering: {chosen}")
@@ -294,6 +338,7 @@ def _select(workload, kind, device, params, engine, cfg) -> Selection:
         reasons=tuple(reasons),
         raced=raced,
         fingerprint=result.ir.fingerprint(),
+        backend=chosen_backend,
     )
 
 

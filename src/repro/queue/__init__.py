@@ -1,0 +1,31 @@
+"""``repro.queue`` — Atos-style persistent task-queue execution model.
+
+A second execution model behind the :class:`~repro.backends.base.Backend`
+seam: instead of bulk-synchronous kernel launches (build a launch graph,
+submit, barrier), N persistent worker blocks pull :class:`TaskGraph`
+tasks from device-global queues, push newly-enabled work (frontier-push),
+and detect completion by counting quiescence.  See ``docs/taskqueue.md``
+for the execution model and when auto-select prefers it over BSP.
+
+Entry points:
+
+* ``repro.run(workload, backend="queue")`` / ``backend_for("queue")`` —
+  any template, launch graph converted to tasks;
+* :meth:`QueueBackend.submit_tasks` — asynchronous apps
+  (:mod:`repro.apps.asyncq`) hand over barrier-free task graphs directly.
+"""
+
+from repro.queue.backend import QueueBackend, QueueExecutionResult, graph_to_tasks
+from repro.queue.model import QueueConfig, QueueStats, simulate, worker_count
+from repro.queue.tasks import TaskGraph
+
+__all__ = [
+    "QueueBackend",
+    "QueueConfig",
+    "QueueExecutionResult",
+    "QueueStats",
+    "TaskGraph",
+    "graph_to_tasks",
+    "simulate",
+    "worker_count",
+]

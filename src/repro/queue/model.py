@@ -1,0 +1,355 @@
+"""Persistent-worker queue simulation: the Atos execution model, costed.
+
+The model follows Atos's scheduling skeleton: one persistent kernel whose
+resident thread-blocks ("workers") loop { dequeue, execute, push } over a
+small set of device-global work queues until a counting-quiescence check
+says every task that was ever enqueued has been drained.  What the
+simulator prices, using the same :class:`~repro.gpusim.config.DeviceConfig`
+constants the BSP executor uses:
+
+* **queue operations** — every dequeue/enqueue is an atomic on the
+  queue's head/tail plus a task-record memory access.  The *latency* a
+  worker observes is ``atomic_cycles`` + record traffic; the *throughput*
+  bound is the queue's single hot address, which sustains one RMW per
+  ``atomic_same_address_cycles`` — concurrent workers on one queue
+  serialize there, and that wait is reported as contention.
+* **work stealing** — a worker whose home queue is empty scans the other
+  queues' depth words and steals from the deepest, paying the scan
+  traffic and the victim's head atomic.
+* **termination detection** — counting quiescence: each finished task
+  increments a global done-counter (one more hot address); when the
+  counter reaches the total enqueued, idle workers discover quiescence at
+  their next poll (``check_interval_cycles``) and confirm serially on the
+  counter.  The window between the last task completing and the last
+  worker retiring is the *termination cost*, reported as a first-class
+  metric — it is the price the queue model pays in exchange for deleting
+  every per-round host-side barrier the BSP model launches through.
+
+The simulation is event-driven in virtual time and fully deterministic:
+heap ties break on insertion order, queues are FIFO, stealing prefers the
+deepest (then lowest-indexed) queue.  Nondeterministic *schedules* are
+modeled upstream by building differently-ordered task graphs (seeded),
+never by randomness here — which is what makes queue runs cacheable and
+the equivalence tests exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, WorkloadError
+from repro.gpusim.config import DeviceConfig
+from repro.gpusim.occupancy import occupancy
+from repro.queue.tasks import TaskGraph
+
+__all__ = ["QueueConfig", "QueueStats", "simulate", "worker_count"]
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Tunables of the persistent-worker model (repr-stable, hashable)."""
+
+    #: device-global work queues per device (Atos uses a small constant)
+    n_queues: int = 4
+    #: threads per persistent worker block
+    worker_block_size: int = 128
+    #: register footprint of the worker kernel (bounds residency)
+    registers_per_thread: int = 24
+    #: idle-worker poll period for new work / the quiescence flag (cycles)
+    check_interval_cycles: float = 400.0
+    #: hard cap on tasks per submission (runaway-graph guard)
+    max_tasks: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.n_queues < 1:
+            raise ConfigError(f"n_queues must be >= 1, got {self.n_queues}")
+        if self.worker_block_size < 1:
+            raise ConfigError("worker_block_size must be >= 1")
+        if self.check_interval_cycles <= 0:
+            raise ConfigError("check_interval_cycles must be positive")
+        if self.max_tasks < 1:
+            raise ConfigError("max_tasks must be >= 1")
+
+    def key(self) -> str:
+        """Repr-stable identity for cache keys and fingerprints."""
+        return (f"q{self.n_queues}b{self.worker_block_size}"
+                f"r{self.registers_per_thread}c{self.check_interval_cycles:g}")
+
+
+@dataclass
+class QueueStats:
+    """Everything one simulated queue execution measured."""
+
+    #: end-to-end cycles: worker launch -> last worker retires
+    makespan_cycles: float
+    #: completion time of the last task (before termination detection)
+    last_task_end_cycles: float
+    #: last-task-end -> all-workers-retired window (detection latency)
+    termination_cycles: float
+    #: summed worker-cycles idle between own last work and retirement
+    termination_wait_cycles: float
+    #: persistent worker blocks
+    n_workers: int
+    #: device-global queues
+    n_queues: int
+    tasks_enqueued: int
+    tasks_executed: int
+    tasks_cancelled: int
+    #: dequeues served from a non-home queue
+    steals: int
+    #: empty-handed idle polls
+    polls: int
+    #: maximum instantaneous depth over all queues
+    max_queue_depth: int
+    #: worker-cycles lost waiting on queue-tail atomics (pushes)
+    enqueue_contention_cycles: float
+    #: worker-cycles lost waiting on queue-head atomics (pops)
+    dequeue_contention_cycles: float
+    #: worker-cycles lost serializing on the done-counter
+    counter_contention_cycles: float
+    #: per-worker busy cycles (dequeue + execute + push + counter)
+    worker_busy_cycles: np.ndarray
+
+    @property
+    def busy_total(self) -> float:
+        """Summed busy cycles across all workers."""
+        return float(self.worker_busy_cycles.sum())
+
+
+def worker_count(config: DeviceConfig, qcfg: QueueConfig) -> int:
+    """Persistent worker blocks co-resident on the device.
+
+    A persistent kernel fills the device exactly once: residency per SM
+    times the SM count, from the same occupancy calculator the BSP
+    templates use.
+    """
+    occ = occupancy(config, qcfg.worker_block_size,
+                    qcfg.registers_per_thread, 0)
+    return max(1, occ.blocks_per_sm * config.sm_count)
+
+
+def simulate(tasks: TaskGraph, config: DeviceConfig,
+             qcfg: QueueConfig | None = None) -> QueueStats:
+    """Execute a task graph on the persistent-worker model (deterministic)."""
+    qcfg = qcfg or QueueConfig()
+    if tasks.n_tasks > qcfg.max_tasks:
+        raise WorkloadError(
+            f"task graph {tasks.name!r} has {tasks.n_tasks} tasks, "
+            f"exceeding the configured cap ({qcfg.max_tasks})"
+        )
+    n_workers = worker_count(config, qcfg)
+    nq = qcfg.n_queues
+
+    same_addr = float(config.atomic_same_address_cycles)
+    seg = float(config.cycles_per_segment)
+    # pop/push latency: one head/tail atomic + the 64 B task record
+    deq_latency = float(config.atomic_cycles) + 2.0 * seg
+    enq_latency = float(config.atomic_cycles) + 2.0 * seg
+    # stale-task check: one flag/priority load + compare
+    cancel_cycles = seg + 4.0
+    # scanning the other queues' depth words before stealing
+    steal_scan = seg * max(nq - 1, 1)
+
+    work = tasks.work_cycles
+    spawned_by = tasks.spawned_by
+    phase = tasks.phase
+    phase_dep = tasks.phase_dep
+    cancelled = tasks.cancelled
+    children = tasks.children_lists()
+    n_tasks = tasks.n_tasks
+
+    n_phases = tasks.n_phases
+    phase_tail = tasks.phase_tail_cycles
+    phase_remaining = [0] * n_phases
+    for p in phase.tolist():
+        if p >= 0:
+            phase_remaining[p] += 1
+    blocked: list[list[int]] = [[] for _ in range(n_phases)]
+
+    # persistent kernel launch: the one host-side launch the model pays
+    t0 = config.us_to_cycles(config.host_launch_overhead_us)
+
+    queues: list[list[int]] = [[] for _ in range(nq)]  # FIFO via pop(0) index
+    heads = [0] * nq
+    initial = np.flatnonzero((spawned_by < 0) & (phase_dep < 0)).tolist()
+    for i, task in enumerate(initial):
+        queues[i % nq].append(task)
+    for p_id in range(n_phases):
+        if phase_remaining[p_id] == 0:
+            # a declared phase with no member tasks completes immediately
+            phase_remaining[p_id] = -1
+    for task in np.flatnonzero(phase_dep >= 0).tolist():
+        dep = int(phase_dep[task])
+        if phase_remaining[dep] == -1:
+            queues[task % nq].append(task)
+        else:
+            blocked[dep].append(task)
+    if not any(queues):
+        raise WorkloadError(f"task graph {tasks.name!r} has no initial task")
+
+    #: future-visible tasks: (ready_time, seq, task_id, target_queue)
+    pending: list[tuple[float, int, int, int]] = []
+    #: worker wake events: (time, seq, worker_id)
+    events: list[tuple[float, int, int]] = [
+        (t0, w, w) for w in range(n_workers)
+    ]
+    heapq.heapify(events)
+    seq = n_workers
+
+    q_free = [0.0] * nq          # queue head/tail hot-address availability
+    done_free = 0.0              # done-counter hot-address availability
+    busy = np.zeros(n_workers, dtype=np.float64)
+    last_busy_end = np.full(n_workers, t0, dtype=np.float64)
+
+    done = 0
+    executed = 0
+    n_cancelled = 0
+    steals = 0
+    polls = 0
+    max_depth = max(len(q) - h for q, h in zip(queues, heads))
+    enq_wait = 0.0
+    deq_wait = 0.0
+    cnt_wait = 0.0
+    last_task_end = t0
+
+    def depth(qi: int) -> int:
+        return len(queues[qi]) - heads[qi]
+
+    def release(now: float) -> None:
+        """Make pending tasks whose push has landed visible in queues."""
+        nonlocal max_depth
+        while pending and pending[0][0] <= now:
+            _, _, task, qi = heapq.heappop(pending)
+            queues[qi].append(task)
+            d = depth(qi)
+            if d > max_depth:
+                max_depth = d
+
+    while events and done < n_tasks:
+        now, _, w = heapq.heappop(events)
+        release(now)
+        home = w % nq
+        qi = home
+        stolen = False
+        if depth(qi) == 0:
+            # steal from the deepest queue (ties: lowest index)
+            best, best_depth = -1, 0
+            for j in range(nq):
+                d = depth(j)
+                if d > best_depth:
+                    best, best_depth = j, d
+            if best < 0:
+                # no visible work anywhere; all future work is in pending
+                # (executions are processed atomically, so nothing is
+                # in-flight) — sleep to the poll tick covering it
+                if not pending:
+                    raise WorkloadError(
+                        f"task graph {tasks.name!r} deadlocked: "
+                        f"{n_tasks - done} tasks unreachable"
+                    )
+                target = pending[0][0]
+                intervals = max(
+                    1, -int(-(target - now) // qcfg.check_interval_cycles)
+                )
+                polls += intervals
+                seq += 1
+                heapq.heappush(
+                    events,
+                    (now + intervals * qcfg.check_interval_cycles, seq, w),
+                )
+                continue
+            qi = best
+            stolen = True
+        # dequeue: serialize on the queue's head atomic
+        start = max(now, q_free[qi])
+        deq_wait += start - now
+        q_free[qi] = start + same_addr
+        cursor = start + deq_latency
+        if stolen:
+            cursor += steal_scan
+            steals += 1
+        task = queues[qi][heads[qi]]
+        heads[qi] += 1
+        if heads[qi] > 64 and heads[qi] * 2 > len(queues[qi]):
+            del queues[qi][:heads[qi]]
+            heads[qi] = 0
+
+        # execute
+        if cancelled[task]:
+            cursor += cancel_cycles
+            n_cancelled += 1
+        else:
+            cursor += float(work[task])
+            executed += 1
+
+        # frontier push: children become visible when their push lands
+        for child in children[task]:
+            estart = max(cursor, q_free[home])
+            enq_wait += estart - cursor
+            q_free[home] = estart + same_addr
+            cursor = estart + enq_latency
+            seq += 1
+            heapq.heappush(pending, (cursor, seq, child, home))
+
+        # phase barrier accounting (BSP-derived graphs only)
+        p = int(phase[task])
+        if p >= 0:
+            phase_remaining[p] -= 1
+            if phase_remaining[p] == 0:
+                phase_remaining[p] = -1
+                tail = float(phase_tail[p]) if phase_tail is not None else 0.0
+                ready = cursor + tail + seg  # dependents read the flag
+                for dep_task in blocked[p]:
+                    seq += 1
+                    heapq.heappush(
+                        pending, (ready, seq, dep_task, dep_task % nq)
+                    )
+                blocked[p] = []
+
+        # counting quiescence: one done-counter RMW per drained task
+        cstart = max(cursor, done_free)
+        cnt_wait += cstart - cursor
+        done_free = cstart + same_addr
+        cursor = cstart + config.atomic_cycles
+        done += 1
+        if cursor > last_task_end:
+            last_task_end = cursor
+
+        # hot-address waits spin on the SM, so the whole span counts busy
+        busy[w] += cursor - now
+        last_busy_end[w] = cursor
+        seq += 1
+        heapq.heappush(events, (cursor, seq, w))
+
+    if done < n_tasks:  # pragma: no cover - loop invariant guard
+        raise WorkloadError(
+            f"task graph {tasks.name!r} stalled with {n_tasks - done} tasks left"
+        )
+
+    # every worker discovers quiescence at its next poll tick, then
+    # confirms with one serialized counter read before retiring
+    t_term = (last_task_end + qcfg.check_interval_cycles
+              + n_workers * same_addr + seg)
+    term_wait = float(np.maximum(t_term - last_busy_end, 0.0).sum())
+
+    return QueueStats(
+        makespan_cycles=t_term,
+        last_task_end_cycles=last_task_end,
+        termination_cycles=t_term - last_task_end,
+        termination_wait_cycles=term_wait,
+        n_workers=n_workers,
+        n_queues=nq,
+        tasks_enqueued=n_tasks,
+        tasks_executed=executed,
+        tasks_cancelled=n_cancelled,
+        steals=steals,
+        polls=polls,
+        max_queue_depth=max_depth,
+        enqueue_contention_cycles=enq_wait,
+        dequeue_contention_cycles=deq_wait,
+        counter_contention_cycles=cnt_wait,
+        worker_busy_cycles=busy,
+    )

@@ -1,0 +1,166 @@
+"""Task graphs: the unit of work the persistent-queue backend executes.
+
+A :class:`TaskGraph` is the queue-world analogue of a
+:class:`~repro.gpusim.kernels.LaunchGraph`: instead of kernels with
+per-block cost arrays it holds *tasks* — outer iterations, thread-blocks
+or subtree roots — each with a work estimate in SM-cycles and one of
+three readiness rules:
+
+* **initial** — enqueued before the persistent workers start
+  (``spawned_by == -1`` and ``phase_dep == -1``);
+* **spawned** — pushed onto a queue when the spawning task finishes
+  (frontier-push semantics: ``spawned_by`` names an earlier task);
+* **phase-gated** — becomes ready only when every task of an earlier
+  *phase* has completed (``phase_dep`` names the phase).  Phases are how
+  BSP stream order survives the conversion from a launch graph: the
+  blocks of host launch *k* in a stream form phase *k* and gate launch
+  *k+1*'s blocks.  Spawned tasks carry no phase — that is precisely the
+  barrier the queue model eliminates for dynamic-parallelism children.
+
+Tasks may additionally be marked **cancelled**: they are enqueued and
+dequeued like any other task but their payload is stale by the time a
+worker sees it (an asynchronous relaxation already superseded by a better
+distance), so the worker pays only a cheap check and drops them.  The
+invariant ``tasks_enqueued == tasks_executed + tasks_cancelled`` is what
+``tools/queue_smoke.py`` pins.
+
+Struct-of-arrays layout: task populations reach one entry per visit of an
+asynchronous traversal, so per-task Python objects would dominate the
+simulation's footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.gpusim.kernels import ProfileCounters
+
+__all__ = ["TaskGraph"]
+
+
+@dataclass
+class TaskGraph:
+    """All tasks of one queue-backend execution, struct-of-arrays."""
+
+    name: str
+    #: execution cost per task in SM-cycles (cancelled tasks: check cost)
+    work_cycles: np.ndarray
+    #: task id whose completion pushes this task (-1 = initial / phase-gated)
+    spawned_by: np.ndarray | None = None
+    #: phase id each task belongs to (-1 = none); phases gate dependents
+    phase: np.ndarray | None = None
+    #: phase id that must fully complete before this task is ready (-1 = none)
+    phase_dep: np.ndarray | None = None
+    #: stale tasks: dequeued, checked, dropped (no spawns allowed)
+    cancelled: np.ndarray | None = None
+    #: kernel-wide serialization appended after each phase completes
+    #: (indexed by phase id; carries LaunchGraph serial tails across)
+    phase_tail_cycles: np.ndarray | None = None
+    #: aggregated profiler counters for the whole task population
+    counters: ProfileCounters = field(default_factory=ProfileCounters)
+
+    def __post_init__(self) -> None:
+        self.work_cycles = np.asarray(self.work_cycles, dtype=np.float64)
+        if self.work_cycles.ndim != 1:
+            raise WorkloadError("work_cycles must be a 1-D array")
+        if self.n_tasks == 0:
+            raise WorkloadError("a task graph needs at least one task")
+        if np.any(self.work_cycles < 0):
+            raise WorkloadError("task work cannot be negative")
+        n = self.n_tasks
+        if self.spawned_by is None:
+            self.spawned_by = np.full(n, -1, dtype=np.int64)
+        else:
+            self.spawned_by = np.asarray(self.spawned_by, dtype=np.int64)
+        if self.phase is None:
+            self.phase = np.full(n, -1, dtype=np.int64)
+        else:
+            self.phase = np.asarray(self.phase, dtype=np.int64)
+        if self.phase_dep is None:
+            self.phase_dep = np.full(n, -1, dtype=np.int64)
+        else:
+            self.phase_dep = np.asarray(self.phase_dep, dtype=np.int64)
+        if self.cancelled is None:
+            self.cancelled = np.zeros(n, dtype=bool)
+        else:
+            self.cancelled = np.asarray(self.cancelled, dtype=bool)
+        for arr, label in ((self.spawned_by, "spawned_by"),
+                           (self.phase, "phase"),
+                           (self.phase_dep, "phase_dep"),
+                           (self.cancelled, "cancelled")):
+            if arr.shape != (n,):
+                raise WorkloadError(f"{label} must have one entry per task")
+        self._validate()
+
+    def _validate(self) -> None:
+        n = self.n_tasks
+        sb = self.spawned_by
+        if np.any(sb >= np.arange(n)):
+            raise WorkloadError(
+                "spawned_by must reference an earlier task (topological order)"
+            )
+        if np.any(sb[sb >= 0] < 0):  # pragma: no cover - shape guard
+            raise WorkloadError("spawned_by out of range")
+        spawners = sb[sb >= 0]
+        if spawners.size and np.any(self.cancelled[spawners]):
+            raise WorkloadError("cancelled tasks cannot spawn children")
+        gated = self.phase_dep >= 0
+        if np.any(gated & (sb >= 0)):
+            raise WorkloadError(
+                "a task is either spawned or phase-gated, not both"
+            )
+        n_phases = self.n_phases
+        if np.any(self.phase >= n_phases) or np.any(self.phase_dep >= n_phases):
+            raise WorkloadError("phase ids must be dense starting at 0")
+        if self.phase_tail_cycles is not None:
+            self.phase_tail_cycles = np.asarray(
+                self.phase_tail_cycles, dtype=np.float64
+            )
+            if self.phase_tail_cycles.shape != (n_phases,):
+                raise WorkloadError(
+                    "phase_tail_cycles must have one entry per phase"
+                )
+        elif n_phases:
+            self.phase_tail_cycles = np.zeros(n_phases, dtype=np.float64)
+
+    @property
+    def n_tasks(self) -> int:
+        """Total tasks (== items enqueued over the whole execution)."""
+        return int(self.work_cycles.shape[0])
+
+    @property
+    def n_phases(self) -> int:
+        """Number of barrier phases (0 for fully asynchronous graphs)."""
+        mx = -1
+        if self.phase.size:
+            mx = int(self.phase.max())
+        if self.phase_dep.size:
+            mx = max(mx, int(self.phase_dep.max()))
+        return mx + 1
+
+    @property
+    def n_initial(self) -> int:
+        """Tasks ready before the workers start."""
+        return int(np.count_nonzero((self.spawned_by < 0)
+                                    & (self.phase_dep < 0)))
+
+    @property
+    def n_cancelled(self) -> int:
+        """Tasks that will be dequeued stale and dropped."""
+        return int(np.count_nonzero(self.cancelled))
+
+    @property
+    def total_cycles(self) -> float:
+        """Total SM-cycles of task work (excludes queue-op overheads)."""
+        return float(self.work_cycles.sum())
+
+    def children_lists(self) -> list[list[int]]:
+        """Per-task lists of spawned child ids, in push order."""
+        children: list[list[int]] = [[] for _ in range(self.n_tasks)]
+        sb = self.spawned_by
+        for child in np.flatnonzero(sb >= 0).tolist():
+            children[int(sb[child])].append(child)
+        return children

@@ -84,6 +84,7 @@ class MicroBatcher:
                     params=request.params,
                     engine=request.engine,
                     cache_dir=self.cache_dir,
+                    backend=request.backend,
                 )
                 batch = Batch(
                     key=key, spec=spec, route=self.route_of(request)

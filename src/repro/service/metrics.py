@@ -75,6 +75,9 @@ class ServiceStats:
         self.inline_batches = 0
         self.pool_batches = 0
         self.coalesced_requests = 0  # requests beyond the first in a batch
+        #: batches routed back to the BSP simulator because the queue
+        #: backend cannot run their template (capability fallback)
+        self.queue_fallbacks = 0
         self._batch_sizes: deque[int] = deque(maxlen=window)
         # queue
         self.queue_depth = 0
@@ -122,6 +125,11 @@ class ServiceStats:
     def record_degraded(self) -> None:
         with self._lock:
             self.degraded += 1
+
+    def record_queue_fallback(self) -> None:
+        """A batch the queue backend handed back to the BSP simulator."""
+        with self._lock:
+            self.queue_fallbacks += 1
 
     def record_cache(self, hits: int, misses: int) -> None:
         with self._lock:
@@ -188,6 +196,7 @@ class ServiceStats:
                     "inline_batches": self.inline_batches,
                     "pool_batches": self.pool_batches,
                     "coalesced_requests": self.coalesced_requests,
+                    "queue_fallbacks": self.queue_fallbacks,
                     "mean_batch": (
                         round(sum(sizes) / len(sizes), 3) if sizes else 0.0
                     ),

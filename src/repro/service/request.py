@@ -84,17 +84,24 @@ class Request:
     #: ``time.perf_counter()`` at admission (for the tracing layer's
     #: ``service.request`` lifecycle spans; 0.0 = never admitted)
     created_perf: float = 0.0
+    #: execution model the batch should run on (``"sim"`` | ``"queue"``;
+    #: stamped from ``ServiceConfig.backend`` at submit)
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
+        from repro.backends import resolve_backend
+
         self.kind = workload_kind(self.workload)
         resolve_engine(self.engine, error=ConfigError)
+        resolve_backend(self.backend, error=ConfigError)
         self.selection = None
         if is_auto(self.template):
             # resolve the auto choice at admission: the batch then carries
             # a concrete template, coalesces with equivalent named
             # requests, and the degradation path sees real capabilities
             self.selection = auto_select(
-                self.workload, self.device, self.params, self.engine
+                self.workload, self.device, self.params, self.engine,
+                backend=self.backend,
             )
             self.template = self.selection.template
             self.params = self.selection.params
@@ -115,6 +122,7 @@ class Request:
             self.engine,
             self.device,
             self.params,
+            self.backend,
         )
 
 

@@ -72,6 +72,11 @@ class ServiceConfig:
     degrade: bool = True
     #: default executor engine for requests that don't specify one
     engine: str = "fast"
+    #: execution model every batch runs on: ``"sim"`` (bulk-synchronous,
+    #: the default) or ``"queue"`` (persistent task queues — single
+    #: device; queue-incompatible templates are routed back to sim and
+    #: counted, see docs/taskqueue.md)
+    backend: str = "sim"
     #: template used when ``submit`` is not given one: ``"auto"`` routes
     #: through the IR auto-select pipeline (see ``docs/ir.md``); any
     #: canonical name pins every defaulted request to that template
@@ -101,8 +106,15 @@ class ServiceConfig:
         if self.retry_backoff_s < 0:
             raise ServiceError("retry_backoff_s cannot be negative")
         resolve_engine(self.engine, error=ServiceError)
+        from repro.backends import resolve_backend
+
+        resolve_backend(self.backend, error=ServiceError)
         if self.devices < 1:
             raise ServiceError(f"devices must be >= 1, got {self.devices}")
+        if self.backend == "queue" and self.devices > 1:
+            raise ServiceError(
+                "the queue backend is single-device; use devices=1"
+            )
 
 
 class TemplateService:
@@ -225,6 +237,7 @@ class TemplateService:
             device=device or self.config.device,
             params=params or TemplateParams(),
             engine=engine or self.config.engine,
+            backend=self.config.backend,
         )
         return await self.submit_request(request)
 
@@ -305,6 +318,19 @@ class TemplateService:
 
     async def _dispatch(self, batch: Batch) -> None:
         self.stats.record_batch(batch.size, batch.route)
+        if batch.spec.backend == "queue" and not getattr(
+            batch.requests[0].template_obj, "queue_compatible", True
+        ):
+            # capability-aware routing: the queue cannot honour this
+            # template's launch-wide barrier semantics, so the batch runs
+            # on the BSP simulator instead (counted, never silent)
+            batch.spec = replace(batch.spec, backend="sim")
+            self.stats.record_queue_fallback()
+            obs.instant(
+                "service.queue_fallback",
+                template=str(getattr(batch.requests[0].template_obj,
+                                     "name", "")),
+            )
         summary = None
         error: BaseException | None = None
         degraded = False
@@ -442,6 +468,7 @@ class TemplateService:
             "inline_cost_threshold": self.config.inline_cost_threshold,
             "workers": self.config.workers,
             "engine": self.config.engine,
+            "backend": self.config.backend,
             "devices": self.config.devices,
         }
         return snap

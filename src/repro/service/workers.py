@@ -61,6 +61,9 @@ class BatchSpec:
     #: device this batch was routed to by the service's DeviceGroup;
     #: None on a single-device service (no per-device obs counters)
     device_index: int | None = None
+    #: execution model: "sim" (bulk-synchronous) or "queue" (persistent
+    #: task queues, single-device; see docs/taskqueue.md)
+    backend: str = "sim"
 
 
 def execute_batch(spec: BatchSpec) -> dict:
@@ -92,8 +95,13 @@ def execute_batch(spec: BatchSpec) -> dict:
     )
     stats = default_cache().stats
     hits0, misses0 = stats.hits, stats.misses
-    backend = SimBackend(spec.device, engine=spec.engine,
-                         device_index=spec.device_index)
+    if spec.backend == "queue":
+        from repro.queue.backend import QueueBackend
+
+        backend = QueueBackend(spec.device, engine=spec.engine)
+    else:
+        backend = SimBackend(spec.device, engine=spec.engine,
+                             device_index=spec.device_index)
     start = time.perf_counter()
     run = tmpl.run(spec.workload, spec.device, spec.params, executor=backend)
     wall = time.perf_counter() - start

@@ -26,7 +26,9 @@ from repro.backends import (
     coerce_backend,
     set_default_devices,
 )
+from repro.backends.base import BackendCapabilities, capabilities_of
 from repro.backends.group import run_sharded
+from repro.core.base import plan_key
 from repro.core.params import TemplateParams
 from repro.core.recursive import RecursiveTreeWorkload
 from repro.core.registry import resolve
@@ -35,6 +37,7 @@ from repro.core.workload import NestedLoopWorkload
 from repro.errors import ConfigError
 from repro.gpusim.config import KEPLER_K20
 from repro.gpusim.executor import GpuExecutor
+from repro.ir.select import Selection, auto_select
 from repro.trees.generator import generate_tree
 
 
@@ -195,6 +198,68 @@ class TestDeviceGroup:
         group = DeviceGroup(KEPLER_K20, 2)
         assert group.fingerprint() != KEPLER_K20.fingerprint()
         assert group.fingerprint().endswith("x2")
+
+
+class TestCapabilitiesBackCompat:
+    """Adding ``persistent_queue`` must not disturb PR-5-era identities.
+
+    Code written against the original three-field ``BackendCapabilities``
+    (positional construction, ``capabilities_of``, fingerprints, plan and
+    selection cache keys) has to behave byte-identically now that the
+    queue capability flag exists.
+    """
+
+    def test_positional_construction_still_works(self):
+        caps = BackendCapabilities(True, 49152, 2)
+        assert caps.dynamic_parallelism is True
+        assert caps.shared_mem_per_block == 49152
+        assert caps.devices == 2
+        assert caps.persistent_queue is False
+
+    def test_capabilities_of_defaults_queue_off(self):
+        assert capabilities_of(KEPLER_K20).persistent_queue is False
+        assert capabilities_of(KEPLER_K20, devices=4).persistent_queue is False
+
+    def test_supports_unchanged_for_bsp_backends(self):
+        """Without the queue flag, ``supports()`` is the PR-5 predicate:
+        only dynamic parallelism can disqualify a template."""
+        caps = capabilities_of(KEPLER_K20)
+        assert caps.supports(resolve("dbuf-shared"))  # queue-incompatible
+        assert (caps.supports(resolve("dpar-opt"))
+                == caps.dynamic_parallelism)
+
+    def test_bsp_run_cache_tags_are_none(self):
+        assert SimBackend(KEPLER_K20).run_cache_tag is None
+        assert DeviceGroup(KEPLER_K20, 2).run_cache_tag is None
+
+    def test_bsp_fingerprints_unchanged(self):
+        assert SimBackend(KEPLER_K20).fingerprint() == KEPLER_K20.fingerprint()
+        group_fp = DeviceGroup(KEPLER_K20, 2).fingerprint()
+        assert group_fp == f"{KEPLER_K20.fingerprint()}x2"
+
+    def test_plan_key_has_no_backend_component(self, loop_wl):
+        tmpl = resolve("dbuf-global")
+        key = plan_key(tmpl, loop_wl.fingerprint(), KEPLER_K20,
+                       TemplateParams())
+        assert len(key) == 4  # (workload, template, device, params)
+        assert "queue" not in repr(key)
+
+    def test_selection_identical_for_default_backend(self, loop_wl):
+        """backend="sim" must hit the exact cache entry the PR-6 call
+        signature produced (the key gains no backend component)."""
+        implicit = auto_select(loop_wl, KEPLER_K20)
+        explicit = auto_select(loop_wl, KEPLER_K20, backend="sim")
+        assert explicit is implicit  # same memory-cache entry
+
+    def test_selection_to_dict_tolerates_old_pickles(self, loop_wl):
+        sel = auto_select(loop_wl, KEPLER_K20)
+        assert sel.to_dict()["backend"] == "sim"
+        # a Selection unpickled from before the field existed has no
+        # instance attribute; to_dict must still report the default
+        legacy = Selection.__new__(Selection)
+        legacy.__dict__.update(sel.__dict__)
+        legacy.__dict__.pop("backend", None)
+        assert legacy.to_dict()["backend"] == "sim"
 
 
 class TestFacade:

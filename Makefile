@@ -4,12 +4,12 @@ PYTHON ?= python
 # make targets work from a clean checkout, without `pip install -e .`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test lint bench bench-smoke bench-service bench-multidevice bench-queue trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke experiments examples results clean
+.PHONY: install test lint bench bench-smoke bench-service bench-multidevice bench-queue bench-slo trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke slo-smoke experiments examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke
+test: lint bench-smoke trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke slo-smoke
 	$(PYTHON) -m pytest tests/
 
 # ruff when installed, stdlib fallback (syntax, unused imports, debug
@@ -75,6 +75,18 @@ bench-multidevice:
 bench-queue:
 	$(PYTHON) benchmarks/bench_queue_vs_bsp.py --min-speedup 1.0
 
+# SLO-aware serving under overload: an open-loop multi-tenant mix at 2x
+# measured capacity, SLO-aware (priorities/quotas/deadlines/autoscale)
+# vs no-SLO FIFO; acceptance requires >= 3x better high-priority p99
+bench-slo:
+	$(PYTHON) benchmarks/bench_slo_serving.py --min-p99-ratio 3.0
+
+# tiny version of bench-slo wired into `make test`: same two-sided run,
+# relaxed 1.3x floor (the small mix is noisier), scratch output file
+slo-smoke:
+	$(PYTHON) benchmarks/bench_slo_serving.py --smoke \
+		--min-p99-ratio 1.3 --out .bench_slo_smoke.json
+
 # regenerate every paper artifact into results/
 experiments:
 	$(PYTHON) -m repro.bench all --scale 0.03 --out results/
@@ -87,5 +99,5 @@ examples:
 results: experiments
 
 clean:
-	rm -rf results .pytest_cache .benchmarks .bench_smoke.json
+	rm -rf results .pytest_cache .benchmarks .bench_smoke.json .bench_slo_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

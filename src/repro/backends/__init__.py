@@ -118,6 +118,7 @@ def backend_for(
     engine: str | None = None,
     record_timeline: bool = False,
     kind: str | None = None,
+    steal_chunks: int = 0,
 ) -> Backend:
     """A backend for ``devices`` copies of ``config`` (default topology).
 
@@ -128,9 +129,12 @@ def backend_for(
 
     One sim device returns a fresh :class:`SimBackend` (stateless, like
     the inline executors it replaces); more return the process's memoized
-    :class:`DeviceGroup` for that topology.  The queue model is
-    single-device: asking for a queue backend over several devices is an
-    error rather than a silently different topology.
+    :class:`DeviceGroup` for that topology.  ``steal_chunks`` selects the
+    group's work-stealing granularity for sharded runs (0 — the default —
+    keeps the classic static one-shard-per-device split) and is part of
+    the memo key, so static and stealing groups never alias.  The queue
+    model is single-device: asking for a queue backend over several
+    devices is an error rather than a silently different topology.
     """
     if isinstance(config, str):
         if kind is not None:
@@ -153,11 +157,13 @@ def backend_for(
         return SimBackend(config, engine=engine,
                           record_timeline=record_timeline)
     if record_timeline:
-        return DeviceGroup(config, n, engine=engine, record_timeline=True)
-    key = (config.fingerprint(), n, engine)
+        return DeviceGroup(config, n, engine=engine, record_timeline=True,
+                           steal_chunks=steal_chunks)
+    key = (config.fingerprint(), n, engine, steal_chunks)
     group = _groups.get(key)
     if group is None:
-        group = DeviceGroup(config, n, engine=engine)
+        group = DeviceGroup(config, n, engine=engine,
+                            steal_chunks=steal_chunks)
         if len(_groups) >= 32:
             _groups.pop(next(iter(_groups)))
         _groups[key] = group

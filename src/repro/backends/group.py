@@ -54,6 +54,8 @@ class GroupExecutionResult(ExecutionResult):
 
     #: per-member :class:`ExecutionResult`, indexed by device
     per_device: list[ExecutionResult] = field(default_factory=list)
+    #: chunks executed on a non-home device (work-stealing runs only)
+    steals: int = 0
 
     @property
     def n_devices(self) -> int:
@@ -73,10 +75,15 @@ class DeviceGroup(Backend):
         *,
         engine: str | None = None,
         record_timeline: bool = False,
+        steal_chunks: int = 0,
     ) -> None:
         if n_devices < 1:
             raise ConfigError(
                 f"a DeviceGroup needs at least 1 device, got {n_devices}"
+            )
+        if steal_chunks < 0:
+            raise ConfigError(
+                f"steal_chunks cannot be negative, got {steal_chunks}"
             )
         self.members = [
             SimBackend(device, engine=engine,
@@ -86,6 +93,18 @@ class DeviceGroup(Backend):
         self._capabilities = capabilities_of(device, devices=n_devices)
         self._lock = threading.Lock()
         self._inflight = [0] * n_devices
+        #: work-stealing granularity of :func:`run_sharded`: 0 keeps the
+        #: classic one-shard-per-device static split; K > 0 over-shards
+        #: into ``n_devices * K`` chunks and lets idle devices steal
+        #: unstarted chunks from stragglers (see docs/serving.md)
+        self.steal_chunks = steal_chunks
+        #: chunks that ran on a non-home device in sharded runs
+        self.steals = 0
+        #: complete() calls that would have driven an in-flight counter
+        #: negative — a double release.  The counter is clamped so load
+        #: routing survives, but the underflow is counted (and asserted
+        #: zero in the multi-device smoke) instead of silently masked.
+        self.release_underflows = 0
 
     @property
     def device(self) -> DeviceConfig:
@@ -132,10 +151,61 @@ class DeviceGroup(Backend):
             return i
 
     def complete(self, index: int, busy_ms: float = 0.0) -> None:
-        """Release a reservation, crediting the simulated time it ran."""
+        """Release a reservation, crediting the simulated time it ran.
+
+        A release without a matching :meth:`acquire` (a double release)
+        is a caller bug: the counter stays clamped at zero so routing
+        keeps working, but the underflow is counted on
+        ``release_underflows`` and the ``device.release_underflow`` obs
+        counter rather than silently masked.
+        """
         with self._lock:
-            self._inflight[index] = max(0, self._inflight[index] - 1)
+            if self._inflight[index] <= 0:
+                self.release_underflows += 1
+                obs.add_counter("device.release_underflow")
+                obs.instant("device.release_underflow", device=index)
+            else:
+                self._inflight[index] -= 1
             self.members[index].busy_ms += busy_ms
+
+    # ------------------------------------------------------- elasticity
+    def add_member(self) -> int:
+        """Grow the group by one device; returns the new member's index.
+
+        The autoscaling path of the serving tier: a new idle member
+        immediately attracts routing (least-loaded picks it first).
+        """
+        with self._lock:
+            index = len(self.members)
+            first = self.members[0]
+            self.members.append(
+                SimBackend(first.device, engine=first.engine,
+                           record_timeline=first.record_timeline,
+                           device_index=index)
+            )
+            self._inflight.append(0)
+            self._capabilities = capabilities_of(
+                first.device, devices=len(self.members)
+            )
+            return index
+
+    def remove_member(self) -> bool:
+        """Shrink the group by its last member, only when that member is
+        idle (no in-flight reservations); returns whether it shrank.
+
+        Only the *last* member is ever removed so indices handed out by
+        :meth:`acquire` stay valid — a device with reservations can never
+        disappear underneath a ``complete()``.
+        """
+        with self._lock:
+            if len(self.members) <= 1 or self._inflight[-1] != 0:
+                return False
+            self.members.pop()
+            self._inflight.pop()
+            self._capabilities = capabilities_of(
+                self.members[0].device, devices=len(self.members)
+            )
+            return True
 
     def submit(self, graph: LaunchGraph) -> ExecutionResult:
         """Execute one graph on the least-loaded member."""
@@ -153,6 +223,9 @@ class DeviceGroup(Backend):
         with self._lock:
             return {
                 "devices": len(self.members),
+                "steal_chunks": self.steal_chunks,
+                "steals": self.steals,
+                "release_underflows": self.release_underflows,
                 "per_device": [
                     {
                         "index": i,
@@ -212,6 +285,120 @@ def _merge_results(results: list[ExecutionResult]) -> GroupExecutionResult:
     )
 
 
+def _merge_serial(results: list[ExecutionResult]) -> ExecutionResult:
+    """Fold chunk results that ran back-to-back on *one* device.
+
+    The serial dual of :func:`_merge_results`: time and cycles **sum**
+    (the device ran the chunks one after another), ``sm_count`` stays the
+    single device's SM count.
+    """
+    counters = ProfileCounters()
+    records = []
+    for r in results:
+        counters.merge(r.counters)
+        records.extend(r.records)
+    return ExecutionResult(
+        cycles=sum(r.cycles for r in results),
+        time_ms=sum(r.time_ms for r in results),
+        counters=counters,
+        sm_busy_cycles=sum(r.sm_busy_cycles for r in results),
+        sm_count=results[0].sm_count,
+        n_launches=sum(r.n_launches for r in results),
+        n_device_launches=sum(r.n_device_launches for r in results),
+        pool_overflows=sum(r.pool_overflows for r in results),
+        records=records,
+    )
+
+
+def _steal_schedule(shards, runs, n: int):
+    """Deterministic greedy work-stealing schedule over measured chunks.
+
+    Chunks are dealt round-robin to home devices; the simulation then
+    replays list scheduling — the earliest-finishing device takes its own
+    next chunk, or, when its own list is empty, *steals the tail chunk*
+    of the device with the most unstarted work left.  Identical member
+    devices make a chunk's simulated time placement-independent, so the
+    schedule can be computed exactly from the measured per-chunk times.
+
+    Returns ``(assigned, clock, steals)``: per-device chunk lists, the
+    per-device finish times, and how many chunks ran away from home.
+    """
+    from collections import deque
+
+    own = [deque() for _ in range(n)]
+    for shard, run in zip(shards, runs):
+        own[shard.index % n].append((shard, run))
+    remaining = [
+        sum(run.result.time_ms for _, run in queue) for queue in own
+    ]
+    assigned = [[] for _ in range(n)]
+    clock = [0.0] * n
+    steals = 0
+    for _ in range(len(shards)):
+        device = min(range(n), key=lambda i: (clock[i], i))
+        if own[device]:
+            shard, run = own[device].popleft()
+            home = device
+        else:
+            home = max(
+                (i for i in range(n) if own[i]),
+                key=lambda i: (remaining[i], -i),
+            )
+            shard, run = own[home].pop()
+            steals += 1
+        remaining[home] -= run.result.time_ms
+        assigned[device].append((shard, run))
+        clock[device] += run.result.time_ms
+    return assigned, clock, steals
+
+
+def _run_stolen(template, workload, group: DeviceGroup,
+                config: DeviceConfig, shards, runs):
+    """Merge over-sharded chunk runs under a work-stealing schedule."""
+    from repro.core.base import TemplateRun, check_schedule
+    from repro.gpusim.profiler import profile
+
+    n = len(group.members)
+    assigned, clock, steals = _steal_schedule(shards, runs, n)
+    group.steals += steals
+    obs.add_counter("device.steals", steals)
+    per_device = []
+    for device, chunk_runs in enumerate(assigned):
+        if not chunk_runs:
+            continue
+        serial = _merge_serial([run.result for _, run in chunk_runs])
+        per_device.append(serial)
+        member = group.members[device]
+        member.busy_ms += serial.time_ms
+        member.submissions += len(chunk_runs)
+        for shard, _ in chunk_runs:
+            if shard.kind == "nested-loop":
+                obs.add_counter(f"device.{device}.outer", shard.n_members)
+                obs.add_counter(f"device.{device}.pairs",
+                                shard.workload.n_pairs)
+            else:
+                obs.add_counter(f"device.{device}.nodes", shard.n_members)
+    result = _merge_results(per_device)
+    result.steals = steals
+    graph = _merge_graphs([r.graph for r in runs])
+    if shards[0].kind == "nested-loop":
+        schedule = _merge_schedules(shards, runs)
+        check_schedule(schedule, workload.outer_size)
+    else:
+        schedule = {"nodes": np.arange(workload.tree.n_nodes)}
+    metrics = profile(graph, result, config)
+    return TemplateRun(
+        template=template.name,
+        workload=workload.name,
+        graph=graph,
+        result=result,
+        metrics=metrics,
+        schedule=schedule,
+        params=runs[0].params,
+        device_runs=runs,
+    )
+
+
 def _merge_schedules(shards, runs) -> dict[str, np.ndarray]:
     """Map shard-local schedules back to original outer-iteration ids."""
     merged: dict[str, list[np.ndarray]] = {}
@@ -241,7 +428,30 @@ def run_sharded(template, workload, group: DeviceGroup,
     from repro.core.sharding import shard_workload
     from repro.gpusim.profiler import profile
 
-    shards = shard_workload(workload, len(group.members))
+    n = len(group.members)
+    if group.steal_chunks > 0 and n > 1:
+        # work-stealing mode: over-shard into n*K chunks so a straggler
+        # device's unstarted chunks can migrate to idle devices.  Chunk
+        # timing is placement-independent (identical members), so chunks
+        # execute concurrently on scratch backends and the steal schedule
+        # is replayed deterministically from the measured times.
+        chunks = shard_workload(workload, n * group.steal_chunks)
+        if chunks is not None and len(chunks) > n:
+
+            def run_chunk(shard):
+                scratch = SimBackend(group.device, engine=group.engine)
+                with obs.span("device.chunk", chunk=shard.index,
+                              template=template.name,
+                              workload=shard.workload.name):
+                    return template.run(shard.workload, config, params,
+                                        executor=scratch)
+
+            with ThreadPoolExecutor(max_workers=n) as pool:
+                chunk_runs = list(pool.map(run_chunk, chunks))
+            return _run_stolen(template, workload, group, config,
+                               chunks, chunk_runs)
+
+    shards = shard_workload(workload, n)
     if shards is None:
         return None
 

@@ -20,10 +20,22 @@ See ``docs/serving.md`` for architecture, failure modes and the metrics
 glossary.
 """
 
+from repro.service.admission import PriorityClassQueue
 from repro.service.batcher import Batch, MicroBatcher
 from repro.service.handle import ServiceHandle, serve
-from repro.service.metrics import ServiceStats, percentile, percentiles
-from repro.service.request import Request, Response, workload_cost, workload_kind
+from repro.service.metrics import (
+    ClassStats,
+    ServiceStats,
+    percentile,
+    percentiles,
+)
+from repro.service.request import (
+    PRIORITIES,
+    Request,
+    Response,
+    workload_cost,
+    workload_kind,
+)
 from repro.service.service import ServiceConfig, TemplateService
 from repro.service.workers import (
     BatchSpec,
@@ -36,7 +48,10 @@ from repro.service.workers import (
 __all__ = [
     "Batch",
     "BatchSpec",
+    "ClassStats",
     "MicroBatcher",
+    "PRIORITIES",
+    "PriorityClassQueue",
     "Request",
     "Response",
     "ServiceConfig",

@@ -36,6 +36,18 @@ class Batch:
     def size(self) -> int:
         return len(self.requests)
 
+    @property
+    def priority(self) -> str:
+        """The batch's priority class (homogeneous: part of the key)."""
+        return self.requests[0].priority if self.requests else "normal"
+
+    @property
+    def deadline_at(self) -> float | None:
+        """Tightest absolute member deadline (None when none carries one)."""
+        deadlines = [r.deadline_at for r in self.requests
+                     if getattr(r, "deadline_at", None) is not None]
+        return min(deadlines) if deadlines else None
+
 
 class MicroBatcher:
     """Groups ``(request, future)`` pairs into executable batches."""

@@ -25,7 +25,14 @@ import numpy as np
 from repro.service.metrics import percentiles
 from repro.service.request import workload_cost
 
-__all__ = ["build_request_mix", "run_closed_loop", "run_unbatched"]
+__all__ = [
+    "build_request_mix",
+    "build_slo_mix",
+    "run_closed_loop",
+    "run_open_loop",
+    "run_unbatched",
+    "slo_summary",
+]
 
 #: templates cycled over the distinct workloads of a mix (fixed pairing:
 #: workload i always travels with template i mod len — so each distinct
@@ -156,10 +163,131 @@ def run_closed_loop(handle, mix, *, clients: int = 16) -> dict:
     return _summarize([r.latency_s for r in responses], wall, responses)
 
 
+def build_slo_mix(
+    n_requests: int,
+    *,
+    tenants=("acme", "globex", "initech"),
+    priority_weights=(("high", 0.2), ("normal", 0.5), ("low", 0.3)),
+    deadlines_s=None,
+    distinct: int = 6,
+    outer_size: int = 6000,
+    templates=DEFAULT_TEMPLATES,
+    seed: int = 0,
+) -> list[tuple[str, object, dict]]:
+    """A shuffled multi-tenant mix: ``(template, workload, submit_kwargs)``.
+
+    Built on :func:`build_request_mix`'s identities, each request is
+    additionally stamped with a tenant (uniform over ``tenants``), a
+    priority class (drawn from ``priority_weights``) and, when
+    ``deadlines_s`` maps its class to a deadline, a per-request
+    ``deadline_s``.  The kwargs dict feeds straight into
+    ``ServiceHandle.submit`` — the same mix can drive an SLO-aware and a
+    baseline service (the baseline simply ignores nothing: strip the
+    kwargs with :func:`strip_slo` semantics by passing
+    ``deadlines_s=None`` and one priority class).
+    """
+    base = build_request_mix(
+        n_requests, distinct=distinct, outer_size=outer_size,
+        templates=templates, seed=seed,
+    )
+    rng = np.random.default_rng(seed + 1)
+    names = [name for name, _ in priority_weights]
+    weights = np.array([w for _, w in priority_weights], dtype=float)
+    weights /= weights.sum()
+    classes = rng.choice(len(names), size=n_requests, p=weights)
+    tenant_picks = rng.integers(0, len(tenants), size=n_requests)
+    mix = []
+    for (template, workload), cls, tp in zip(base, classes, tenant_picks):
+        priority = names[cls]
+        kwargs = {"tenant": tenants[tp], "priority": priority}
+        if deadlines_s and priority in deadlines_s:
+            kwargs["deadline_s"] = deadlines_s[priority]
+        mix.append((template, workload, kwargs))
+    return mix
+
+
+def run_open_loop(handle, mix, *, rate_rps: float, labels=None) -> dict:
+    """Drive a mix at a fixed arrival rate, not waiting for responses.
+
+    The open-loop model: requests arrive on a pacing clock regardless of
+    how the service is coping, so overload actually builds a backlog
+    (a closed loop would self-throttle and never expose tail behaviour
+    under saturation).  Mix items may be ``(template, workload)`` or
+    ``(template, workload, submit_kwargs)``.
+
+    ``labels`` optionally overrides how the per-class summary groups
+    responses (one label per mix item, in order) — how a *baseline*
+    service that was handed no priorities is still scored per intended
+    class.
+    """
+    interval = 1.0 / rate_rps
+    futures = []
+    start = time.perf_counter()
+    next_at = start
+    for item in mix:
+        template, workload = item[0], item[1]
+        kwargs = item[2] if len(item) > 2 else {}
+        now = time.perf_counter()
+        if now < next_at:
+            time.sleep(next_at - now)
+        futures.append(handle.submit(template, workload, **kwargs))
+        next_at += interval
+    responses = [f.result() for f in futures]
+    wall = time.perf_counter() - start
+    ok_lat = [r.latency_s for r in responses if r.ok]
+    out = _summarize(ok_lat, wall, responses)
+    out["offered_rps"] = round(rate_rps, 2)
+    out["classes"] = slo_summary(responses, labels=labels)
+    return out
+
+
+def slo_summary(responses, labels=None) -> dict:
+    """Per-priority-class outcome + latency breakdown of a response list.
+
+    Latency percentiles cover only ``ok`` responses — a shed or rejected
+    request never produced a result, so folding its (tiny) turnaround
+    into the class percentile would flatter the very overload the class
+    split exists to expose.  ``labels`` (parallel to ``responses``)
+    overrides the grouping key; default is each response's own priority.
+    """
+    if labels is None:
+        labels = [r.priority for r in responses]
+    per_class: dict[str, dict] = {}
+    lat: dict[str, list] = {}
+    for r, label in zip(responses, labels):
+        cls = per_class.setdefault(label, {
+            "requests": 0, "ok": 0, "rejected": 0, "shed": 0,
+            "failed": 0, "degraded": 0,
+        })
+        cls["requests"] += 1
+        if r.ok:
+            cls["ok"] += 1
+            if r.degraded:
+                cls["degraded"] += 1
+            lat.setdefault(label, []).append(r.latency_s * 1e3)
+        elif r.status == "rejected":
+            cls["rejected"] += 1
+        elif r.status == "shed":
+            cls["shed"] += 1
+        else:
+            cls["failed"] += 1
+    for priority, cls in per_class.items():
+        values = lat.get(priority, [])
+        cls["latency_ms"] = {
+            k: round(v, 3) for k, v in percentiles(values).items()
+        }
+    return dict(sorted(per_class.items()))
+
+
 def mix_profile(mix) -> dict:
-    """Shape of a request mix (for bench records): identity skew + size."""
+    """Shape of a request mix (for bench records): identity skew + size.
+
+    Accepts both plain ``(template, workload)`` mixes and SLO mixes
+    carrying a third ``submit_kwargs`` element.
+    """
     counts: dict[str, int] = {}
-    for template, workload in mix:
+    for item in mix:
+        template, workload = item[0], item[1]
         key = f"{template}:{workload.name}"
         counts[key] = counts.get(key, 0) + 1
     return {
@@ -169,7 +297,7 @@ def mix_profile(mix) -> dict:
             round(max(counts.values()) / len(mix), 3) if mix else 0.0
         ),
         "mean_cost": (
-            round(sum(workload_cost(w) for _, w in mix) / len(mix), 1)
+            round(sum(workload_cost(item[1]) for item in mix) / len(mix), 1)
             if mix else 0.0
         ),
     }

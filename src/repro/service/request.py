@@ -33,11 +33,20 @@ __all__ = [
     "workload_kind",
     "workload_cost",
     "DEGRADE_FALLBACK",
+    "PRIORITIES",
+    "PRIORITY_RANK",
 ]
 
 #: fallback template per workload family when a dynamic-parallelism
 #: template keeps failing (the graceful-degradation path)
 DEGRADE_FALLBACK = {"nested-loop": "thread-mapped", "tree": "flat"}
+
+#: admission priority classes, highest first — the batch loop always
+#: drains a higher class before touching a lower one
+PRIORITIES = ("high", "normal", "low")
+
+#: class name -> scheduling rank (lower rank drains first)
+PRIORITY_RANK = {name: rank for rank, name in enumerate(PRIORITIES)}
 
 
 def workload_kind(workload) -> str:
@@ -87,6 +96,14 @@ class Request:
     #: execution model the batch should run on (``"sim"`` | ``"queue"``;
     #: stamped from ``ServiceConfig.backend`` at submit)
     backend: str = "sim"
+    #: tenant this request bills against (admission quotas; "" = untracked)
+    tenant: str = ""
+    #: priority class: ``"high"`` | ``"normal"`` | ``"low"`` — enters the
+    #: batch key, so batches are priority-homogeneous
+    priority: str = "normal"
+    #: relative deadline in seconds from admission (None = no deadline);
+    #: the absolute event-loop deadline lands in ``deadline_at``
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         from repro.backends import resolve_backend
@@ -94,6 +111,18 @@ class Request:
         self.kind = workload_kind(self.workload)
         resolve_engine(self.engine, error=ConfigError)
         resolve_backend(self.backend, error=ConfigError)
+        if self.priority not in PRIORITY_RANK:
+            raise ConfigError(
+                f"unknown priority {self.priority!r}; "
+                f"known: {', '.join(PRIORITIES)}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+        #: absolute deadline on the service's event-loop clock, stamped
+        #: at admission (None until admitted or when no deadline applies)
+        self.deadline_at: float | None = None
         self.selection = None
         if is_auto(self.template):
             # resolve the auto choice at admission: the batch then carries
@@ -115,7 +144,12 @@ class Request:
         self.cost = workload_cost(self.workload)
 
     def batch_key(self) -> tuple:
-        """Identity the micro-batcher coalesces on (content-addressed)."""
+        """Identity the micro-batcher coalesces on (content-addressed).
+
+        ``priority`` is part of the key: a batch must be
+        priority-homogeneous so shed/degrade decisions apply to the whole
+        batch (tenants still coalesce freely — quotas act at admission).
+        """
         return (
             self.workload.fingerprint(),
             self._template_key,
@@ -123,6 +157,7 @@ class Request:
             self.device,
             self.params,
             self.backend,
+            self.priority,
         )
 
 
@@ -131,10 +166,13 @@ class Response:
     """Everything one request's caller gets back.
 
     ``status`` is ``"ok"``, ``"rejected"`` (admission control turned the
-    request away — see ``reason``) or ``"failed"`` (execution kept failing
-    after retries and no degradation path applied).  A degraded response
-    has ``status == "ok"`` with ``degraded=True`` and ``template`` naming
-    the fallback that actually ran.
+    request away — see ``reason``), ``"shed"`` (admitted, then dropped by
+    deadline-aware scheduling because the deadline could not be met) or
+    ``"failed"`` (execution kept failing after retries and no degradation
+    path applied).  A degraded response has ``status == "ok"`` with
+    ``degraded=True`` and ``template`` naming the fallback that actually
+    ran.  Every response — rejections included — carries a real monotonic
+    ``id``, so client-side correlation works on all paths.
     """
 
     id: int
@@ -159,6 +197,10 @@ class Response:
     cache_hit: bool = False
     #: device the batch was routed to (0 on a single-device service)
     device: int = 0
+    #: priority class the request carried (echoed for correlation)
+    priority: str = "normal"
+    #: tenant the request billed against (echoed for correlation)
+    tenant: str = ""
 
     @property
     def ok(self) -> bool:

@@ -34,9 +34,16 @@ from repro.core.params import TemplateParams
 from repro.errors import ServiceError
 from repro.gpusim.config import DeviceConfig, KEPLER_K20
 from repro.gpusim.executor import resolve_engine
+from repro.service.admission import PriorityClassQueue
 from repro.service.batcher import Batch, MicroBatcher
 from repro.service.metrics import ServiceStats
-from repro.service.request import DEGRADE_FALLBACK, Request, Response
+from repro.service.request import (
+    DEGRADE_FALLBACK,
+    PRIORITIES,
+    PRIORITY_RANK,
+    Request,
+    Response,
+)
 from repro.service.workers import (
     BatchSpec,
     WorkerPool,
@@ -93,6 +100,48 @@ class ServiceConfig:
     #: disk artifact cache shared with pool workers: None inherits the
     #: process default (REPRO_CACHE_DIR), "" disables it, a path enables it
     cache_dir: str | None = None
+    #: bound on how long ``stop(drain=True)`` waits for in-flight work
+    #: before answering stragglers with structured failures (None waits
+    #: forever — the pre-bound behaviour)
+    drain_timeout_s: float | None = 30.0
+    # ------------------------------------------------- SLO / multi-tenant
+    #: priority class stamped on requests that don't specify one
+    default_priority: str = "normal"
+    #: per-priority-class in-flight bounds, e.g. ``{"low": 64}``; classes
+    #: absent from the dict are bounded only by ``max_pending``
+    max_pending_per_class: dict | None = None
+    #: max in-flight requests per tenant (None = unlimited); rejections
+    #: are structured and counted as ``quota_rejected``
+    tenant_quota: int | None = None
+    #: per-tenant overrides of ``tenant_quota``, e.g. ``{"acme": 8}``
+    tenant_quotas: dict | None = None
+    #: deadline stamped on requests that don't carry one (seconds from
+    #: admission; None = no implicit deadline)
+    default_deadline_s: float | None = None
+    #: shed batches whose deadline has passed (or provably cannot be met)
+    #: instead of executing them; responses carry ``status="shed"``
+    shed_deadlines: bool = True
+    #: in-flight depth beyond which low-priority dynamic-parallelism
+    #: batches are proactively degraded to their non-nested fallback
+    #: (None disables overload degradation)
+    degrade_pending_threshold: int | None = None
+    # ------------------------------------------------------- autoscaling
+    #: autoscale the device group between ``min_devices``/``max_devices``
+    #: from queue-depth and rolling-p99 signals (see docs/serving.md)
+    autoscale: bool = False
+    #: autoscaler floor (defaults to ``devices``)
+    min_devices: int | None = None
+    #: autoscaler ceiling (defaults to ``devices``)
+    max_devices: int | None = None
+    #: seconds between autoscaler evaluations
+    scale_check_interval_s: float = 0.05
+    #: scale up when in-flight depth exceeds this many requests per device
+    scale_up_pending_per_device: int = 8
+    #: also scale up when rolling p99 latency (ms) exceeds this (None
+    #: disables the latency trigger)
+    scale_up_p99_ms: float | None = None
+    #: minimum seconds between consecutive autoscaler resizes
+    scale_cooldown_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -101,10 +150,25 @@ class ServiceConfig:
             raise ServiceError("max_batch must be >= 1")
         if self.batch_window_s < 0:
             raise ServiceError("batch_window_s cannot be negative")
+        if self.inline_cost_threshold < 0:
+            raise ServiceError("inline_cost_threshold cannot be negative")
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ServiceError(
+                "request_timeout_s must be positive "
+                "(None disables the timeout)"
+            )
+        if self.stats_window < 1:
+            raise ServiceError("stats_window must be >= 1")
         if self.max_retries < 0:
             raise ServiceError("max_retries cannot be negative")
         if self.retry_backoff_s < 0:
             raise ServiceError("retry_backoff_s cannot be negative")
+        if self.drain_timeout_s is not None and self.drain_timeout_s <= 0:
+            raise ServiceError(
+                "drain_timeout_s must be positive (None waits forever)"
+            )
         resolve_engine(self.engine, error=ServiceError)
         from repro.backends import resolve_backend
 
@@ -115,6 +179,62 @@ class ServiceConfig:
             raise ServiceError(
                 "the queue backend is single-device; use devices=1"
             )
+        if self.default_priority not in PRIORITY_RANK:
+            raise ServiceError(
+                f"unknown priority {self.default_priority!r}; "
+                f"known: {', '.join(PRIORITIES)}"
+            )
+        for name, bound in (self.max_pending_per_class or {}).items():
+            if name not in PRIORITY_RANK:
+                raise ServiceError(
+                    f"unknown priority {name!r} in max_pending_per_class; "
+                    f"known: {', '.join(PRIORITIES)}"
+                )
+            if bound < 1:
+                raise ServiceError(
+                    f"max_pending_per_class[{name!r}] must be >= 1"
+                )
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise ServiceError("tenant_quota must be >= 1 (None disables it)")
+        for tenant, quota in (self.tenant_quotas or {}).items():
+            if quota < 1:
+                raise ServiceError(
+                    f"tenant_quotas[{tenant!r}] must be >= 1"
+                )
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ServiceError("default_deadline_s must be positive")
+        if self.degrade_pending_threshold is not None \
+                and self.degrade_pending_threshold < 1:
+            raise ServiceError("degrade_pending_threshold must be >= 1")
+        if self.min_devices is None:
+            self.min_devices = self.devices
+        if self.max_devices is None:
+            self.max_devices = max(self.devices, self.min_devices)
+        if self.autoscale:
+            if self.backend == "queue":
+                raise ServiceError(
+                    "the queue backend is single-device; autoscale needs sim"
+                )
+            if not 1 <= self.min_devices <= self.devices <= self.max_devices:
+                raise ServiceError(
+                    f"autoscale bounds must satisfy 1 <= min_devices "
+                    f"({self.min_devices}) <= devices ({self.devices}) <= "
+                    f"max_devices ({self.max_devices})"
+                )
+            if self.scale_check_interval_s <= 0:
+                raise ServiceError("scale_check_interval_s must be positive")
+            if self.scale_up_pending_per_device < 1:
+                raise ServiceError(
+                    "scale_up_pending_per_device must be >= 1"
+                )
+            if self.scale_cooldown_s < 0:
+                raise ServiceError("scale_cooldown_s cannot be negative")
+
+    def tenant_quota_of(self, tenant: str) -> int | None:
+        """Effective in-flight quota of one tenant (None = unlimited)."""
+        if self.tenant_quotas and tenant in self.tenant_quotas:
+            return self.tenant_quotas[tenant]
+        return self.tenant_quota
 
 
 class TemplateService:
@@ -144,9 +264,12 @@ class TemplateService:
         self.batcher = MicroBatcher(self.config.inline_cost_threshold,
                                     cache_dir=self.config.cache_dir)
         #: device topology: None for the classic single-device service, a
-        #: DeviceGroup tracking per-device load when devices > 1
+        #: DeviceGroup tracking per-device load when devices > 1 (or when
+        #: the autoscaler may grow past one device)
         self.device_group = None
-        if self.config.devices > 1:
+        if self.config.devices > 1 or (
+            self.config.autoscale and self.config.max_devices > 1
+        ):
             from repro.backends import DeviceGroup
 
             self.device_group = DeviceGroup(
@@ -154,10 +277,15 @@ class TemplateService:
                 engine=self.config.engine,
             )
         self._run_fn = run_fn or execute_batch
-        self._queue: asyncio.Queue | None = None
+        self._queue: PriorityClassQueue | None = None
         self._loop_task: asyncio.Task | None = None
+        self._scale_task: asyncio.Task | None = None
         self._dispatch_tasks: set[asyncio.Task] = set()
         self._pending = 0
+        #: in-flight requests per priority class / per tenant (admission
+        #: bounds check these; decremented in _finish)
+        self._class_pending = {name: 0 for name in PRIORITIES}
+        self._tenant_pending: dict[str, int] = {}
         self._next_id = 0
         self._running = False
 
@@ -175,28 +303,62 @@ class TemplateService:
         """Bring the batch loop up (idempotent)."""
         if self._running:
             return
-        self._queue = asyncio.Queue()
+        self._queue = PriorityClassQueue()
         self._running = True
         self._loop_task = asyncio.create_task(
             self._batch_loop(), name="repro-service-batch-loop"
         )
+        if self.config.autoscale and self.device_group is not None:
+            self._scale_task = asyncio.create_task(
+                self._autoscale_loop(), name="repro-service-autoscaler"
+            )
 
     async def stop(self, drain: bool = True) -> None:
-        """Stop serving; with ``drain`` wait for in-flight work first."""
+        """Stop serving; with ``drain`` wait for in-flight work first.
+
+        The drain wait is bounded by ``drain_timeout_s``: a dispatch path
+        that wedged (or a run_fn that never returns) cannot hang shutdown
+        forever.  Whatever is still unanswered at the bound — queued or
+        mid-dispatch — gets a structured ``rejected``/``failed`` response
+        instead of a leaked future.
+        """
         if not self._running:
             return
         self._running = False
+        drain_timed_out = False
         if drain:
+            loop = asyncio.get_running_loop()
+            bound = self.config.drain_timeout_s
+            deadline = None if bound is None else loop.time() + bound
             while self._pending:
+                if deadline is not None and loop.time() >= deadline:
+                    drain_timed_out = True
+                    obs.instant("service.drain_timeout",
+                                pending=self._pending)
+                    break
                 await asyncio.sleep(0.005)
+        if self._scale_task is not None:
+            self._scale_task.cancel()
+            try:
+                await self._scale_task
+            except asyncio.CancelledError:
+                pass
+            self._scale_task = None
         self._loop_task.cancel()
         try:
             await self._loop_task
         except asyncio.CancelledError:
             pass
         if self._dispatch_tasks:
+            if drain_timed_out:
+                # the drain bound fired: whatever is wedged mid-dispatch
+                # is cancelled, and the dispatch wrapper answers its
+                # requests with structured failures
+                for task in list(self._dispatch_tasks):
+                    task.cancel()
             await asyncio.gather(*self._dispatch_tasks, return_exceptions=True)
-        # anything still queued (stop(drain=False)) gets a structured answer
+        # anything still queued (stop(drain=False) or a timed-out drain)
+        # gets a structured answer
         while self._queue is not None and not self._queue.empty():
             request, future = self._queue.get_nowait()
             self._finish(
@@ -208,6 +370,8 @@ class TemplateService:
                     template=str(getattr(request.template_obj, "name", "")),
                     workload=getattr(request.workload, "name", ""),
                     reason="service stopped before execution",
+                    priority=request.priority,
+                    tenant=request.tenant,
                 ),
             )
         self.pool.shutdown()
@@ -221,6 +385,9 @@ class TemplateService:
         device: DeviceConfig | None = None,
         params: TemplateParams | None = None,
         engine: str | None = None,
+        tenant: str = "",
+        priority: str | None = None,
+        deadline_s: float | None = None,
     ) -> Response:
         """Admit one query and await its response.
 
@@ -228,6 +395,11 @@ class TemplateService:
         (``submit(workload)``) or ``None`` — both fall back to the
         config's ``default_template`` (``"auto"`` unless overridden), so
         the service front door matches ``repro.run(workload)``.
+
+        ``tenant``/``priority``/``deadline_s`` are the SLO knobs: tenant
+        quotas and per-class bounds act at admission, the priority class
+        orders scheduling, and the deadline arms deadline-aware shedding
+        (defaults come from the config; see docs/serving.md).
         """
         if workload is None:
             template, workload = None, template
@@ -238,42 +410,85 @@ class TemplateService:
             params=params or TemplateParams(),
             engine=engine or self.config.engine,
             backend=self.config.backend,
+            tenant=tenant,
+            priority=priority or self.config.default_priority,
+            deadline_s=(
+                deadline_s if deadline_s is not None
+                else self.config.default_deadline_s
+            ),
         )
         return await self.submit_request(request)
+
+    def _reject(self, request: Request, kind: str, reason: str) -> Response:
+        """Build one structured admission rejection (counted by kind)."""
+        self.stats.record_rejected(kind=kind, priority=request.priority)
+        obs.instant("service.reject", kind=kind, pending=self._pending,
+                    priority=request.priority)
+        return Response(
+            id=request.id,
+            status="rejected",
+            template=str(getattr(request.template_obj, "name", "")),
+            workload=getattr(request.workload, "name", ""),
+            reason=reason,
+            priority=request.priority,
+            tenant=request.tenant,
+        )
 
     async def submit_request(self, request: Request) -> Response:
         """Admit an already-built :class:`Request` and await its response.
 
         Admission control is immediate: over ``max_pending`` in-flight
-        requests, the return value is a ``rejected`` response carrying the
-        queue state in ``reason`` — the caller is never blocked on a full
-        queue.
+        requests — or over the request's class bound or its tenant's
+        quota — the return value is a ``rejected`` response carrying the
+        queue state in ``reason``; the caller is never blocked on a full
+        queue.  Every response, rejections included, carries a real
+        monotonic ``id``.
         """
         if not self._running:
             raise ServiceError("service is not running (call start())")
-        if self._pending >= self.config.max_pending:
-            self.stats.record_rejected()
-            obs.instant("service.reject", kind="admission",
-                        pending=self._pending)
-            return Response(
-                id=-1,
-                status="rejected",
-                template=str(getattr(request.template_obj, "name", "")),
-                workload=getattr(request.workload, "name", ""),
-                reason=(
-                    f"queue full: {self._pending} in-flight requests >= "
-                    f"max_pending={self.config.max_pending}"
-                ),
-            )
-        loop = asyncio.get_running_loop()
+        # ids are assigned before any admission check so every structured
+        # rejection is correlatable (no more id=-1 responses)
         request.id = self._next_id
         self._next_id += 1
+        if self._pending >= self.config.max_pending:
+            return self._reject(
+                request, "pending",
+                f"queue full: {self._pending} in-flight requests >= "
+                f"max_pending={self.config.max_pending}",
+            )
+        class_bound = (self.config.max_pending_per_class or {}).get(
+            request.priority
+        )
+        if class_bound is not None \
+                and self._class_pending[request.priority] >= class_bound:
+            return self._reject(
+                request, "class",
+                f"class full: {self._class_pending[request.priority]} "
+                f"in-flight {request.priority!r} requests >= "
+                f"max_pending_per_class[{request.priority!r}]={class_bound}",
+            )
+        quota = self.config.tenant_quota_of(request.tenant)
+        if quota is not None \
+                and self._tenant_pending.get(request.tenant, 0) >= quota:
+            return self._reject(
+                request, "tenant",
+                f"tenant quota: {self._tenant_pending.get(request.tenant, 0)} "
+                f"in-flight requests of tenant {request.tenant!r} >= "
+                f"quota={quota}",
+            )
+        loop = asyncio.get_running_loop()
         request.created_s = loop.time()
         request.created_perf = time.perf_counter()
+        if request.deadline_s is not None:
+            request.deadline_at = request.created_s + request.deadline_s
         self._pending += 1
-        self.stats.record_admitted(self._pending)
+        self._class_pending[request.priority] += 1
+        self._tenant_pending[request.tenant] = (
+            self._tenant_pending.get(request.tenant, 0) + 1
+        )
+        self.stats.record_admitted(self._pending, priority=request.priority)
         future = loop.create_future()
-        await self._queue.put((request, future))
+        self._queue.put_nowait((request, future))
         return await future
 
     # ------------------------------------------------------ batching loop
@@ -297,8 +512,7 @@ class TemplateService:
                 # stop() cancelled us mid-window: hand collected-but-
                 # undispatched requests back so the stop path answers
                 # them instead of leaving their futures pending forever
-                for item in pending:
-                    self._queue.put_nowait(item)
+                self._queue.requeue_front(pending)
                 raise
             with obs.span("service.coalesce", pending=len(pending)):
                 batches = self.batcher.group(pending)
@@ -317,7 +531,132 @@ class TemplateService:
         )
 
     async def _dispatch(self, batch: Batch) -> None:
+        """Leak-proof dispatch: every member future is always answered.
+
+        The policy body (`_dispatch_batch`) can fail in ways retries do
+        not model — a run_fn returning a malformed summary, a bug in the
+        degradation path, cancellation by a timed-out drain.  Before this
+        wrapper existed, such a failure killed the dispatch task with
+        member futures unanswered and ``_pending`` never decremented, so
+        ``stop(drain=True)`` spun forever.  Now any escaping exception is
+        converted into structured ``failed`` responses for every member
+        not already answered.
+        """
+        try:
+            await self._dispatch_batch(batch)
+        except asyncio.CancelledError:
+            self._fail_unanswered(batch, "cancelled during dispatch")
+            raise
+        except BaseException as exc:  # noqa: BLE001 - lifecycle boundary
+            obs.instant("service.dispatch_error",
+                        error=f"{type(exc).__name__}: {exc}")
+            self._fail_unanswered(
+                batch, f"dispatch error: {type(exc).__name__}: {exc}"
+            )
+
+    def _fail_unanswered(self, batch: Batch, reason: str) -> None:
+        """Answer (and un-count) every batch member not yet finished."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for request, future in zip(batch.requests, batch.futures):
+            if getattr(request, "_answered", False):
+                continue
+            self._finish(
+                request,
+                future,
+                Response(
+                    id=request.id,
+                    status="failed",
+                    template=str(getattr(request.template_obj, "name", "")),
+                    workload=getattr(request.workload, "name", ""),
+                    reason=reason,
+                    latency_s=now - request.created_s,
+                    batch_size=batch.size,
+                    route=batch.route,
+                    priority=request.priority,
+                    tenant=request.tenant,
+                ),
+            )
+
+    def _shed(self, batch: Batch, reason: str) -> None:
+        """Answer every member with ``status="shed"`` (deadline missed)."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        obs.instant("service.shed", size=batch.size,
+                    priority=batch.priority, reason=reason)
+        for request, future in zip(batch.requests, batch.futures):
+            self._finish(
+                request,
+                future,
+                Response(
+                    id=request.id,
+                    status="shed",
+                    template=str(getattr(request.template_obj, "name", "")),
+                    workload=getattr(request.workload, "name", ""),
+                    reason=reason,
+                    latency_s=now - request.created_s,
+                    batch_size=batch.size,
+                    priority=request.priority,
+                    tenant=request.tenant,
+                ),
+            )
+
+    def _should_shed(self, batch: Batch) -> str | None:
+        """Deadline-aware scheduling: reason to shed, or None to run.
+
+        A batch is shed when its tightest member deadline already passed,
+        or when the rolling mean execution time predicts the run cannot
+        finish before it.  Predictive shedding drops work *before* paying
+        for it — the paper's admission analogue of cutting a kernel whose
+        launch latency alone would blow the budget.
+        """
+        if not self.config.shed_deadlines:
+            return None
+        deadline_at = batch.deadline_at
+        if deadline_at is None:
+            return None
+        now = asyncio.get_running_loop().time()
+        if now >= deadline_at:
+            return "deadline expired before execution"
+        mean = self.stats.mean_exec_s()
+        if mean > 0.0 and now + mean > deadline_at:
+            return (
+                f"deadline unreachable: {deadline_at - now:.4f}s left, "
+                f"mean execution {mean:.4f}s"
+            )
+        return None
+
+    def _maybe_degrade_for_load(self, batch: Batch) -> bool:
+        """Overload policy: degrade low-priority dynpar batches up front.
+
+        When the in-flight depth crosses ``degrade_pending_threshold``,
+        a ``low``-priority batch whose template uses dynamic parallelism
+        is rewritten to the family's non-nested fallback *before*
+        execution — trading its fidelity for queue headroom, without
+        touching high/normal traffic.
+        """
+        threshold = self.config.degrade_pending_threshold
+        if threshold is None or self._pending < threshold:
+            return False
+        if batch.priority != "low":
+            return False
+        template_obj = batch.requests[0].template_obj
+        if not getattr(template_obj, "uses_dynamic_parallelism", False):
+            return False
+        fallback = DEGRADE_FALLBACK[batch.requests[0].kind]
+        batch.spec = replace(batch.spec, template=fallback)
+        self.stats.record_degraded(priority=batch.priority, under_load=True)
+        obs.instant("service.load_degrade", fallback=fallback,
+                    pending=self._pending, size=batch.size)
+        return True
+
+    async def _dispatch_batch(self, batch: Batch) -> None:
         self.stats.record_batch(batch.size, batch.route)
+        shed_reason = self._should_shed(batch)
+        if shed_reason is not None:
+            self._shed(batch, shed_reason)
+            return
+        load_degraded = self._maybe_degrade_for_load(batch)
         if batch.spec.backend == "queue" and not getattr(
             batch.requests[0].template_obj, "queue_compatible", True
         ):
@@ -348,9 +687,11 @@ class TemplateService:
             for attempt in range(1 + self.config.max_retries):
                 attempts += 1
                 try:
+                    exec_start = time.perf_counter()
                     with obs.span("service.execute", route=batch.route,
                                   attempt=attempts, template=template_name):
                         summary = await self._execute(batch.spec, batch.route)
+                    self.stats.record_exec(time.perf_counter() - exec_start)
                     break
                 except asyncio.CancelledError:
                     raise
@@ -380,7 +721,7 @@ class TemplateService:
                             replace(batch.spec, template=fallback), "inline"
                         )
                     degraded = True
-                    self.stats.record_degraded()
+                    self.stats.record_degraded(priority=batch.priority)
                 except asyncio.CancelledError:
                     raise
                 except BaseException as exc:  # noqa: BLE001 - policy boundary
@@ -403,7 +744,7 @@ class TemplateService:
                     status="ok",
                     template=summary["template"],
                     workload=summary["workload"],
-                    degraded=degraded,
+                    degraded=degraded or load_degraded,
                     time_ms=summary["time_ms"],
                     metrics=summary["metrics"],
                     latency_s=now - request.created_s,
@@ -412,6 +753,8 @@ class TemplateService:
                     route=batch.route if not degraded else "inline",
                     cache_hit=summary.get("cache_hits", 0) > 0,
                     device=device_index,
+                    priority=request.priority,
+                    tenant=request.tenant,
                 )
             else:
                 response = Response(
@@ -424,13 +767,26 @@ class TemplateService:
                     batch_size=batch.size,
                     attempts=attempts,
                     route=batch.route,
+                    priority=request.priority,
+                    tenant=request.tenant,
                 )
             self._finish(request, future, response)
 
     def _finish(self, request: Request, future, response: Response) -> None:
+        if getattr(request, "_answered", False):
+            return
+        request._answered = True
         self._pending -= 1
+        self._class_pending[request.priority] -= 1
+        tenant_left = self._tenant_pending.get(request.tenant, 0) - 1
+        if tenant_left > 0:
+            self._tenant_pending[request.tenant] = tenant_left
+        else:
+            self._tenant_pending.pop(request.tenant, None)
         self.stats.record_depth(self._pending)
-        self.stats.record_response(response.status, response.latency_s)
+        self.stats.record_response(
+            response.status, response.latency_s, priority=request.priority
+        )
         if obs.enabled() and request.created_perf:
             now = time.perf_counter()
             obs.complete(
@@ -441,6 +797,56 @@ class TemplateService:
             )
         if not future.done():
             future.set_result(response)
+
+    # ------------------------------------------------------- autoscaling
+    async def _autoscale_loop(self) -> None:
+        """Elastic device-group sizing from queue-depth and p99 signals.
+
+        Scale **up** when the in-flight depth exceeds
+        ``scale_up_pending_per_device`` per device (or rolling p99 crosses
+        ``scale_up_p99_ms``); scale **down** when depth would comfortably
+        fit on one device fewer and latency is healthy.  Resizes respect
+        ``min_devices``/``max_devices`` and a cooldown, and the group only
+        ever removes an idle member, so a device with in-flight batches is
+        never torn down (see DeviceGroup.remove_member).
+        """
+        loop = asyncio.get_running_loop()
+        last_change = loop.time() - self.config.scale_cooldown_s
+        while True:
+            await asyncio.sleep(self.config.scale_check_interval_s)
+            now = loop.time()
+            if now - last_change < self.config.scale_cooldown_s:
+                continue
+            n = self.device_group.n_devices
+            p99 = self.stats.rolling_p99_ms()
+            overloaded = (
+                self._pending >= self.config.scale_up_pending_per_device * n
+            )
+            if not overloaded and self.config.scale_up_p99_ms is not None:
+                overloaded = p99 > self.config.scale_up_p99_ms
+            if overloaded and n < self.config.max_devices:
+                self.device_group.add_member()
+                self.pool.resize(max(self.config.workers, n + 1))
+                self.stats.record_scale(up=True)
+                obs.instant("service.scale_up", devices=n + 1,
+                            pending=self._pending)
+                last_change = now
+                continue
+            if n > self.config.min_devices:
+                fits_smaller = self._pending * 2 <= (
+                    self.config.scale_up_pending_per_device * (n - 1)
+                )
+                latency_ok = (
+                    self.config.scale_up_p99_ms is None
+                    or p99 <= self.config.scale_up_p99_ms
+                )
+                if fits_smaller and latency_ok \
+                        and self.device_group.remove_member():
+                    self.pool.resize(max(self.config.workers, n - 1))
+                    self.stats.record_scale(up=False)
+                    obs.instant("service.scale_down", devices=n - 1,
+                                pending=self._pending)
+                    last_change = now
 
     # ----------------------------------------------------------- metrics
     def snapshot(self) -> dict:
@@ -461,6 +867,8 @@ class TemplateService:
             snap["obs"] = obs.summary()
         if self.device_group is not None:
             snap["devices"] = self.device_group.snapshot()
+        if self._queue is not None:
+            snap["queue"] = {"per_class": self._queue.sizes()}
         snap["config"] = {
             "max_pending": self.config.max_pending,
             "max_batch": self.config.max_batch,
@@ -470,5 +878,15 @@ class TemplateService:
             "engine": self.config.engine,
             "backend": self.config.backend,
             "devices": self.config.devices,
+            "default_priority": self.config.default_priority,
+            "tenant_quota": self.config.tenant_quota,
+            "default_deadline_s": self.config.default_deadline_s,
+            "shed_deadlines": self.config.shed_deadlines,
+            "degrade_pending_threshold":
+                self.config.degrade_pending_threshold,
+            "autoscale": self.config.autoscale,
+            "min_devices": self.config.min_devices,
+            "max_devices": self.config.max_devices,
+            "drain_timeout_s": self.config.drain_timeout_s,
         }
         return snap

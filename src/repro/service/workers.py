@@ -169,6 +169,23 @@ class WorkerPool:
             self._pool = self._factory(self.max_workers)
         return self._pool
 
+    def resize(self, max_workers: int) -> None:
+        """Change the pool size; takes effect at the next (re)spawn.
+
+        The autoscaler calls this alongside device-group resizes.  An
+        existing executor is recycled only when *growing* — shrinking
+        just lowers the size the next respawn uses, so in-flight batches
+        are never abandoned to shed idle capacity.
+        """
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        if max_workers == self.max_workers:
+            return
+        grew = max_workers > self.max_workers
+        self.max_workers = max_workers
+        if grew and self._pool is not None:
+            self.recycle()
+
     def recycle(self) -> None:
         """Replace the executor; old workers finish (or die) detached.
 

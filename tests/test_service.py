@@ -4,6 +4,7 @@ and the synchronous handle (fault injection lives in
 
 import asyncio
 import concurrent.futures
+import time
 
 import numpy as np
 import pytest
@@ -14,10 +15,12 @@ from repro.core.workload import AccessStream, NestedLoopWorkload
 from repro.errors import ServiceError, WorkloadError
 from repro.service import (
     MicroBatcher,
+    PriorityClassQueue,
     Request,
     ServiceConfig,
     ServiceHandle,
     TemplateService,
+    execute_batch,
     percentile,
     percentiles,
     workload_cost,
@@ -291,6 +294,171 @@ class TestServiceHandle:
             ServiceConfig(engine="warp")
         with pytest.raises(ServiceError):
             ServiceConfig(retry_backoff_s=-1)
+
+
+class TestPriorityQueue:
+    def test_strict_priority_dequeue(self):
+        q = PriorityClassQueue()
+        for priority in ("low", "normal", "high", "low", "high"):
+            request = type("R", (), {"priority": priority})()
+            q.put_nowait((request, priority))
+        drained = [q.get_nowait()[1] for _ in range(q.qsize())]
+        assert drained == ["high", "high", "normal", "low", "low"]
+        assert q.empty()
+
+    def test_requeue_front_preserves_fifo_within_class(self):
+        q = PriorityClassQueue()
+        items = []
+        for i, priority in enumerate(("normal", "normal", "high")):
+            request = type("R", (), {"priority": priority})()
+            items.append((request, (priority, i)))
+            q.put_nowait(items[-1])
+        window = [q.get_nowait() for _ in range(2)]  # high, normal#0
+        q.requeue_front(window)
+        order = [q.get_nowait()[1] for _ in range(3)]
+        assert order == [("high", 2), ("normal", 0), ("normal", 1)]
+
+
+class TestSLOScheduling:
+    def test_priority_separates_batch_identities(self, workload):
+        batcher = MicroBatcher()
+        reqs = [
+            Request(template="dbuf-global", workload=workload,
+                    priority=priority)
+            for priority in ("high", "high", "low")
+        ]
+        batches = batcher.group([(r, None) for r in reqs])
+        assert sorted(b.size for b in batches) == [1, 2]
+        assert {b.priority for b in batches} == {"high", "low"}
+
+    def test_class_bound_rejects_with_kind(self, workload):
+        def slow(spec):
+            time.sleep(0.1)
+            return execute_batch(spec)
+
+        async def scenario(service):
+            blocker = asyncio.create_task(
+                service.submit("dual-queue", workload, priority="low"))
+            await asyncio.sleep(0.03)
+            low = await service.submit("dual-queue", workload, priority="low")
+            high = await service.submit("dual-queue", workload,
+                                        priority="high")
+            return await blocker, low, high, service.snapshot()
+
+        blocker, low, high, stats = run_service(
+            scenario,
+            ServiceConfig(max_pending_per_class={"low": 1},
+                          batch_window_s=0.0),
+            run_fn=slow,
+        )
+        assert blocker.ok and high.ok
+        assert low.status == "rejected"
+        assert "class full" in low.reason
+        assert low.priority == "low" and low.id >= 0
+        assert stats["requests"]["class_rejected"] == 1
+        assert stats["classes"]["low"]["rejected"] == 1
+        assert stats["classes"]["high"]["succeeded"] == 1
+
+    def test_tenant_quota_rejects_with_kind(self, workload):
+        def slow(spec):
+            time.sleep(0.1)
+            return execute_batch(spec)
+
+        async def scenario(service):
+            blocker = asyncio.create_task(
+                service.submit("dual-queue", workload, tenant="acme"))
+            await asyncio.sleep(0.03)
+            over = await service.submit("dual-queue", workload, tenant="acme")
+            other = await service.submit("dual-queue", workload,
+                                         tenant="globex")
+            return await blocker, over, other, service.snapshot()
+
+        blocker, over, other, stats = run_service(
+            scenario,
+            ServiceConfig(tenant_quotas={"acme": 1}, batch_window_s=0.0),
+            run_fn=slow,
+        )
+        assert blocker.ok and other.ok
+        assert over.status == "rejected"
+        assert "tenant quota" in over.reason and over.tenant == "acme"
+        assert stats["requests"]["quota_rejected"] == 1
+
+    def test_expired_deadline_is_shed(self, workload):
+        async def scenario(service):
+            response = await service.submit("dual-queue", workload,
+                                            deadline_s=0.001)
+            return response, service.snapshot()
+
+        response, stats = run_service(
+            scenario, ServiceConfig(batch_window_s=0.05))
+        assert response.status == "shed" and not response.ok
+        assert "deadline" in response.reason
+        assert stats["requests"]["shed"] == 1
+        assert stats["requests"]["served"] == 1  # shed is a terminal answer
+
+    def test_shedding_disabled_runs_late_work(self, workload):
+        async def scenario(service):
+            return await service.submit("dual-queue", workload,
+                                        deadline_s=0.001)
+
+        response = run_service(
+            scenario,
+            ServiceConfig(batch_window_s=0.05, shed_deadlines=False))
+        assert response.ok
+
+    def test_low_priority_dynpar_degrades_under_load(self, workload):
+        async def scenario(service):
+            low = await service.submit("dpar-opt", workload, priority="low")
+            high = await service.submit("dpar-opt", workload, priority="high")
+            return low, high, service.snapshot()
+
+        low, high, stats = run_service(
+            scenario, ServiceConfig(degrade_pending_threshold=1))
+        assert low.ok and low.degraded
+        # ThreadMappedTemplate's historical .name is "baseline"
+        assert low.template == "baseline"
+        assert high.ok and not high.degraded  # only low traffic pays
+        assert stats["requests"]["load_degraded"] == 1
+
+    def test_autoscaler_grows_the_device_group(self, workload):
+        def slow(spec):
+            time.sleep(0.3)
+            return execute_batch(spec)
+
+        async def scenario(service):
+            tasks = [
+                asyncio.create_task(service.submit("dual-queue", workload))
+                for _ in range(6)
+            ]
+            await asyncio.sleep(0.15)  # several evaluations, work in flight
+            under_load = service.snapshot()
+            responses = await asyncio.gather(*tasks)
+            return responses, under_load, service.snapshot()
+
+        responses, under_load, final = run_service(
+            scenario,
+            ServiceConfig(
+                devices=1, autoscale=True, max_devices=3,
+                scale_up_pending_per_device=1, scale_check_interval_s=0.01,
+                scale_cooldown_s=0.02, batch_window_s=0.0, max_batch=1,
+            ),
+            run_fn=slow,
+        )
+        assert all(r.ok for r in responses)
+        assert under_load["autoscaler"]["scale_ups"] >= 1
+        assert under_load["devices"]["devices"] >= 2
+        # bounds respected throughout; may have scaled back down when idle
+        assert 1 <= final["devices"]["devices"] <= 3
+
+    def test_response_echoes_slo_metadata(self, workload):
+        async def scenario(service):
+            return await service.submit(
+                "dual-queue", workload, tenant="acme", priority="high",
+                deadline_s=30.0)
+
+        response = run_service(scenario)
+        assert response.ok
+        assert response.tenant == "acme" and response.priority == "high"
 
 
 class TestPercentiles:

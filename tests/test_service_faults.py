@@ -16,6 +16,7 @@ import pytest
 
 import repro
 from repro.core.workload import AccessStream, NestedLoopWorkload
+from repro.errors import ServiceError
 from repro.service import (
     BatchSpec,
     ServiceConfig,
@@ -317,3 +318,184 @@ class TestStopBehaviour:
         responses = asyncio.run(driver())
         # every submitted request got *an* answer — none hang forever
         assert all(r.status in ("ok", "rejected") for r in responses)
+
+
+class TestDispatchCrash:
+    """Failures the retry loop does not model must never leak futures."""
+
+    def test_malformed_summary_yields_failed_response(self, workload):
+        """run_fn returning garbage used to kill the dispatch task,
+
+        leaving the member futures unanswered and ``_pending`` stuck —
+        ``stop(drain=True)`` then spun forever.  The dispatch wrapper now
+        converts the escaping ``KeyError`` into structured failures.
+        """
+        def malformed(spec):
+            return {}  # no template/time_ms/metrics keys
+
+        async def scenario(service):
+            response = await service.submit("dual-queue", workload)
+            return response, service.pending, service.snapshot()
+
+        response, pending_after, stats = run_service(
+            scenario,
+            ServiceConfig(max_retries=0, retry_backoff_s=0.001,
+                          drain_timeout_s=1.0),
+            run_fn=malformed,
+        )
+        assert response.status == "failed" and not response.ok
+        assert "dispatch error" in response.reason
+        assert "KeyError" in response.reason
+        assert pending_after == 0  # books un-counted, not leaked
+        assert stats["requests"]["failed"] == 1
+        assert stats["requests"]["served"] == 1
+
+    def test_crash_during_dispatch_then_drain_stop_returns(self, workload):
+        """stop(drain=True) must return promptly after a dispatch crash."""
+        def malformed(spec):
+            return {"time_ms": None}  # still missing response keys
+
+        async def driver():
+            service = TemplateService(
+                ServiceConfig(max_retries=0, retry_backoff_s=0.001,
+                              batch_window_s=0.0),
+                run_fn=malformed,
+            )
+            await service.start()
+            tasks = [
+                asyncio.create_task(service.submit("dual-queue", workload))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0.05)
+            t0 = time.perf_counter()
+            await service.stop(drain=True)
+            stop_s = time.perf_counter() - t0
+            return await asyncio.gather(*tasks), stop_s
+
+        responses, stop_s = asyncio.run(driver())
+        assert all(r.status in ("failed", "rejected") for r in responses)
+        assert stop_s < 5.0  # pre-fix this hung for drain_timeout_s (30s)
+
+    def test_wedged_dispatch_is_bounded_by_drain_timeout(self, workload):
+        """A run_fn that never returns cannot wedge stop(drain=True)."""
+        def hang(spec):
+            time.sleep(0.4)  # far beyond the drain bound
+            return execute_batch(spec)
+
+        async def driver():
+            service = TemplateService(
+                ServiceConfig(request_timeout_s=None, drain_timeout_s=0.05,
+                              batch_window_s=0.0),
+                run_fn=hang,
+            )
+            await service.start()
+            task = asyncio.create_task(service.submit("dual-queue", workload))
+            await asyncio.sleep(0.02)
+            t0 = time.perf_counter()
+            await service.stop(drain=True)
+            stop_s = time.perf_counter() - t0
+            return await task, stop_s
+
+        response, stop_s = asyncio.run(driver())
+        assert response.status == "failed"
+        assert "cancelled" in response.reason
+        assert stop_s < 0.4  # bounded by drain_timeout_s, not the hang
+
+
+class TestRejectionIds:
+    def test_rejections_carry_real_monotonic_ids(self, workload):
+        """Structured rejections used to share the sentinel id=-1."""
+        def slow(spec):
+            time.sleep(0.08)
+            return execute_batch(spec)
+
+        async def scenario(service):
+            first = asyncio.create_task(
+                service.submit("dual-queue", workload))
+            await asyncio.sleep(0.02)  # let it be admitted + dispatched
+            rejected = [
+                await service.submit("dual-queue", workload)
+                for _ in range(3)
+            ]
+            return await first, rejected
+
+        ok, rejected = run_service(
+            scenario,
+            ServiceConfig(max_pending=1, batch_window_s=0.0),
+            run_fn=slow,
+        )
+        assert ok.ok and ok.id == 0
+        assert [r.status for r in rejected] == ["rejected"] * 3
+        ids = [r.id for r in rejected]
+        assert ids == [1, 2, 3]  # real, distinct, monotonic — never -1
+
+    def test_drain_false_rejections_echo_request_ids(self, workload):
+        def slow(spec):
+            time.sleep(0.1)
+            return execute_batch(spec)
+
+        async def driver():
+            service = TemplateService(
+                ServiceConfig(batch_window_s=0.0, max_batch=1), run_fn=slow)
+            await service.start()
+            tasks = [
+                asyncio.create_task(service.submit("dual-queue", workload))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0.02)
+            await service.stop(drain=False)
+            return await asyncio.gather(*tasks)
+
+        responses = asyncio.run(driver())
+        assert sorted(r.id for r in responses) == [0, 1, 2, 3]
+        assert all(r.id >= 0 for r in responses)
+
+
+class TestConfigValidation:
+    """ServiceConfig gaps that used to slip through to runtime faults."""
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(workers=0), "workers must be >= 1"),
+            (dict(workers=-2), "workers must be >= 1"),
+            (dict(request_timeout_s=0), "request_timeout_s must be positive"),
+            (dict(request_timeout_s=-1.5),
+             "request_timeout_s must be positive"),
+            (dict(stats_window=0), "stats_window must be >= 1"),
+            # exact wording MicroBatcher itself uses
+            (dict(inline_cost_threshold=-1),
+             "inline_cost_threshold cannot be negative"),
+            (dict(drain_timeout_s=0), "drain_timeout_s must be positive"),
+            (dict(default_priority="urgent"), "unknown priority"),
+            (dict(max_pending_per_class={"urgent": 4}), "unknown priority"),
+            (dict(max_pending_per_class={"low": 0}), "must be >= 1"),
+            (dict(tenant_quota=0), "tenant_quota must be >= 1"),
+            (dict(tenant_quotas={"acme": 0}), "must be >= 1"),
+            (dict(default_deadline_s=0), "default_deadline_s"),
+            (dict(degrade_pending_threshold=0), "degrade_pending_threshold"),
+            (dict(autoscale=True, devices=2, max_devices=1),
+             "autoscale bounds"),
+            (dict(autoscale=True, backend="queue"), "single-device"),
+            (dict(autoscale=True, max_devices=2, scale_check_interval_s=0),
+             "scale_check_interval_s"),
+            (dict(autoscale=True, max_devices=2,
+                  scale_up_pending_per_device=0),
+             "scale_up_pending_per_device"),
+            (dict(autoscale=True, max_devices=2, scale_cooldown_s=-1),
+             "scale_cooldown_s"),
+        ],
+    )
+    def test_invalid_config_fails_fast(self, kwargs, match):
+        with pytest.raises(ServiceError, match=match):
+            ServiceConfig(**kwargs)
+
+    def test_valid_boundary_values_accepted(self):
+        config = ServiceConfig(
+            workers=1, stats_window=1, inline_cost_threshold=0,
+            request_timeout_s=None, drain_timeout_s=None,
+            tenant_quota=1, max_pending_per_class={"low": 1},
+            degrade_pending_threshold=1,
+        )
+        assert config.workers == 1
+        assert config.min_devices == config.max_devices == config.devices

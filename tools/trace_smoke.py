@@ -107,7 +107,7 @@ def check_service_invariants() -> None:
             + requests["admission_rejected"]:
         fail(f"service books do not balance: {requests}")
     terminal = requests["succeeded"] + requests["failed"] \
-        + requests["drain_rejected"]
+        + requests["drain_rejected"] + requests["shed"]
     if requests["served"] != terminal:
         fail(f"served != terminal statuses: {requests}")
     pool = stats["pool"]

@@ -4,12 +4,12 @@ PYTHON ?= python
 # make targets work from a clean checkout, without `pip install -e .`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test lint bench bench-smoke bench-service bench-multidevice bench-queue bench-slo trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke slo-smoke experiments examples results clean
+.PHONY: install test lint bench bench-smoke bench-service bench-multidevice bench-queue bench-slo bench-fuse trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke slo-smoke fuse-smoke experiments examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke slo-smoke
+test: lint bench-smoke trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke slo-smoke fuse-smoke
 	$(PYTHON) -m pytest tests/
 
 # ruff when installed, stdlib fallback (syntax, unused imports, debug
@@ -21,11 +21,14 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # tiny harness-speed run: exercises the process-parallel runner, plan
-# cache and two-level disk-cache mode end-to-end, then gates against the
-# recorded smoke baseline in BENCH_harness_speed.json (fails loudly on a
-# >25% speedup regression in either the fast or the two-level mode)
+# cache, two-level disk-cache mode and the fused executor pass
+# end-to-end, then gates against the recorded smoke baseline in
+# BENCH_harness_speed.json (fails loudly on a >40% speedup regression in
+# the fast, two-level or fused mode; smoke-scale walls are sub-second,
+# so the tolerance absorbs process-spawn scheduling noise)
 bench-smoke:
 	$(PYTHON) benchmarks/bench_harness_speed.py --smoke \
+		--gate-tolerance 0.4 \
 		--out .bench_smoke.json --gate BENCH_harness_speed.json
 
 # disk artifact cache end-to-end: a second process must hit the plan/run
@@ -60,6 +63,13 @@ queue-smoke:
 ir-smoke:
 	$(PYTHON) tools/ir_smoke.py
 
+# fused batch execution end-to-end: execute_fused over a mixed batch
+# (block-mapped + dynamic-parallelism graphs) bit-identical to sequential
+# runs, empty/singleton demux, vectorized == serial placement, backend
+# accounting, and the executor.fused_graphs counter
+fuse-smoke:
+	$(PYTHON) tools/fuse_smoke.py
+
 # serving-layer throughput: micro-batched repro.serve vs per-request
 # repro.run; acceptance requires the batched path to win by >= 2x
 bench-service:
@@ -81,6 +91,13 @@ bench-queue:
 bench-slo:
 	$(PYTHON) benchmarks/bench_slo_serving.py --min-p99-ratio 3.0
 
+# fused executor path at smoke scale: the Fig. 4 sweep as one fused
+# in-process pass per rep vs the two-level pooled pipeline, bit-exact
+# tables; acceptance requires >= 1.3x (full scale records >= 2x in
+# BENCH_fused_executor.json)
+bench-fuse:
+	$(PYTHON) benchmarks/bench_fused_executor.py --smoke --min-speedup 1.3
+
 # tiny version of bench-slo wired into `make test`: same two-sided run,
 # relaxed 1.3x floor (the small mix is noisier), scratch output file
 slo-smoke:
@@ -99,5 +116,5 @@ examples:
 results: experiments
 
 clean:
-	rm -rf results .pytest_cache .benchmarks .bench_smoke.json .bench_slo_smoke.json
+	rm -rf results .pytest_cache .benchmarks .bench_smoke.json .bench_slo_smoke.json .bench_fuse_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

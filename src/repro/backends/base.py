@@ -133,6 +133,16 @@ class Backend(ABC):
     def submit(self, graph: LaunchGraph) -> ExecutionResult:
         """Execute one launch graph and return its timing + counters."""
 
+    def submit_many(self, graphs: list[LaunchGraph]) -> list[ExecutionResult]:
+        """Execute a batch of launch graphs; results align with ``graphs``.
+
+        The default runs each graph through :meth:`submit` sequentially.
+        Backends that can amortize work across a batch (one fused event
+        loop, one device pass) override this — results must stay
+        bit-identical to the sequential path.
+        """
+        return [self.submit(graph) for graph in graphs]
+
     def fingerprint(self) -> str:
         """Repr-stable identity for cache keys incorporating the backend.
 

@@ -218,6 +218,46 @@ class DeviceGroup(Backend):
             with self._lock:
                 self._inflight[i] -= 1
 
+    def submit_many(self, graphs: list[LaunchGraph]) -> list[ExecutionResult]:
+        """Spread a batch over members, fusing each member's share.
+
+        Graphs are dealt greedily: each graph goes to the member that is
+        least loaded *including the graphs already dealt this batch*, then
+        every member executes its share as one fused pass.  Results come
+        back in input order; each graph's result is bit-identical to a
+        standalone :meth:`submit` on that member.
+        """
+        if not graphs:
+            return []
+        with self._lock:
+            avg = (sum(m.busy_ms for m in self.members)
+                   / len(self.members)) or 1.0
+            load = [
+                m.busy_ms + self._inflight[i] * avg
+                for i, m in enumerate(self.members)
+            ]
+            shares: list[list[int]] = [[] for _ in self.members]
+            for pos in range(len(graphs)):
+                i = min(range(len(self.members)), key=lambda j: (load[j], j))
+                shares[i].append(pos)
+                load[i] += avg
+                self._inflight[i] += 1
+        results: list[ExecutionResult | None] = [None] * len(graphs)
+        try:
+            for i, share in enumerate(shares):
+                if not share:
+                    continue
+                member_results = self.members[i].submit_many(
+                    [graphs[pos] for pos in share]
+                )
+                for pos, result in zip(share, member_results):
+                    results[pos] = result
+        finally:
+            with self._lock:
+                for i, share in enumerate(shares):
+                    self._inflight[i] -= len(share)
+        return results
+
     def snapshot(self) -> dict:
         """Per-device load counters (for service/bench stats)."""
         with self._lock:

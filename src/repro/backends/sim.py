@@ -94,13 +94,23 @@ class SimBackend(Backend):
 
     def submit(self, graph: LaunchGraph) -> ExecutionResult:
         result = self.executor.run(graph)
+        self._account(result)
+        return result
+
+    def submit_many(self, graphs: list[LaunchGraph]) -> list[ExecutionResult]:
+        """Execute ``graphs`` as one fused executor pass (bit-exact)."""
+        results = self.executor.run_many(graphs)
+        for result in results:
+            self._account(result)
+        return results
+
+    def _account(self, result: ExecutionResult) -> None:
         self.busy_ms += result.time_ms
         self.submissions += 1
         if self.device_index is not None:
             i = self.device_index
             obs.add_counter(f"device.{i}.launches", result.n_launches)
             obs.add_counter(f"device.{i}.busy_cycles", result.sm_busy_cycles)
-        return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         idx = "" if self.device_index is None else f" index={self.device_index}"

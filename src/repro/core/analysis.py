@@ -63,6 +63,7 @@ class WorkloadAnalysis:
         self._segments = stream_segments
         self._partitions: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._trip_cumsum: np.ndarray | None = None
+        self._seg_spans: dict[int, int] = {}
 
     def trip_summary(self) -> tuple[int, int, int, int]:
         """``(count, total, lo, hi)`` of the inner loop — the trip-count
@@ -118,6 +119,25 @@ class WorkloadAnalysis:
     def stream_segments(self, stream_index: int) -> np.ndarray:
         """Precomputed segment ids of one access stream (pair order)."""
         return self._segments[stream_index]
+
+    def stream_seg_span(self, stream_index: int) -> int:
+        """Segment-id span (max + 1) of one stream, memoized.
+
+        Every subset of the stream stays below this bound, so the mapping
+        layer can hand it to :func:`~repro.gpusim.coalesce.transaction_counts`
+        as a trusted span instead of re-scanning the subset per parameter
+        point.
+        """
+        # getattr: instances unpickled from an older disk cache lack the slot
+        spans = getattr(self, "_seg_spans", None)
+        if spans is None:
+            spans = self._seg_spans = {}
+        span = spans.get(stream_index)
+        if span is None:
+            segments = self._segments[stream_index]
+            span = int(segments.max()) + 1 if segments.size else 1
+            spans[stream_index] = span
+        return span
 
 
 class TreeAnalysis:

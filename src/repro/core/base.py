@@ -20,7 +20,10 @@ from repro.gpusim.executor import ExecutionResult, get_default_engine
 from repro.gpusim.kernels import LaunchGraph
 from repro.gpusim.profiler import ProfileMetrics, profile
 
-__all__ = ["TemplateRun", "NestedLoopTemplate", "check_schedule", "plan_key"]
+__all__ = [
+    "TemplateRun", "NestedLoopTemplate", "check_schedule", "plan_key",
+    "run_many",
+]
 
 
 def plan_key(
@@ -91,6 +94,51 @@ def check_schedule(schedule: dict[str, np.ndarray], outer_size: int) -> None:
         raise PlanError("schedule assigns some iteration twice")
     if not seen.all():
         raise PlanError("schedule drops iterations")
+
+
+@dataclass
+class _PreparedRun:
+    """A template run with its plan resolved but execution still pending.
+
+    The single-device half of :meth:`NestedLoopTemplate.run`, split out so
+    batch entry points (:func:`run_many`, the service fusion path) can
+    resolve many plans first, execute every run-tier miss as **one** fused
+    backend pass, and only then finalize — without duplicating any of the
+    plan-cache / disk-cache / run-tier logic.
+    """
+
+    template: "NestedLoopTemplate"
+    workload: NestedLoopWorkload
+    config: DeviceConfig
+    params: TemplateParams
+    graph: LaunchGraph
+    schedule: dict[str, np.ndarray]
+    #: run-tier key when the disk run tier applies to this run, else None
+    run_key: tuple | None
+    #: cached execution result (run-tier hit), or None when a live
+    #: execution is still needed
+    result: ExecutionResult | None
+
+    def record(self, result: ExecutionResult) -> None:
+        """Attach a live execution result, persisting it to the run tier."""
+        self.result = result
+        if self.run_key is not None:
+            disk = get_artifact_cache()
+            if disk is not None:
+                disk.put("run", self.run_key, result)
+
+    def finish(self) -> TemplateRun:
+        """Profile the (now present) result and assemble the TemplateRun."""
+        metrics = profile(self.graph, self.result, self.config)
+        return TemplateRun(
+            template=self.template.name,
+            workload=self.workload.name,
+            graph=self.graph,
+            result=self.result,
+            metrics=metrics,
+            schedule=self.schedule,
+            params=self.params,
+        )
 
 
 class NestedLoopTemplate(ABC):
@@ -175,6 +223,27 @@ class NestedLoopTemplate(ABC):
             if merged is not None:
                 return merged
             backend = backend.members[0]
+        prep = self._prepare(workload, config, params, backend)
+        if prep.result is None:
+            prep.record(backend.submit(prep.graph))
+        return prep.finish()
+
+    def _prepare(
+        self,
+        workload: NestedLoopWorkload,
+        config: DeviceConfig,
+        params: TemplateParams,
+        backend,
+    ) -> _PreparedRun:
+        """Resolve the plan and probe the run tier; execution stays pending.
+
+        Single source of the caching ladder: process plan cache → disk
+        plan tier → live build, then a disk run-tier probe (skipped when a
+        timeline or tracing is requested, which needs a live run).  The
+        returned :class:`_PreparedRun` carries ``result`` when the run
+        tier hit; callers execute the graph themselves otherwise — one at
+        a time (:meth:`run`) or fused (:func:`run_many`).
+        """
         cache = default_cache()
         key = plan_key(self, workload.fingerprint(), config, params)
         disk = get_artifact_cache()
@@ -203,6 +272,7 @@ class NestedLoopTemplate(ABC):
             and not backend.record_timeline
             and not obs.enabled()
         )
+        run_key = None
         result = None
         if use_run_tier:
             run_key = (key, backend.engine or get_default_engine())
@@ -212,19 +282,15 @@ class NestedLoopTemplate(ABC):
             if tag is not None:
                 run_key = run_key + (tag,)
             result = disk.get("run", run_key)
-        if result is None:
-            result = backend.submit(graph)
-            if use_run_tier:
-                disk.put("run", run_key, result)
-        metrics = profile(graph, result, config)
-        return TemplateRun(
-            template=self.name,
-            workload=workload.name,
-            graph=graph,
-            result=result,
-            metrics=metrics,
-            schedule=schedule,
+        return _PreparedRun(
+            template=self,
+            workload=workload,
+            config=config,
             params=params,
+            graph=graph,
+            schedule=schedule,
+            run_key=run_key,
+            result=result,
         )
 
     # convenience used by all subclasses
@@ -239,3 +305,54 @@ class NestedLoopTemplate(ABC):
                 f"({max_blocks}); enlarge TemplateParams.max_grid_blocks"
             )
         return blocks
+
+
+def run_many(
+    items,
+    config: DeviceConfig,
+    *,
+    backend=None,
+    executor=None,
+) -> list[TemplateRun]:
+    """Execute several template runs, fusing executor passes where legal.
+
+    ``items`` is a sequence of ``(template, workload)`` or ``(template,
+    workload, params)`` tuples sharing one device config.  Every item goes
+    through the same caching ladder as :meth:`NestedLoopTemplate.run`;
+    the run-tier *misses* that land on the same single-device backend are
+    then executed as **one** fused event-loop pass via
+    :meth:`~repro.backends.Backend.submit_many` instead of N sequential
+    passes.  Results are bit-identical to calling ``run`` per item (fused
+    lanes share only the event heap, never state) and come back in input
+    order.
+
+    Items whose effective backend cannot fuse — multi-device groups (they
+    shard whole workloads) or per-item fallback backends — drop back to
+    the plain per-item ``run`` path.
+    """
+    base = coerce_backend(backend, executor, config)
+    runs: list[TemplateRun | None] = [None] * len(items)
+    pending: list[tuple[int, object, _PreparedRun]] = []
+    for idx, item in enumerate(items):
+        template, workload = item[0], item[1]
+        params = (item[2] if len(item) > 2 else None) or TemplateParams()
+        eff = effective_backend(base, template)
+        if eff.n_devices > 1:
+            runs[idx] = template.run(workload, config, params, backend=eff)
+            continue
+        prep = template._prepare(workload, config, params, eff)
+        if prep.result is not None:
+            runs[idx] = prep.finish()
+        else:
+            pending.append((idx, eff, prep))
+    # one fused pass per distinct backend object (queue->sim fallbacks may
+    # materialize per item; identity grouping keeps each pass coherent)
+    groups: dict[int, tuple[object, list[tuple[int, _PreparedRun]]]] = {}
+    for idx, eff, prep in pending:
+        groups.setdefault(id(eff), (eff, []))[1].append((idx, prep))
+    for eff, members in groups.values():
+        results = eff.submit_many([prep.graph for _, prep in members])
+        for (idx, prep), result in zip(members, results):
+            prep.record(result)
+            runs[idx] = prep.finish()
+    return runs

@@ -121,14 +121,16 @@ def _bulk_single_block_children(
     tx_per_child = np.zeros(n_children, dtype=np.float64)
     load_traffic = MemoryTraffic(segment_bytes=config.mem_segment_bytes)
     store_traffic = MemoryTraffic(segment_bytes=config.mem_segment_bytes)
+    group_span = n_children * max_chunk * wpb
     for si, stream in enumerate(workload.streams):
         if analysis is not None:
             addr, segments = None, analysis.stream_segments(si)[pair_idx]
+            spans = (group_span, analysis.stream_seg_span(si))
         else:
-            addr, segments = stream.addresses[pair_idx], None
+            addr, segments, spans = stream.addresses[pair_idx], None, None
         tx = transaction_counts(child, group, addr, n_children,
                                 agg_divisor=max_chunk * wpb,
-                                segments=segments)
+                                segments=segments, spans=spans)
         tx_per_child += tx
         record = MemoryTraffic(
             requested_bytes=int(pair_idx.size) * stream.element_bytes,
@@ -163,6 +165,166 @@ def _bulk_single_block_children(
         + atomic_cycles
     )
     return block_cycles, stats, [load_traffic, store_traffic], atomic_stats
+
+
+def _bulk_opt_children(
+    workload: NestedLoopWorkload,
+    large: np.ndarray,
+    spawning_blocks: np.ndarray,
+    buffered_counts: np.ndarray,
+    config: DeviceConfig,
+    params: TemplateParams,
+    parent: int,
+    graph: LaunchGraph,
+    analysis=None,
+) -> None:
+    """Build every dpar-opt child launch from one vectorized pass.
+
+    Each child grid block-maps exactly one buffered large iteration (block
+    ids are ``arange`` within the child), so the per-block divergence and
+    coalescing math is identical for every row regardless of which child
+    owns it.  This costs all rows at once — one ``pairs_of`` walk, one
+    ``transaction_counts`` call per stream — and assembles each child's
+    builder from slices, bit-identical to per-child
+    :func:`~repro.core.mapping.add_block_mapped_inner` builds: transaction
+    counts are integers, each per-warp array receives the same
+    single-expression adds, and every counter reproduces the per-call
+    int/round semantics of the serial path.
+
+    ``large`` must be ascending (it is: partitions sort their ids), which
+    makes the concatenation of the children's member lists equal ``large``
+    itself — owner blocks ``large // thread_block`` are monotone.
+    """
+    B = params.lb_block
+    ws = config.warp_size
+    wpb = -(-B // ws)
+    n_rows = large.size
+    n_children = int(spawning_blocks.size)
+    cg = min(n_children, config.max_concurrent_kernels)
+    trips = workload.subset_trips(large)
+
+    # per-(row, warp) divergence in closed form: lane L strides
+    # ceil(max(f - L, 0) / B) iterations, non-increasing in L, so the warp
+    # max is the first lane's value (lane w*ws, always < B for w < wpb);
+    # and summed over all lanes each inner iteration lands on exactly one
+    # lane, so the active-slot total per row is just its trip count
+    first_lane = (np.arange(wpb, dtype=np.int64) * ws)[None, :]
+    issued = np.clip((trips[:, None] - first_lane + B - 1) // B, 0, None)
+    issued_flat = issued.reshape(n_rows * wpb)
+    row_active = trips
+    compute_flat = issued_flat * workload.inner_insts
+
+    # exact coalescing for all rows at once; groups are the serial path's
+    # (block, chunk, warp) issue slots under a globally injective packing
+    pair_idx, steps = workload.pairs_of(large)
+    mem_flat = np.zeros(n_rows * wpb, dtype=np.float64)
+    stream_tx: list[np.ndarray] = []
+    if pair_idx.size:
+        row = np.repeat(np.arange(n_rows, dtype=np.int64), trips)
+        chunk = steps // B
+        warp_in_row = (steps % B) // ws
+        max_chunk = int(chunk.max()) + 1
+        agg = row * wpb + warp_in_row
+        group = agg * max_chunk + chunk
+        group_span = n_rows * wpb * max_chunk
+        for si, stream in enumerate(workload.streams):
+            if analysis is not None:
+                addr, segments = None, analysis.stream_segments(si)[pair_idx]
+                spans = (group_span, analysis.stream_seg_span(si))
+            else:
+                addr, segments, spans = stream.addresses[pair_idx], None, None
+            tx = transaction_counts(agg, group, addr, n_rows * wpb,
+                                    agg_divisor=max_chunk,
+                                    segments=segments, spans=spans)
+            stream_tx.append(tx)
+            mem_flat += tx
+
+    # per-child boundaries (rows, warps, pairs) and exact integer sums
+    starts = np.zeros(n_children + 1, dtype=np.int64)
+    np.cumsum(buffered_counts, out=starts[1:])
+    warp_starts = starts * wpb
+    trips_cum = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(trips, out=trips_cum[1:])
+    issued_cum = np.zeros(n_rows * wpb + 1, dtype=np.int64)
+    np.cumsum(issued_flat, out=issued_cum[1:])
+    active_cum = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(row_active, out=active_cum[1:])
+    tx_cums = []
+    for tx in stream_tx:
+        c = np.zeros(n_rows * wpb + 1, dtype=np.int64)
+        np.cumsum(tx, out=c[1:])
+        tx_cums.append(c)
+
+    # the outer-setup effect depends only on the child's block count; the
+    # few distinct counts are costed once through the real code path
+    setup_cache: dict[int, tuple] = {}
+
+    def setup_for(count: int):
+        eff = setup_cache.get(count)
+        if eff is None:
+            probe = KernelCostBuilder(
+                config, "setup", block_size=B, n_blocks=count,
+                registers_per_thread=params.registers_per_thread,
+                concurrent_grids=cg,
+            )
+            add_outer_setup(probe, workload, count, indirect=True)
+            eff = (
+                probe._arrays.compute_slots,
+                probe._arrays.mem_transactions,
+                probe.counters.warp.issued_steps,
+                probe.counters.warp.active_slots,
+                probe.counters.load_traffic,
+                probe.counters.store_traffic,
+            )
+            setup_cache[count] = eff
+        return eff
+
+    insts = workload.inner_insts
+    seg_bytes = config.mem_segment_bytes
+    for ci, (b, count) in enumerate(
+        zip(spawning_blocks.tolist(), buffered_counts.tolist())
+    ):
+        child = KernelCostBuilder(
+            config,
+            f"{workload.name}/dpar-opt-child",
+            block_size=B,
+            n_blocks=int(count),
+            registers_per_thread=params.registers_per_thread,
+            concurrent_grids=cg,
+        )
+        s_comp, s_mem, s_iss, s_act, s_load, s_store = setup_for(count)
+        w0, w1 = int(warp_starts[ci]), int(warp_starts[ci + 1])
+        r0, r1 = int(starts[ci]), int(starts[ci + 1])
+        arrays = child._arrays
+        arrays.compute_slots += s_comp
+        arrays.mem_transactions += s_mem
+        arrays.compute_slots += compute_flat[w0:w1]
+        arrays.mem_transactions += mem_flat[w0:w1]
+        counters = child.counters
+        counters.warp.add_counts(s_iss, s_act)
+        iss_c = int(issued_cum[w1] - issued_cum[w0])
+        act_c = int(active_cum[r1] - active_cum[r0])
+        counters.warp.add_counts(
+            int(round(iss_c * insts)), int(round(act_c * insts))
+        )
+        load_req, load_tx = s_load.requested_bytes, s_load.transactions
+        store_req, store_tx = s_store.requested_bytes, s_store.transactions
+        pairs_c = int(trips_cum[r1] - trips_cum[r0])
+        for si, stream in enumerate(workload.streams):
+            tx_c = int(tx_cums[si][w1] - tx_cums[si][w0]) if stream_tx else 0
+            req_c = pairs_c * stream.element_bytes
+            if stream.kind == "load":
+                load_req += req_c
+                load_tx += tx_c
+            else:
+                store_req += req_c
+                store_tx += tx_c
+        if load_req or load_tx:
+            counters.load_traffic = MemoryTraffic(load_req, load_tx, seg_bytes)
+        if store_req or store_tx:
+            counters.store_traffic = MemoryTraffic(store_req, store_tx,
+                                                   seg_bytes)
+        graph.add(child.build(parent=parent, parent_block=int(b)))
 
 
 class DparNaiveTemplate(NestedLoopTemplate):
@@ -260,22 +422,30 @@ class DparOptTemplate(NestedLoopTemplate):
                 spawn, insts_per_iter=config.device_launch_issue_cycles
             )
         parent = graph.add(parent_builder.build())
-        for b, count in zip(spawning_blocks.tolist(), buffered_counts.tolist()):
-            members = large[owner_block == b]
-            child = KernelCostBuilder(
-                config,
-                f"{workload.name}/dpar-opt-child",
-                block_size=params.lb_block,
-                n_blocks=int(count),
-                registers_per_thread=params.registers_per_thread,
-                concurrent_grids=min(int(spawning_blocks.size),
-                                     config.max_concurrent_kernels),
+        if spawning_blocks.size and workload.atomic_targets is None:
+            # fast path: every child's rows costed in one vectorized pass
+            _bulk_opt_children(
+                workload, large, spawning_blocks, buffered_counts,
+                config, params, parent, graph, analysis=analysis,
             )
-            add_outer_setup(child, workload, int(count), indirect=True)
-            add_block_mapped_inner(
-                child, workload, members,
-                np.arange(members.size, dtype=np.int64),
-                analysis=analysis,
-            )
-            graph.add(child.build(parent=parent, parent_block=int(b)))
+        else:
+            for b, count in zip(spawning_blocks.tolist(),
+                                buffered_counts.tolist()):
+                members = large[owner_block == b]
+                child = KernelCostBuilder(
+                    config,
+                    f"{workload.name}/dpar-opt-child",
+                    block_size=params.lb_block,
+                    n_blocks=int(count),
+                    registers_per_thread=params.registers_per_thread,
+                    concurrent_grids=min(int(spawning_blocks.size),
+                                         config.max_concurrent_kernels),
+                )
+                add_outer_setup(child, workload, int(count), indirect=True)
+                add_block_mapped_inner(
+                    child, workload, members,
+                    np.arange(members.size, dtype=np.int64),
+                    analysis=analysis,
+                )
+                graph.add(child.build(parent=parent, parent_block=int(b)))
         return graph, {"inline": small, "nested": large}

@@ -45,7 +45,6 @@ from repro.gpusim.costmodel import (
 from repro.gpusim.dynpar import require_device_support
 from repro.gpusim.executor import get_default_engine
 from repro.gpusim.kernels import KernelCosts, Launch, LaunchGraph, ProfileCounters
-from repro.gpusim.profiler import profile
 from repro.gpusim.warps import WarpExecStats
 from repro.trees.metrics import node_heights, subtree_sizes
 from repro.trees.structure import Tree
@@ -149,6 +148,24 @@ class _TreeTemplateBase:
             if merged is not None:
                 return merged
             backend = backend.members[0]
+        prep = self._prepare(workload, config, params, backend)
+        if prep.result is None:
+            prep.record(backend.submit(prep.graph))
+        return prep.finish()
+
+    def _prepare(
+        self,
+        workload: RecursiveTreeWorkload,
+        config: DeviceConfig,
+        params: TemplateParams,
+        backend,
+    ):
+        """Resolve the plan and probe the run tier (execution pending);
+        the tree-template counterpart of ``NestedLoopTemplate._prepare``
+        so batch entry points (``repro.core.base.run_many``) can fuse
+        tree runs the same way."""
+        from repro.core.base import _PreparedRun
+
         cache = default_cache()
         key = plan_key(self, workload.fingerprint(), config, params)
         disk = get_artifact_cache()
@@ -172,6 +189,7 @@ class _TreeTemplateBase:
             and not backend.record_timeline
             and not obs.enabled()
         )
+        run_key = None
         result = None
         if use_run_tier:
             run_key = (key, backend.engine or get_default_engine())
@@ -181,19 +199,15 @@ class _TreeTemplateBase:
             if tag is not None:
                 run_key = run_key + (tag,)
             result = disk.get("run", run_key)
-        if result is None:
-            result = backend.submit(graph)
-            if use_run_tier:
-                disk.put("run", run_key, result)
-        metrics = profile(graph, result, config)
-        return TemplateRun(
-            template=self.name,
-            workload=workload.name,
-            graph=graph,
-            result=result,
-            metrics=metrics,
-            schedule={"nodes": np.arange(workload.tree.n_nodes)},
+        return _PreparedRun(
+            template=self,
+            workload=workload,
+            config=config,
             params=params,
+            graph=graph,
+            schedule={"nodes": np.arange(workload.tree.n_nodes)},
+            run_key=run_key,
+            result=result,
         )
 
 

@@ -169,6 +169,7 @@ def transaction_counts(
     segment_bytes: int = 128,
     agg_divisor: int | None = None,
     segments: np.ndarray | None = None,
+    spans: tuple[int, int] | None = None,
 ) -> np.ndarray:
     """Exact transaction counts for an entire loop nest in one pass.
 
@@ -197,6 +198,13 @@ def transaction_counts(
     // segment_bytes``) — the workload-analysis stage caches these per
     stream so repeated specializations skip the division over the full
     trace; ``addresses`` may then be None.
+
+    ``spans`` optionally supplies trusted ``(group_span, seg_span)`` upper
+    bounds (every group id < group_span, every segment id < seg_span).
+    The counts are independent of the exact span values, so callers that
+    know the bounds from the mapping structure (``n_warps * slots``) and
+    the analysis artifact skip six full-trace reductions of validation and
+    span discovery; the inputs are then trusted to be non-negative.
     """
     agg_ids = np.asarray(agg_ids, dtype=np.int64)
     group_ids = np.asarray(group_ids, dtype=np.int64)
@@ -216,16 +224,21 @@ def transaction_counts(
         raise WorkloadError("agg_divisor must be positive")
     if agg_ids.size == 0:
         return np.zeros(n_agg, dtype=np.int64)
-    # min/max reductions instead of np.any(x < 0): no boolean temporaries on
-    # these million-entry traces, and the maxima are needed below anyway.
-    if int(values.min()) < 0 or int(group_ids.min()) < 0 or int(agg_ids.min()) < 0:
-        raise WorkloadError("ids and addresses must be non-negative")
-    if int(agg_ids.max()) >= n_agg:
-        raise WorkloadError("agg_ids out of range for n_agg")
+    if spans is None:
+        # min/max reductions instead of np.any(x < 0): no boolean
+        # temporaries on these million-entry traces, and the maxima are
+        # needed below anyway.
+        if int(values.min()) < 0 or int(group_ids.min()) < 0 or int(agg_ids.min()) < 0:
+            raise WorkloadError("ids and addresses must be non-negative")
+        if int(agg_ids.max()) >= n_agg:
+            raise WorkloadError("agg_ids out of range for n_agg")
 
     segments = values // segment_bytes if segments is None else values
-    seg_span = int(segments.max()) + 1
-    group_span = int(group_ids.max()) + 1
+    if spans is not None:
+        group_span, seg_span = int(spans[0]), int(spans[1])
+    else:
+        seg_span = int(segments.max()) + 1
+        group_span = int(group_ids.max()) + 1
     if group_span * seg_span < 2**62:
         keys = group_ids * seg_span + segments
         if agg_divisor is not None:

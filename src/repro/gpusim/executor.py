@@ -34,9 +34,15 @@ import heapq
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro import obs
 from repro.errors import ConfigError, LaunchError
-from repro.gpusim.config import DeviceConfig, supports_dynamic_parallelism
+from repro.gpusim.config import (
+    KEPLER_K20,
+    DeviceConfig,
+    supports_dynamic_parallelism,
+)
 from repro.gpusim.kernels import Launch, LaunchGraph, ProfileCounters
 from repro.gpusim.occupancy import occupancy
 
@@ -45,12 +51,23 @@ __all__ = [
     "ExecutionResult",
     "LaunchRecord",
     "ENGINES",
+    "execute_fused",
     "resolve_engine",
     "set_default_engine",
     "get_default_engine",
 ]
 
 _EPS = 1e-9
+
+#: thresholds below which the fast engine's dispatch keeps the serial
+#: per-chunk SM scan instead of building the vectorized slot partition:
+#: the launch must have at least ``_VECTOR_MIN_BLOCKS`` blocks left *and*
+#: the device at least ``_VECTOR_MIN_SLOTS`` free admission slots for the
+#: footprint (the NumPy setup only pays for itself on placement waves that
+#: yield many chunks; a near-full device yields one or two).  Tests
+#: monkeypatch both to 1 to force the vectorized path everywhere.
+_VECTOR_MIN_BLOCKS = 48
+_VECTOR_MIN_SLOTS = 48
 
 #: available execution engines: ``"fast"`` batches homogeneous blocks into
 #: cohort events, ``"exact"`` is the reference event-per-block engine.
@@ -198,7 +215,7 @@ class _LaunchState:
         "spec", "graph_index", "replica", "serial", "footprint", "n_blocks",
         "next_block", "run_cursor", "outstanding_blocks", "outstanding_children",
         "ready", "dispatch_started", "start_time", "end_time",
-        "tree_completed", "parent_state", "group_key", "tail_elapsed",
+        "tree_completed", "parent_state", "group_key", "tail_elapsed", "runs",
     )
 
     def __init__(self, spec: Launch, graph_index: int, replica: int, footprint: _Footprint):
@@ -222,6 +239,9 @@ class _LaunchState:
         self.parent_state: _LaunchState | None = None
         self.group_key: tuple[int, int, int] | None = None
         self.tail_elapsed = False
+        #: memoized ``spec.costs.block_runs()`` — fetched once per launch
+        #: instance instead of once per dispatch pass
+        self.runs: tuple[list[int], list[float], list[float]] | None = None
 
     @property
     def fully_dispatched(self) -> bool:
@@ -289,10 +309,96 @@ class GpuExecutor:
         with obs.span("gpusim.execute", engine=engine,
                       launches=len(graph.launches)):
             result = sim.run()
+        scans = getattr(sim, "_vector_scans", 0)
+        if scans:
+            obs.add_counter("executor.vectorized_scans", scans)
         obs.emit_launch_records(result.records, self.config)
         if not self.record_timeline:
             result.records = []  # keep the no-timeline contract lean
         return result
+
+    def run_many(self, graphs) -> list[ExecutionResult]:
+        """Simulate N graphs (same device) in one fused event-loop pass.
+
+        Results are per graph and bit-identical to N sequential
+        :meth:`run` calls: every lane keeps fully disjoint simulation
+        state; only the event heap — and therefore the Python-level loop
+        and setup overhead — is shared (see :class:`_FusedSimulation`).
+        Empty graphs yield the same zero result ``run`` returns, at their
+        original positions.
+        """
+        graphs = list(graphs)
+        results: list[ExecutionResult | None] = [None] * len(graphs)
+        live: list[int] = []
+        for i, graph in enumerate(graphs):
+            graph.validate(self.config)
+            if not graph.launches:
+                results[i] = ExecutionResult(
+                    cycles=0.0, time_ms=0.0, counters=ProfileCounters(),
+                    sm_busy_cycles=0.0, sm_count=self.config.sm_count,
+                    n_launches=0, n_device_launches=0, pool_overflows=0,
+                )
+                continue
+            if (any(l.is_device for l in graph.launches)
+                    and not supports_dynamic_parallelism(self.config)):
+                raise LaunchError(
+                    f"{self.config.name} does not support dynamic parallelism"
+                )
+            live.append(i)
+        if not live:
+            return results
+        engine = self.engine or _default_engine
+        tracing = obs.enabled()
+        sim = _FusedSimulation(
+            self.config, [graphs[i] for i in live],
+            self.record_timeline or tracing, self.max_launch_instances,
+            engine,
+        )
+        if not tracing:
+            lane_results = sim.run()
+        else:
+            with obs.span("gpusim.execute_fused", engine=engine,
+                          graphs=len(live),
+                          launches=sum(len(graphs[i].launches)
+                                       for i in live)):
+                lane_results = sim.run()
+            obs.add_counter("executor.fused_graphs", len(live))
+            scans = sum(getattr(lane, "_vector_scans", 0)
+                        for lane in sim.lanes)
+            if scans:
+                obs.add_counter("executor.vectorized_scans", scans)
+            for result in lane_results:
+                obs.emit_launch_records(result.records, self.config)
+                if not self.record_timeline:
+                    result.records = []
+        for i, result in zip(live, lane_results):
+            results[i] = result
+        return results
+
+
+def execute_fused(
+    graphs,
+    config: DeviceConfig = KEPLER_K20,
+    *,
+    engine: str | None = None,
+    record_timeline: bool = False,
+    max_launch_instances: int = 2_000_000,
+) -> list[ExecutionResult]:
+    """Execute N launch graphs on one device config in a single fused pass.
+
+    The batch-fusion front door: graphs from one scheduling window —
+    *different* workloads, templates and fingerprints — are merged into
+    one event-loop drain and demuxed back into exact per-graph
+    :class:`ExecutionResult` objects, bit-identical to running each graph
+    through :meth:`GpuExecutor.run` on its own.  Used by
+    :meth:`~repro.backends.sim.SimBackend.submit_many` and, through it,
+    the serving tier's window fusion (see docs/performance.md).
+    """
+    executor = GpuExecutor(
+        config, record_timeline=record_timeline,
+        max_launch_instances=max_launch_instances, engine=engine,
+    )
+    return executor.run_many(graphs)
 
 
 class _Simulation:
@@ -339,6 +445,10 @@ class _Simulation:
         self.device_stream_queue: dict[tuple[int, int, int], list[_LaunchState]] = {}
 
         self.ready_list: list[_LaunchState] = []
+        #: cleared by engines that can prove a dispatch pass would place
+        #: nothing (the fast engine); the reference engine leaves it True
+        #: so the shared event loop's inlined guard never skips it
+        self._dispatch_dirty = True
         self.n_device_instances = 0
         self._footprints: dict[int, _Footprint] = {}
 
@@ -401,27 +511,42 @@ class _Simulation:
 
     # ------------------------------------------------------------------- run
     def run(self) -> ExecutionResult:
+        self._begin()
+        events = self.events
+        while events:
+            time, _, kind, payload = heapq.heappop(events)
+            self._handle(time, kind, payload)
+        return self._finalize()
+
+    # The run loop is split into begin/handle/finalize so a fused run
+    # (:class:`_FusedSimulation`) can drive many independent simulations
+    # off one shared event heap without duplicating the event semantics.
+    def _begin(self) -> None:
         self._host_queues: dict[int, list[_LaunchState]] = {}
         self._setup()
-        while self.events:
-            time, _, kind, payload = heapq.heappop(self.events)
-            self.now = max(self.now, time)
-            if kind == "host_ready":
-                self._on_ready(payload)  # type: ignore[arg-type]
-            elif kind == "gmu_done":
-                self._on_gmu_done(payload)  # type: ignore[arg-type]
-            elif kind == "sm_check":
-                sm, version = payload  # type: ignore[misc]
-                if sm.version == version:
-                    self._service_sm(sm)
-            elif kind == "linger_done":
-                self._on_linger(payload)
-            elif kind == "tail_done":
-                state = payload  # type: ignore[assignment]
-                state.tail_elapsed = True
-                self._maybe_tree_complete(state)
-            while self._dispatch():
-                pass
+
+    def _handle(self, time: float, kind: str, payload: object) -> None:
+        self.now = max(self.now, time)
+        if kind == "host_ready":
+            self._on_ready(payload)  # type: ignore[arg-type]
+        elif kind == "gmu_done":
+            self._on_gmu_done(payload)  # type: ignore[arg-type]
+        elif kind == "sm_check":
+            sm, version = payload  # type: ignore[misc]
+            if sm.version == version:
+                self._service_sm(sm)
+        elif kind == "linger_done":
+            self._on_linger(payload)
+        elif kind == "tail_done":
+            state = payload  # type: ignore[assignment]
+            state.tail_elapsed = True
+            self._maybe_tree_complete(state)
+        # inlined _dispatch guard: most events leave nothing to place, and
+        # at ~1 dispatch probe per event the call overhead itself shows up
+        while self.ready_list and self._dispatch_dirty and self._dispatch():
+            pass
+
+    def _finalize(self) -> ExecutionResult:
         makespan = self.now
         for sm in self.sms:
             sm.advance(makespan)
@@ -747,6 +872,9 @@ class _FastSimulation(_Simulation):
         super().__init__(config, graph, record_timeline, max_instances)
         self._dispatch_dirty = True
         self._parent_gis: set[int] = set()
+        #: vectorized slot-partition placements this run (obs counter
+        #: ``executor.vectorized_scans`` when tracing)
+        self._vector_scans = 0
 
     def _setup(self) -> None:
         super()._setup()
@@ -783,7 +911,7 @@ class _FastSimulation(_Simulation):
         state = cohort.launch
         for index in cohort.indices:
             self._retire_one(sm, state, index)
-            while self._dispatch():
+            while self.ready_list and self._dispatch_dirty and self._dispatch():
                 pass
 
     # ----------------------------------------------------------------- retire
@@ -836,24 +964,76 @@ class _FastSimulation(_Simulation):
             return False
         cfg = self.config
         queue = self.ready_list
+        sms = self.sms
+        cap = cfg.max_concurrent_kernels
+        # Pass-level feasibility screen: most dispatch passes in saturated
+        # phases place nothing (every queued footprint is blocked on every
+        # SM).  One probe per *distinct* footprint detects that without the
+        # per-state scans of the placement loop below; footprints that fail
+        # the probe seed ``failed_fps`` so the main loop skips them too.
+        # Short queues skip the screen: the placement loop's own scan finds
+        # a blocked footprint just as fast as the probe would.
+        failed_fps: set[tuple[int, int, int]] = set()
+        if len(queue) >= 4:
+            feasible: dict[tuple[int, int, int], bool] = {}
+            any_fit = False
+            for state in queue:
+                if state.next_block >= state.n_blocks:
+                    continue
+                fp = state.footprint
+                fp_key = (fp.warps, fp.smem, fp.regs)
+                fit = feasible.get(fp_key)
+                if fit is None:
+                    fpw, fps, fpr = fp_key
+                    fit = False
+                    for sm in sms:
+                        if (
+                            sm.free_warps >= fpw
+                            and sm.free_blocks >= 1
+                            and sm.free_smem >= fps
+                            and sm.free_regs >= fpr
+                        ):
+                            fit = True
+                            break
+                    feasible[fp_key] = fit
+                if fit:
+                    any_fit = True
+                    break
+            if not any_fit:
+                # Nothing can place: reproduce the serial pass's queue
+                # rebuild (drop fully-dispatched entries up to the
+                # concurrency cap, keep the rest wholesale) without
+                # scanning per state.
+                self._dispatch_dirty = False
+                active = 0
+                leftover = []
+                for qi, state in enumerate(queue):
+                    if state.next_block >= state.n_blocks:
+                        continue
+                    if active >= cap:
+                        leftover.extend(queue[qi:])
+                        break
+                    active += 1
+                    leftover.append(state)
+                self.ready_list = leftover
+                return False
+            failed_fps = {key for key, fit in feasible.items() if not fit}
         self.ready_list = []
         self._dispatch_dirty = False
         progress = False
         active = 0
-        cap = cfg.max_concurrent_kernels
         leftover: list[_LaunchState] = []
         #: (sm index, launch serial, work, floor) -> accumulating cohort
         pending: dict[tuple[int, int, float, float], _Cohort] = {}
         changed_sms: set[int] = set()
-        #: footprints no SM could host earlier in this pass.  Within one
-        #: pass free resources never exceed their level at the failed probe
-        #: (inline zero-work retires only restore what the pass consumed),
-        #: so a failed footprint stays failed and the rescan can be skipped.
-        failed_fps: set[tuple[int, int, int]] = set()
+        # failed_fps (seeded by the screen above): footprints no SM could
+        # host earlier in this pass.  Within one pass free resources never
+        # exceed their level at the failed probe (inline zero-work retires
+        # only restore what the pass consumed), so a failed footprint stays
+        # failed and the rescan can be skipped.
         now = self.now
-        sms = self.sms
         for qi, state in enumerate(queue):
-            if state.fully_dispatched:
+            if state.next_block >= state.n_blocks:
                 continue
             if active >= cap:
                 # over the concurrency cap the serial scan only copies the
@@ -868,8 +1048,31 @@ class _FastSimulation(_Simulation):
             if fp_key in failed_fps:
                 leftover.append(state)
                 continue
-            ends = works = floors = None
+            runs = state.runs
+            if runs is None:
+                runs = state.runs = state.spec.costs.block_runs()
+            ends, works, floors = runs
             n_blocks = state.n_blocks
+            if n_blocks - state.next_block >= _VECTOR_MIN_BLOCKS:
+                # cheap slot estimate: only build the vectorized partition
+                # for placement waves with enough admission capacity to
+                # yield many chunks (a near-full device yields one or two,
+                # where the serial scan is faster than the NumPy setup)
+                approx = 0
+                for sm in sms:
+                    w = sm.free_warps // fpw
+                    b = sm.free_blocks
+                    approx += w if w < b else b
+                if approx >= _VECTOR_MIN_SLOTS:
+                    if self._place_vectorized(state, fp, ends, works,
+                                              floors, now, pending,
+                                              changed_sms):
+                        progress = True
+                    if state.next_block < n_blocks:
+                        # stopped with blocks left <=> no eligible SM
+                        failed_fps.add(fp_key)
+                        leftover.append(state)
+                    continue
             while state.next_block < n_blocks:
                 best = None
                 best_w = L = R = 0
@@ -891,8 +1094,6 @@ class _FastSimulation(_Simulation):
                 if best is None:
                     failed_fps.add(fp_key)
                     break
-                if ends is None:
-                    ends, works, floors = state.spec.costs.block_runs()
                 progress = True
                 if not state.dispatch_started:
                     state.dispatch_started = True
@@ -968,3 +1169,200 @@ class _FastSimulation(_Simulation):
         if progress:
             self._dispatch_dirty = True
         return progress
+
+    def _place_vectorized(self, state, fp, ends, works, floors, now,
+                          pending, changed_sms) -> bool:
+        """Merge-path style placement of one launch's remaining blocks.
+
+        Builds the *slot model* of the current SM state: SM ``i`` with
+        free warps ``W_i`` offers ``cap_i`` admission slots at descending
+        free-warp levels ``W_i, W_i - fpw, ...``, where ``cap_i`` folds in
+        every eligibility cap (warps, block slots, shared memory,
+        registers).  Consuming slots in ``(-level, sm index)`` order
+        reproduces the serial best/L/R scan exactly: after ``p`` slots are
+        consumed, the set of eligible SMs is exactly the set with slots
+        left, each at its next slot's level, so the serial scan winner is
+        the owner of slot ``p`` — and the serial chunk bound ``(W - T) //
+        fpw + 1`` (absorb while the winner's free warps stay at or above
+        ``T = max(L + 1, R)``) is precisely the length of the winner's
+        consecutive slot group, tie-break included (equal levels order by
+        SM index in both).  One ``lexsort`` over at most ``sum(cap_i)``
+        slots — bounded by the device's block-slot topology, not the grid
+        — replaces one Python SM scan per chunk.  Placement order, cohort
+        grouping, zero-work retires and event sequencing are bit-identical
+        to the serial path.
+
+        Returns True when at least one block was placed; stopping with
+        blocks remaining means the slots ran dry, i.e. no SM is eligible
+        for this footprint any more (the caller marks it failed).
+        """
+        sms = self.sms
+        n_sms = len(sms)
+        fpw, fps, fpr = fp.warps, fp.smem, fp.regs
+        warps = np.fromiter((sm.free_warps for sm in sms), np.int64, n_sms)
+        slot_cap = warps // fpw
+        np.minimum(
+            slot_cap,
+            np.fromiter((sm.free_blocks for sm in sms), np.int64, n_sms),
+            out=slot_cap,
+        )
+        if fps:
+            np.minimum(
+                slot_cap,
+                np.fromiter((sm.free_smem for sm in sms), np.int64, n_sms)
+                // fps,
+                out=slot_cap,
+            )
+        if fpr:
+            np.minimum(
+                slot_cap,
+                np.fromiter((sm.free_regs for sm in sms), np.int64, n_sms)
+                // fpr,
+                out=slot_cap,
+            )
+        np.maximum(slot_cap, 0, out=slot_cap)
+        elig = np.flatnonzero(slot_cap)
+        if elig.size == 0:
+            return False
+        self._vector_scans += 1
+        counts = slot_cap[elig]
+        n_slots = int(counts.sum())
+        sm_ids = np.repeat(elig, counts)
+        first = np.cumsum(counts) - counts
+        steps = np.arange(n_slots, dtype=np.int64) - np.repeat(first, counts)
+        levels = np.repeat(warps[elig], counts) - steps * fpw
+        order = np.lexsort((sm_ids, -levels))
+        slot_sm = sm_ids[order]
+        change = np.empty(n_slots, dtype=bool)
+        change[0] = True
+        np.not_equal(slot_sm[1:], slot_sm[:-1], out=change[1:])
+        grp = np.cumsum(change) - 1
+        grp_last = np.flatnonzero(np.append(change[1:], True))
+        grp_end = (grp_last[grp] + 1).tolist()
+        slot_sm = slot_sm.tolist()
+
+        pos = 0
+        progress = False
+        serial = state.serial
+        n_blocks = state.n_blocks
+        while state.next_block < n_blocks and pos < n_slots:
+            best = sms[slot_sm[pos]]
+            progress = True
+            if not state.dispatch_started:
+                state.dispatch_started = True
+                state.start_time = now
+            ri = state.run_cursor
+            bi = state.next_block
+            run_end = ends[ri]
+            work = works[ri]
+            floor = floors[ri]
+            best.advance(now)
+            if work <= _EPS and floor <= _EPS:
+                # Zero-work zero-floor run: retires inline on the current
+                # winner without consuming a slot (each retire restores
+                # exactly what its placement took, so the slot model — and
+                # the serial scan it mirrors — is unchanged afterwards).
+                for b in range(bi, run_end):
+                    state.next_block = b + 1
+                    best.free_warps -= fpw
+                    best.free_blocks -= 1
+                    best.free_smem -= fps
+                    best.free_regs -= fpr
+                    self._retire_one(best, state, b)
+                state.run_cursor = ri + 1
+                continue
+            k = min(run_end - bi, grp_end[pos] - pos)
+            best.free_warps -= fpw * k
+            best.free_blocks -= k
+            best.free_smem -= fps * k
+            best.free_regs -= fpr * k
+            state.next_block = bi + k
+            if bi + k == run_end:
+                state.run_cursor = ri + 1
+            pos += k
+            if work <= _EPS:
+                chunk = _Cohort(state, floor, now, 0.0)
+                chunk.indices.extend(range(bi, bi + k))
+                self._push_event(now + floor, "linger_done", (best, chunk))
+            else:
+                key = (best.index, serial, work, floor)
+                cohort = pending.get(key)
+                if cohort is None:
+                    cohort = _Cohort(state, floor, now, best.virtual + work)
+                    pending[key] = cohort
+                cohort.indices.extend(range(bi, bi + k))
+                best.n_serving += k
+                changed_sms.add(best.index)
+        return progress
+
+
+# --------------------------------------------------------------------------
+# Fused heterogeneous batches: N graphs, one event loop
+# --------------------------------------------------------------------------
+
+
+class _FusedLaneMixin:
+    """Lane of a fused run: all simulation state stays lane-local except
+    the event heap, which lives on the owning :class:`_FusedSimulation`
+    (with a shared sequence counter so same-time events across lanes pop
+    in push order).  Per-lane relative event order — the only thing the
+    simulation's results depend on — is identical to a standalone run,
+    which is what makes fused results bit-exact."""
+
+    _fused_owner: "_FusedSimulation"
+    _lane_index: int
+
+    def _push_event(self, time: float, kind: str, payload: object) -> None:
+        owner = self._fused_owner
+        owner._seq += 1
+        heapq.heappush(owner.events,
+                       (time, owner._seq, self._lane_index, kind, payload))
+
+
+class _FusedExactLane(_FusedLaneMixin, _Simulation):
+    pass
+
+
+class _FusedFastLane(_FusedLaneMixin, _FastSimulation):
+    pass
+
+
+class _FusedSimulation:
+    """N independent lane simulations draining one shared event heap.
+
+    Lanes keep fully disjoint state — SMs, GMU, clocks, stream queues,
+    instances — so fusing changes *which* Python loop pops the events,
+    never what any lane computes; results demux per graph bit-identically
+    to sequential runs (``tests/test_executor_fused.py``).  The win is
+    amortization: one heap drain, one tracing span and one Python-level
+    interpreter loop for a whole scheduling window instead of one per
+    graph.
+    """
+
+    def __init__(
+        self,
+        config: DeviceConfig,
+        graphs: list[LaunchGraph],
+        record_timeline: bool,
+        max_instances: int,
+        engine: str,
+    ) -> None:
+        lane_cls = _FusedFastLane if engine == "fast" else _FusedExactLane
+        self.events: list[tuple] = []
+        self._seq = 0
+        self.lanes = []
+        for i, graph in enumerate(graphs):
+            lane = lane_cls(config, graph, record_timeline, max_instances)
+            lane._fused_owner = self
+            lane._lane_index = i
+            self.lanes.append(lane)
+
+    def run(self) -> list[ExecutionResult]:
+        lanes = self.lanes
+        for lane in lanes:
+            lane._begin()
+        events = self.events
+        while events:
+            time, _, lane_index, kind, payload = heapq.heappop(events)
+            lanes[lane_index]._handle(time, kind, payload)
+        return [lane._finalize() for lane in lanes]

@@ -136,6 +136,11 @@ class ServiceStats:
         #: batches routed back to the BSP simulator because the queue
         #: backend cannot run their template (capability fallback)
         self.queue_fallbacks = 0
+        #: inline batches executed through a fused (multi-fingerprint)
+        #: executor pass instead of one pass each
+        self.fused_batches = 0
+        #: fused executor passes (each covers >= 2 batches)
+        self.fused_passes = 0
         self._batch_sizes: deque[int] = deque(maxlen=window)
         # queue
         self.queue_depth = 0
@@ -244,6 +249,12 @@ class ServiceStats:
         with self._lock:
             self.queue_fallbacks += 1
 
+    def record_fused(self, batches: int) -> None:
+        """One fused executor pass covering ``batches`` coalesced batches."""
+        with self._lock:
+            self.fused_passes += 1
+            self.fused_batches += batches
+
     def record_cache(self, hits: int, misses: int) -> None:
         with self._lock:
             self.cache_hits += hits
@@ -348,6 +359,8 @@ class ServiceStats:
                     "pool_batches": self.pool_batches,
                     "coalesced_requests": self.coalesced_requests,
                     "queue_fallbacks": self.queue_fallbacks,
+                    "fused_batches": self.fused_batches,
+                    "fused_passes": self.fused_passes,
                     "mean_batch": (
                         round(sum(sizes) / len(sizes), 3) if sizes else 0.0
                     ),

@@ -49,6 +49,7 @@ from repro.service.workers import (
     WorkerPool,
     WorkerTimeoutError,
     execute_batch,
+    execute_batch_fused,
 )
 
 __all__ = ["ServiceConfig", "TemplateService"]
@@ -84,6 +85,11 @@ class ServiceConfig:
     #: device; queue-incompatible templates are routed back to sim and
     #: counted, see docs/taskqueue.md)
     backend: str = "sim"
+    #: fuse the inline sim batches of one scheduling window — different
+    #: fingerprints, same device/engine — into a single executor pass
+    #: (``execute_fused``) instead of one event loop each; results are
+    #: bit-identical, only wall time changes (see docs/performance.md)
+    fuse_batches: bool = True
     #: template used when ``submit`` is not given one: ``"auto"`` routes
     #: through the IR auto-select pipeline (see ``docs/ir.md``); any
     #: canonical name pins every defaulted request to that template
@@ -516,10 +522,49 @@ class TemplateService:
                 raise
             with obs.span("service.coalesce", pending=len(pending)):
                 batches = self.batcher.group(pending)
-            for batch in batches:
+            singles, fused_groups = self._fusion_groups(batches)
+            for batch in singles:
                 task = asyncio.create_task(self._dispatch(batch))
                 self._dispatch_tasks.add(task)
                 task.add_done_callback(self._dispatch_tasks.discard)
+            for group in fused_groups:
+                task = asyncio.create_task(self._dispatch_fused(group))
+                self._dispatch_tasks.add(task)
+                task.add_done_callback(self._dispatch_tasks.discard)
+
+    def _fusion_groups(
+        self, batches: list[Batch]
+    ) -> tuple[list[Batch], list[list[Batch]]]:
+        """Partition a window's batches into per-batch dispatches and
+        fusable groups.
+
+        A group fuses when >= 2 inline ``"sim"`` batches of the window
+        share a device config and engine — they become one fused executor
+        pass with per-batch result demux.  Everything else (pool routes,
+        queue backend, device groups, custom run_fn, fusion disabled)
+        keeps the classic one-dispatch-per-batch path, bit-for-bit.
+        """
+        if (
+            not self.config.fuse_batches
+            or self.device_group is not None
+            or self._run_fn is not execute_batch
+        ):
+            return batches, []
+        singles: list[Batch] = []
+        groups: dict[tuple, list[Batch]] = {}
+        for batch in batches:
+            if batch.route != "inline" or batch.spec.backend != "sim":
+                singles.append(batch)
+                continue
+            key = (batch.spec.device.fingerprint(), batch.spec.engine)
+            groups.setdefault(key, []).append(batch)
+        fused = []
+        for members in groups.values():
+            if len(members) >= 2:
+                fused.append(members)
+            else:
+                singles.extend(members)
+        return singles, fused
 
     # -------------------------------------------------- execution policy
     async def _execute(self, spec: BatchSpec, route: str) -> dict:
@@ -530,7 +575,7 @@ class TemplateService:
             asyncio.to_thread(self._run_fn, spec), timeout
         )
 
-    async def _dispatch(self, batch: Batch) -> None:
+    async def _dispatch(self, batch: Batch, record: bool = True) -> None:
         """Leak-proof dispatch: every member future is always answered.
 
         The policy body (`_dispatch_batch`) can fail in ways retries do
@@ -543,7 +588,7 @@ class TemplateService:
         not already answered.
         """
         try:
-            await self._dispatch_batch(batch)
+            await self._dispatch_batch(batch, record=record)
         except asyncio.CancelledError:
             self._fail_unanswered(batch, "cancelled during dispatch")
             raise
@@ -552,6 +597,107 @@ class TemplateService:
                         error=f"{type(exc).__name__}: {exc}")
             self._fail_unanswered(
                 batch, f"dispatch error: {type(exc).__name__}: {exc}"
+            )
+
+    async def _dispatch_fused(self, batches: list[Batch]) -> None:
+        """Execute one fusable group as a single fused executor pass.
+
+        Per-batch policy (shed, overload degradation) still applies
+        before fusion.  Any failure of the fused pass — a timeout, a bad
+        template, a worker error — falls back to dispatching each batch
+        through the classic per-batch path (which carries its own retry /
+        degradation policy), so fusion can never make a request fail that
+        would have succeeded unfused.  Leak-proof like :meth:`_dispatch`:
+        every member future is always answered.
+        """
+        try:
+            await self._dispatch_fused_inner(batches)
+        except asyncio.CancelledError:
+            for batch in batches:
+                self._fail_unanswered(batch, "cancelled during dispatch")
+            raise
+        except BaseException as exc:  # noqa: BLE001 - lifecycle boundary
+            obs.instant("service.dispatch_error",
+                        error=f"{type(exc).__name__}: {exc}")
+            for batch in batches:
+                self._fail_unanswered(
+                    batch, f"dispatch error: {type(exc).__name__}: {exc}"
+                )
+
+    async def _dispatch_fused_inner(self, batches: list[Batch]) -> None:
+        live: list[Batch] = []
+        for batch in batches:
+            self.stats.record_batch(batch.size, batch.route)
+            shed_reason = self._should_shed(batch)
+            if shed_reason is not None:
+                self._shed(batch, shed_reason)
+                continue
+            self._maybe_degrade_for_load(batch)
+            live.append(batch)
+        if not live:
+            return
+        if len(live) == 1:
+            # policy dropped the group to one batch: nothing to fuse
+            await self._dispatch_batch(live[0], record=False)
+            return
+        specs = [batch.spec for batch in live]
+        try:
+            exec_start = time.perf_counter()
+            with obs.span("service.execute_fused", batches=len(live),
+                          size=sum(b.size for b in live)):
+                summaries = await asyncio.wait_for(
+                    asyncio.to_thread(execute_batch_fused, specs),
+                    self.config.request_timeout_s,
+                )
+            self.stats.record_exec(time.perf_counter() - exec_start)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - policy boundary
+            # the fused pass failed as a unit; re-dispatch each batch on
+            # the classic path so per-batch retries/degradation apply
+            obs.instant("service.fuse_fallback", batches=len(live),
+                        error=f"{type(exc).__name__}: {exc}")
+            for batch in live:
+                await self._dispatch(batch, record=False)
+            return
+        self.stats.record_fused(len(live))
+        obs.add_counter("service.fused_batches", len(live))
+        for batch, summary in zip(live, summaries):
+            self.stats.record_cache(
+                summary.get("cache_hits", 0), summary.get("cache_misses", 0)
+            )
+            self._answer_ok(
+                batch, summary, attempts=1,
+                degraded=getattr(batch, "_load_degraded", False),
+                route=batch.route, device_index=0,
+            )
+
+    def _answer_ok(self, batch: Batch, summary: dict, *, attempts: int,
+                   degraded: bool, route: str, device_index: int) -> None:
+        """Answer every member of ``batch`` from one execution summary."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for request, future in zip(batch.requests, batch.futures):
+            self._finish(
+                request,
+                future,
+                Response(
+                    id=request.id,
+                    status="ok",
+                    template=summary["template"],
+                    workload=summary["workload"],
+                    degraded=degraded,
+                    time_ms=summary["time_ms"],
+                    metrics=summary["metrics"],
+                    latency_s=now - request.created_s,
+                    batch_size=batch.size,
+                    attempts=attempts,
+                    route=route,
+                    cache_hit=summary.get("cache_hits", 0) > 0,
+                    device=device_index,
+                    priority=request.priority,
+                    tenant=request.tenant,
+                ),
             )
 
     def _fail_unanswered(self, batch: Batch, reason: str) -> None:
@@ -635,6 +781,10 @@ class TemplateService:
         execution — trading its fidelity for queue headroom, without
         touching high/normal traffic.
         """
+        if getattr(batch, "_load_degraded", False):
+            # already rewritten (a fused pass that fell back re-dispatches
+            # its batches); don't double-count or re-replace
+            return True
         threshold = self.config.degrade_pending_threshold
         if threshold is None or self._pending < threshold:
             return False
@@ -645,13 +795,15 @@ class TemplateService:
             return False
         fallback = DEGRADE_FALLBACK[batch.requests[0].kind]
         batch.spec = replace(batch.spec, template=fallback)
+        batch._load_degraded = True
         self.stats.record_degraded(priority=batch.priority, under_load=True)
         obs.instant("service.load_degrade", fallback=fallback,
                     pending=self._pending, size=batch.size)
         return True
 
-    async def _dispatch_batch(self, batch: Batch) -> None:
-        self.stats.record_batch(batch.size, batch.route)
+    async def _dispatch_batch(self, batch: Batch, record: bool = True) -> None:
+        if record:
+            self.stats.record_batch(batch.size, batch.route)
         shed_reason = self._should_shed(batch)
         if shed_reason is not None:
             self._shed(batch, shed_reason)

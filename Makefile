@@ -4,12 +4,12 @@ PYTHON ?= python
 # make targets work from a clean checkout, without `pip install -e .`
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test lint bench bench-smoke bench-service bench-multidevice bench-queue bench-slo bench-fuse trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke slo-smoke fuse-smoke experiments examples results clean
+.PHONY: install test lint bench bench-smoke bench-service bench-multidevice bench-queue bench-slo bench-fuse bench-stream trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke slo-smoke fuse-smoke stream-smoke experiments examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke slo-smoke fuse-smoke
+test: lint bench-smoke trace-smoke cache-smoke multidevice-smoke ir-smoke queue-smoke slo-smoke fuse-smoke stream-smoke
 	$(PYTHON) -m pytest tests/
 
 # ruff when installed, stdlib fallback (syntax, unused imports, debug
@@ -70,6 +70,14 @@ ir-smoke:
 fuse-smoke:
 	$(PYTHON) tools/fuse_smoke.py
 
+# streaming mutation differential fuzz: random mutation streams over
+# random workloads; incremental analysis must stay bit-identical to
+# from-scratch re-analysis at every step, in-place and functional
+# mutation forms must agree, and every nested-loop template must produce
+# cycle-identical results from either analysis path
+stream-smoke:
+	$(PYTHON) tools/stream_fuzz.py
+
 # serving-layer throughput: micro-batched repro.serve vs per-request
 # repro.run; acceptance requires the batched path to win by >= 2x
 bench-service:
@@ -97,6 +105,13 @@ bench-slo:
 # BENCH_fused_executor.json)
 bench-fuse:
 	$(PYTHON) benchmarks/bench_fused_executor.py --smoke --min-speedup 1.3
+
+# streaming throughput: incremental analysis maintenance vs from-scratch
+# re-analysis under a mutation stream, plus one serving process
+# sustaining mutations and snapshot-pinned queries; acceptance requires
+# incremental >= 3x and zero torn snapshot reads
+bench-stream:
+	$(PYTHON) benchmarks/bench_streaming.py --min-speedup 3
 
 # tiny version of bench-slo wired into `make test`: same two-sided run,
 # relaxed 1.3x floor (the small mix is noisier), scratch output file

@@ -29,6 +29,7 @@ Subpackages
 __version__ = "1.2.0"
 
 from repro.api import compare, explain, run, serve
+from repro.core.mutation import MutationBatch, MutationDelta, PairInserts
 from repro.core.params import TemplateParams
 from repro.core.recursive import RecursiveTreeWorkload
 from repro.core.registry import resolve
@@ -51,6 +52,7 @@ __all__ = [
     "run", "compare", "explain", "serve",
     "resolve", "TemplateParams",
     "NestedLoopWorkload", "RecursiveTreeWorkload", "AccessStream",
+    "MutationBatch", "MutationDelta", "PairInserts",
     "ReproError", "ConfigError", "LaunchError", "WorkloadError",
     "PlanError", "IRError", "GraphError", "DatasetError",
     "ExperimentError", "ServiceError",

@@ -16,6 +16,8 @@ from repro.apps.bfs import (
     VisitForest,
     unordered_bfs_visits,
 )
+from repro.apps.kcore import KCoreApp
+from repro.apps.mis import MISApp
 from repro.apps.pagerank import PageRankApp
 from repro.apps.sort import (
     SORT_VARIANTS,
@@ -26,12 +28,14 @@ from repro.apps.sort import (
 )
 from repro.apps.spmv import SpMVApp
 from repro.apps.sssp import SSSPApp
+from repro.apps.triangles import TrianglesApp
 from repro.apps.tree_desc import TreeDescendantsApp
 from repro.apps.tree_height import TreeHeightsApp
 
 __all__ = [
     "AppRun", "combine_rounds",
     "SpMVApp", "SSSPApp", "PageRankApp", "BCApp", "CCApp", "cc_serial",
+    "TrianglesApp", "KCoreApp", "MISApp",
     "BFSApp", "RecursiveBFSApp", "VisitForest", "unordered_bfs_visits",
     "AsyncSSSPApp", "AsyncBFSApp", "AsyncTreeWalkApp",
     "RequestLog", "async_relax_requests",

@@ -1,0 +1,134 @@
+"""k-core decomposition by iterative peeling (streaming application).
+
+Matula-Beck peeling: repeatedly remove every remaining node whose degree
+is <= k and decrement its surviving neighbors, raising k whenever the
+minimum surviving degree exceeds it.  Each cascade round is an irregular
+nested loop — outer over the peeled nodes, inner over their (full CSR)
+adjacency with an aliveness check and an atomic degree decrement — with
+a frontier whose size and skew change every round.  Core numbers are a
+classic streaming-graph quantity (they shift locally under edge
+insert/delete), which is why this app anchors the mutation benchmarks in
+docs/streaming.md.  Wired through ``repro.run`` so every round goes
+through IR auto-selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppRun, combine_rounds
+from repro.core.params import TemplateParams
+from repro.core.workload import AccessStream, NestedLoopWorkload
+from repro.cpu.costmodel import XEON_E5_2620, CPUConfig
+from repro.cpu.reference import kcore_serial, simple_undirected
+from repro.errors import GraphError
+from repro.gpusim.config import DeviceConfig, KEPLER_K20
+from repro.graphs.csr import CSRGraph, concat_ranges
+
+__all__ = ["KCoreApp"]
+
+
+class KCoreApp:
+    """Core numbers under any nested-loop template, one run per cascade."""
+
+    name = "kcore"
+
+    def __init__(self, graph: CSRGraph) -> None:
+        if graph.n_nodes == 0:
+            raise GraphError("empty graph")
+        self.graph = graph
+        self._simple = simple_undirected(graph)
+        self._serial = None
+
+    # ----------------------------------------------------------- functional
+    def compute(self) -> np.ndarray:
+        """Core number per node (template-invariant result)."""
+        return self._serial_run().result
+
+    def _serial_run(self):
+        if self._serial is None:
+            self._serial = kcore_serial(self.graph)
+        return self._serial
+
+    # -------------------------------------------------------------- rounds
+    def _rounds(self):
+        """Yield ``(peel, idx, dst, live)`` per cascade round.
+
+        Mirrors :func:`~repro.cpu.reference.kcore_serial` exactly so the
+        round structure (and therefore the per-round workloads) is the
+        one the reference result came from.
+        """
+        simple = self._simple
+        deg = simple.out_degrees.copy()
+        alive = np.ones(simple.n_nodes, dtype=bool)
+        k = 0
+        while alive.any():
+            k = max(k, int(deg[alive].min()))
+            while True:
+                peel = np.flatnonzero(alive & (deg <= k))
+                if peel.size == 0:
+                    break
+                alive[peel] = False
+                idx = concat_ranges(simple.row_offsets[peel],
+                                    simple.out_degrees[peel])
+                dst = simple.col_indices[idx]
+                live = alive[dst]
+                yield peel, idx, dst, live
+                np.add.at(deg, dst[live], -1)
+
+    def _round_workload(self, peel, idx, dst, live) -> NestedLoopWorkload:
+        simple = self._simple
+        trips = np.zeros(simple.n_nodes, dtype=np.int64)
+        trips[peel] = simple.out_degrees[peel]
+        deg_base = 4 * simple.n_edges + 256
+        return NestedLoopWorkload(
+            name=f"kcore-round({self.graph.name})",
+            trip_counts=trips,
+            streams=[
+                AccessStream("col-index", idx * 4, "load", 4),
+                AccessStream("degree-gather", deg_base + dst * 4, "load", 4),
+                AccessStream("degree-update", deg_base + dst * 4, "store", 4,
+                             staged_in_shared=True),
+            ],
+            atomic_targets=np.where(live, dst, -1),
+            inner_insts=7.0,      # aliveness check + decrement + bookkeeping
+            outer_insts=9.0,
+            outer_load_bytes=12,  # row extent + own degree
+            outer_store_bytes=8,  # core[u], alive[u]
+        )
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        template: str = "auto",
+        config: DeviceConfig = KEPLER_K20,
+        params: TemplateParams | None = None,
+        cpu: CPUConfig = XEON_E5_2620,
+        *,
+        engine: str | None = None,
+        backend=None,
+    ) -> AppRun:
+        """Peel to completion under one template (default: auto-selected)."""
+        from repro.api import run as run_workload
+
+        runs = [
+            run_workload(self._round_workload(*round_), template,
+                         device=config, params=params, engine=engine,
+                         backend=backend)
+            for round_ in self._rounds()
+        ]
+        total_ms, metrics = combine_rounds(runs)
+        serial = self._serial_run()
+        selection = getattr(runs[0], "selection", None) if runs else None
+        return AppRun(
+            app=self.name,
+            template=(selection.template if selection is not None
+                      else template),
+            dataset=self.graph.name,
+            result=serial.result,
+            gpu_time_ms=total_ms,
+            cpu_time_ms=cpu.time_ms(serial.ops),
+            metrics=metrics,
+            meta={"rounds": len(runs),
+                  "max_core": serial.meta["max_core"]},
+        )

@@ -1,0 +1,136 @@
+"""Maximal independent set by deterministic Luby rounds (streaming app).
+
+Every round, each remaining node publishes its id to its remaining
+neighbors (atomicMin into a ``best`` array); the nodes that stay below
+every neighbor's id are local minima, enter the set, and knock out their
+neighborhoods.  With static id priorities this computes exactly the
+lexicographically-first MIS the sequential greedy scan produces — but as
+a sequence of irregular nested loops whose frontier shrinks and whose
+degree skew concentrates in the tail, the regime where the paper's
+load-balancing templates separate from thread-mapping.  Wired through
+``repro.run`` so every round goes through IR auto-selection; the serial
+reference is :func:`~repro.cpu.reference.mis_serial`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppRun, combine_rounds
+from repro.core.params import TemplateParams
+from repro.core.workload import AccessStream, NestedLoopWorkload
+from repro.cpu.costmodel import XEON_E5_2620, CPUConfig
+from repro.cpu.reference import mis_serial, simple_undirected
+from repro.errors import GraphError
+from repro.gpusim.config import DeviceConfig, KEPLER_K20
+from repro.graphs.csr import CSRGraph, concat_ranges
+
+__all__ = ["MISApp"]
+
+
+class MISApp:
+    """Lexicographically-first MIS under any nested-loop template."""
+
+    name = "mis"
+
+    def __init__(self, graph: CSRGraph) -> None:
+        if graph.n_nodes == 0:
+            raise GraphError("empty graph")
+        self.graph = graph
+        self._simple = simple_undirected(graph)
+        self._serial = None
+
+    # ----------------------------------------------------------- functional
+    def compute(self) -> np.ndarray:
+        """Boolean membership mask (template-invariant result)."""
+        return self._serial_run().result
+
+    def _serial_run(self):
+        if self._serial is None:
+            self._serial = mis_serial(self.graph)
+        return self._serial
+
+    # -------------------------------------------------------------- rounds
+    def _rounds(self):
+        """Yield ``(frontier, idx, dst, live)`` per Luby round.
+
+        Mirrors :func:`~repro.cpu.reference.mis_serial` exactly: the
+        frontier is the remaining nodes, and the round's inner loop scans
+        each frontier node's full adjacency with an aliveness filter.
+        """
+        simple = self._simple
+        n = simple.n_nodes
+        alive = np.ones(n, dtype=bool)
+        while alive.any():
+            frontier = np.flatnonzero(alive)
+            degs = simple.out_degrees[frontier]
+            idx = concat_ranges(simple.row_offsets[frontier], degs)
+            src = np.repeat(frontier, degs)
+            dst = simple.col_indices[idx]
+            live = alive[dst]
+            yield frontier, idx, dst, live
+            best = np.full(n, n, dtype=np.int64)
+            np.minimum.at(best, src[live], dst[live])
+            winners = frontier[frontier < best[frontier]]
+            alive[winners] = False
+            kill = concat_ranges(simple.row_offsets[winners],
+                                 simple.out_degrees[winners])
+            alive[simple.col_indices[kill]] = False
+
+    def _round_workload(self, frontier, idx, dst, live) -> NestedLoopWorkload:
+        simple = self._simple
+        trips = np.zeros(simple.n_nodes, dtype=np.int64)
+        trips[frontier] = simple.out_degrees[frontier]
+        best_base = 4 * simple.n_edges + 256
+        return NestedLoopWorkload(
+            name=f"mis-round({self.graph.name})",
+            trip_counts=trips,
+            streams=[
+                AccessStream("col-index", idx * 4, "load", 4),
+                AccessStream("priority-gather", best_base + dst * 8,
+                             "load", 8),
+                AccessStream("priority-update", best_base + dst * 8,
+                             "store", 8, staged_in_shared=True),
+            ],
+            atomic_targets=np.where(live, dst, -1),
+            inner_insts=6.0,      # aliveness check + atomicMin
+            outer_insts=8.0,
+            outer_load_bytes=12,  # row extent + own alive flag
+            outer_store_bytes=4,  # in_set[u] on winning rounds
+        )
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        template: str = "auto",
+        config: DeviceConfig = KEPLER_K20,
+        params: TemplateParams | None = None,
+        cpu: CPUConfig = XEON_E5_2620,
+        *,
+        engine: str | None = None,
+        backend=None,
+    ) -> AppRun:
+        """Run Luby rounds to a fixpoint (default: auto-selected)."""
+        from repro.api import run as run_workload
+
+        runs = [
+            run_workload(self._round_workload(*round_), template,
+                         device=config, params=params, engine=engine,
+                         backend=backend)
+            for round_ in self._rounds()
+        ]
+        total_ms, metrics = combine_rounds(runs)
+        serial = self._serial_run()
+        selection = getattr(runs[0], "selection", None) if runs else None
+        return AppRun(
+            app=self.name,
+            template=(selection.template if selection is not None
+                      else template),
+            dataset=self.graph.name,
+            result=serial.result,
+            gpu_time_ms=total_ms,
+            cpu_time_ms=cpu.time_ms(serial.ops),
+            metrics=metrics,
+            meta={"rounds": len(runs),
+                  "set_size": serial.meta["set_size"]},
+        )

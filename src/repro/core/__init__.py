@@ -22,6 +22,7 @@ from repro.core.delayed_buffer import (
 )
 from repro.core.dual_queue import DualQueueTemplate, split_by_threshold
 from repro.core.dynamic_par import DparNaiveTemplate, DparOptTemplate
+from repro.core.mutation import MutationBatch, MutationDelta, PairInserts
 from repro.core.params import (
     DEFAULT_LB_BLOCK,
     DEFAULT_THREAD_BLOCK,
@@ -47,6 +48,7 @@ from repro.core.workload import AccessStream, NestedLoopWorkload
 __all__ = [
     "TemplateParams", "DEFAULT_THREAD_BLOCK", "DEFAULT_LB_BLOCK",
     "AccessStream", "NestedLoopWorkload",
+    "MutationBatch", "MutationDelta", "PairInserts",
     "NestedLoopTemplate", "TemplateRun", "check_schedule",
     "ThreadMappedTemplate", "BlockMappedTemplate",
     "DualQueueTemplate", "split_by_threshold",

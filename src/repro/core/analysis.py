@@ -22,6 +22,8 @@ import numpy as np
 
 from repro import obs
 from repro.core.artifactcache import get_artifact_cache
+from repro.core.mutation import TRACE_SEGMENT_BYTES, splice
+from repro.errors import WorkloadError
 
 __all__ = [
     "WorkloadAnalysis",
@@ -33,8 +35,24 @@ __all__ = [
 ]
 
 #: segment size used by the pair-trace coalescing model (see
-#: ``core.mapping._apply_streams`` — Kepler L1-cached accesses)
-_TRACE_SEGMENT_BYTES = 128
+#: ``core.mapping._apply_streams`` — Kepler L1-cached accesses); shared
+#: with the mutation layer, which precomputes inserted pairs' segment ids
+_TRACE_SEGMENT_BYTES = TRACE_SEGMENT_BYTES
+
+#: apply_delta bails to a from-scratch rebuild when a delta touches more
+#: than this fraction of the rows or pairs — beyond it the O(delta · log n)
+#: splices stop beating the O(n log n) rebuild
+REBUILD_FRACTION = 0.25
+
+#: delta-chain hops walked before giving up on lineage resolution
+_MAX_CHAIN = 32
+
+#: chains at least this long re-anchor the resolved analysis into the
+#: disk ``analysis`` tier (chain compaction: future walks stay short)
+_COMPACT_AFTER = 4
+
+#: shared empty index array for insert-only splice calls
+_NO_DELETES = np.empty(0, dtype=np.int64)
 
 
 class WorkloadAnalysis:
@@ -139,6 +157,135 @@ class WorkloadAnalysis:
             spans[stream_index] = span
         return span
 
+    def apply_delta(self, delta) -> "WorkloadAnalysis | None":
+        """Derive the child analysis from a
+        :class:`~repro.core.mutation.MutationDelta`, without rebuilding.
+
+        Returns a *new* instance (``self`` may be cached and shared —
+        it is never mutated), or ``None`` when the delta touches more
+        than :data:`REBUILD_FRACTION` of the rows or pairs, in which case
+        the caller should rebuild from scratch (the ``delta_fallbacks``
+        counter).  Every derived fact is updated so the result is
+        bit-identical to ``from_workload`` on the mutated trace:
+
+        * trip histogram — signed merge of decrements (old trips of
+          changed rows) and increments (new trips of changed + added
+          rows), keeping only positive frequencies;
+        * sorted-degree order — a stable argsort equals sorting by
+          ``(trip, id)``, so changed entries are masked out and all
+          changed/added entries re-inserted at their ``(trip, id)``
+          positions via binary search;
+        * memoized lbTHRES partitions — per memoized threshold, changed
+          ids are masked out of both sides and re-inserted (with the
+          added ids) on the side their new trip selects, ascending;
+        * per-stream segment ids — the same ``(deleted, inserted)``
+          pair-splice the workload commit ran over its address arrays.
+        """
+        if delta.parent_fingerprint != self.fingerprint:
+            raise WorkloadError(
+                "delta parent fingerprint does not match this analysis "
+                f"({delta.parent_fingerprint[:8]}… vs {self.fingerprint[:8]}…)"
+            )
+        rows_frac, pairs_frac = delta.touch_fractions(self.n_pairs)
+        if max(rows_frac, pairs_frac) > REBUILD_FRACTION:
+            return None
+
+        changed = delta.changed
+        ins_ids = np.concatenate([changed, delta.added])
+        ins_trips = np.concatenate([delta.changed_new, delta.added_trips])
+
+        # ids are dense (< outer_before), so membership tests are O(1)
+        # lookups into a per-delta flag array instead of np.isin sorts
+        changed_flag = np.zeros(int(delta.outer_before), dtype=bool)
+        changed_flag[changed] = True
+
+        # ---- sorted-degree order: mask out changed, re-insert by (trip, id)
+        if changed.size:
+            keep = np.flatnonzero(~changed_flag[self.order])
+            keep_order = self.order[keep]
+            keep_trips = self.sorted_trips[keep]
+        else:
+            keep_order = self.order.copy()
+            keep_trips = self.sorted_trips.copy()
+        if ins_ids.size:
+            lex = np.lexsort((ins_ids, ins_trips))
+            sorted_ids = ins_ids[lex]
+            sorted_ins_trips = ins_trips[lex]
+            max_trip = int(max(keep_trips.max(initial=0),
+                               sorted_ins_trips.max(initial=0)))
+            if max_trip < (1 << 31) and delta.outer_after < (1 << 31):
+                # one vectorized search over the combined (trip, id) key
+                keep_keys = (keep_trips << 31) | keep_order
+                ins_keys = (sorted_ins_trips << 31) | sorted_ids
+                positions = np.searchsorted(keep_keys, ins_keys)
+            else:  # keys would overflow int64: per-entry two-level search
+                positions = np.empty(sorted_ids.size, dtype=np.int64)
+                for j in range(sorted_ids.size):
+                    trip = sorted_ins_trips[j]
+                    lo = int(np.searchsorted(keep_trips, trip, side="left"))
+                    hi = int(np.searchsorted(keep_trips, trip, side="right"))
+                    positions[j] = lo + int(
+                        np.searchsorted(keep_order[lo:hi], sorted_ids[j])
+                    )
+            new_order = splice(keep_order, _NO_DELETES, positions, sorted_ids)
+            new_sorted = splice(keep_trips, _NO_DELETES, positions,
+                                sorted_ins_trips)
+        else:
+            new_order, new_sorted = keep_order, keep_trips
+
+        # ---- trip histogram: signed merge, keep positive frequencies
+        values = [self.trip_values]
+        counts = [self.trip_freqs]
+        if changed.size:
+            dec_v, dec_c = np.unique(delta.changed_old, return_counts=True)
+            values.append(dec_v)
+            counts.append(-dec_c)
+        if ins_ids.size:
+            inc_v, inc_c = np.unique(ins_trips, return_counts=True)
+            values.append(inc_v)
+            counts.append(inc_c)
+        all_values = np.concatenate(values)
+        all_counts = np.concatenate(counts).astype(np.int64)
+        uniq, inverse = np.unique(all_values, return_inverse=True)
+        freqs = np.zeros(uniq.size, dtype=np.int64)
+        np.add.at(freqs, inverse, all_counts)
+        positive = freqs > 0
+
+        child = WorkloadAnalysis.__new__(WorkloadAnalysis)
+        child.fingerprint = delta.fingerprint
+        child.outer_size = int(delta.outer_after)
+        child.n_pairs = self.n_pairs - delta.n_deleted + delta.n_inserted
+        child.order = new_order
+        child.sorted_trips = new_sorted
+        child.trip_values = uniq[positive]
+        child.trip_freqs = freqs[positive]
+        child._segments = [
+            splice(seg, delta.deleted_pairs, delta.insert_positions,
+                   delta.insert_segments[k])
+            for k, seg in enumerate(self._segments)
+        ]
+        child._partitions = {}
+        for threshold, (small, large) in self._partitions.items():
+            if changed.size:
+                small = small[~changed_flag[small]]
+                large = large[~changed_flag[large]]
+            if ins_ids.size:
+                goes_small = ins_trips <= threshold
+                small_ids = np.sort(ins_ids[goes_small])
+                large_ids = np.sort(ins_ids[~goes_small])
+                if small_ids.size:
+                    small = splice(small, _NO_DELETES,
+                                   np.searchsorted(small, small_ids),
+                                   small_ids)
+                if large_ids.size:
+                    large = splice(large, _NO_DELETES,
+                                   np.searchsorted(large, large_ids),
+                                   large_ids)
+            child._partitions[threshold] = (small, large)
+        child._trip_cumsum = None
+        child._seg_spans = {}
+        return child
+
 
 class TreeAnalysis:
     """Template-independent structure of one :class:`RecursiveTreeWorkload`.
@@ -236,9 +383,76 @@ class TreeAnalysis:
 
 #: in-memory analysis store: fingerprint -> analysis artifact
 _memory: dict[str, object] = {}
-_stats = {"hits": 0, "misses": 0, "disk_hits": 0}
+_stats = {"hits": 0, "misses": 0, "disk_hits": 0,
+          "incremental_hits": 0, "delta_fallbacks": 0}
 #: keep the in-memory map bounded; analyses are a few arrays each
 _MAX_ENTRIES = 256
+
+
+def _memoize(fingerprint: str, analysis: object) -> None:
+    if len(_memory) >= _MAX_ENTRIES:
+        _memory.pop(next(iter(_memory)))
+    _memory[fingerprint] = analysis
+
+
+def _resolve_incremental(workload, fingerprint: str, disk):
+    """Nearest-ancestor resolution over the mutation lineage.
+
+    Walks the delta chain child → parent (the workload's in-object
+    ``lineage`` first, then the disk ``lineage`` tier) until it reaches a
+    fingerprint whose analysis is already known (memory or disk), then
+    replays the deltas forward with :meth:`WorkloadAnalysis.apply_delta`.
+    Returns ``None`` when no ancestor is reachable within ``_MAX_CHAIN``
+    hops or a delta exceeds the rebuild threshold — the caller falls back
+    to a from-scratch build.
+    """
+    local = {
+        delta.fingerprint: delta
+        for delta in getattr(workload, "lineage", None) or ()
+    }
+    chain = []
+    ancestor = None
+    current = fingerprint
+    while len(chain) < _MAX_CHAIN:
+        delta = local.get(current)
+        if delta is None and disk is not None:
+            delta = disk.get("lineage", current)
+        if delta is None or delta.fingerprint != current:
+            break
+        chain.append(delta)
+        current = delta.parent_fingerprint
+        ancestor = _memory.get(current)
+        if ancestor is None and disk is not None:
+            ancestor = disk.get("analysis", ("nested", current))
+        if ancestor is not None:
+            break
+    if ancestor is None or not isinstance(ancestor, WorkloadAnalysis):
+        if chain:
+            _stats["delta_fallbacks"] += 1
+            if obs.enabled():
+                obs.add_counter("analysis.delta_fallbacks")
+        return None
+    analysis = ancestor
+    with obs.span("analysis.apply_delta", hops=len(chain),
+                  workload=getattr(workload, "name", "?")):
+        for delta in reversed(chain):
+            analysis = analysis.apply_delta(delta)
+            if analysis is None:
+                _stats["delta_fallbacks"] += 1
+                if obs.enabled():
+                    obs.add_counter("analysis.delta_fallbacks")
+                return None
+            _stats["incremental_hits"] += 1
+            if obs.enabled():
+                obs.add_counter("analysis.incremental_hits")
+            # intermediate fingerprints are live snapshot versions in the
+            # serving layer — memoize the whole replayed prefix
+            _memoize(delta.fingerprint, analysis)
+    if disk is not None and len(chain) >= _COMPACT_AFTER:
+        # chain compaction: re-anchor a full artifact so future walks
+        # (and other processes) stop after one hop
+        disk.put("analysis", ("nested", fingerprint), analysis)
+    return analysis
 
 
 def _get(workload, kind: str, factory) -> object:
@@ -257,15 +471,15 @@ def _get(workload, kind: str, factory) -> object:
     analysis = disk.get("analysis", disk_key) if disk is not None else None
     if analysis is not None:
         _stats["disk_hits"] += 1
-    else:
+    if analysis is None and kind == "nested":
+        analysis = _resolve_incremental(workload, fingerprint, disk)
+    if analysis is None:
         with obs.span("analysis.build", kind=kind,
                       workload=getattr(workload, "name", "?")):
             analysis = factory(workload)
         if disk is not None:
             disk.put("analysis", disk_key, analysis)
-    if len(_memory) >= _MAX_ENTRIES:
-        _memory.pop(next(iter(_memory)))
-    _memory[fingerprint] = analysis
+    _memoize(fingerprint, analysis)
     return analysis
 
 

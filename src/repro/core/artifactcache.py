@@ -16,7 +16,17 @@ three tiers:
   caller asks for timelines or tracing is on (those need a live run);
 * ``select`` — :class:`~repro.ir.select.Selection` records of the
   ``template="auto"`` lowering, keyed on ``(workload fingerprint, device
-  fingerprint, pass-config key, params, engine)``.
+  fingerprint, pass-config key, params, engine)``;
+* ``lineage`` — :class:`~repro.core.mutation.MutationDelta` records of
+  committed workload mutations, keyed on the *child* fingerprint.  Each
+  record names its parent fingerprint, so a warm process holding only the
+  mutated workload can walk the chain back to the nearest ancestor with a
+  cached analysis and replay the deltas incrementally
+  (:meth:`WorkloadAnalysis.apply_delta
+  <repro.core.analysis.WorkloadAnalysis.apply_delta>`) instead of
+  rebuilding from scratch.  Chains are compacted: after a few delta hops
+  the resolved analysis is re-anchored into the ``analysis`` tier, which
+  bounds future walks (see ``analysis._COMPACT_AFTER``).
 
 Entries are pickles named by a blake2b digest of the key's ``repr`` plus a
 format version.  Writes are atomic (temp file + ``os.replace``) so
@@ -61,7 +71,7 @@ __all__ = [
 ]
 
 #: cache tiers, in pipeline order
-TIERS = ("analysis", "select", "plan", "run")
+TIERS = ("analysis", "lineage", "select", "plan", "run")
 
 #: bump to invalidate every existing cache entry on a format change
 _FORMAT_VERSION = "v1"

@@ -29,6 +29,10 @@ from repro.graphs.csr import concat_ranges
 
 __all__ = ["AccessStream", "NestedLoopWorkload"]
 
+#: deltas kept on the workload object itself (the in-object lineage the
+#: analysis layer walks before falling back to the disk lineage tier)
+MAX_LINEAGE = 16
+
 
 @dataclass
 class AccessStream:
@@ -100,6 +104,12 @@ class NestedLoopWorkload:
             or self.outer_load_bytes < 0 or self.outer_store_bytes < 0
         ):
             raise WorkloadError("instruction/byte weights cannot be negative")
+        #: mutation generation: bumped by every committed MutationBatch
+        #: (and by invalidate_fingerprint after an untracked edit)
+        self.version = 0
+        #: recent MutationDeltas ending at this workload's fingerprint,
+        #: oldest first, bounded at MAX_LINEAGE
+        self.lineage: list = []
 
     @property
     def outer_size(self) -> int:
@@ -172,11 +182,111 @@ class NestedLoopWorkload:
         return digest
 
     def invalidate_fingerprint(self) -> None:
-        """Drop the memoized fingerprint after mutating the trace arrays.
+        """Re-key every derived identity after an untracked in-place edit.
 
-        Nothing in the repo mutates workloads, but callers that do edit
-        ``trip_counts``/stream addresses in place must call this or every
-        cache keyed on the fingerprint (plan, analysis, disk) would keep
-        serving plans for the pre-mutation trace.
+        Callers that edit ``trip_counts``/stream addresses in place must
+        call this or every cache keyed on the fingerprint (plan, select,
+        analysis, run, disk) would keep serving plans for the pre-mutation
+        trace.  All identities move together: the fingerprint memo drops,
+        ``pair_offsets`` is recomputed from the edited trip counts (it was
+        previously left stale, so row slices pointed at pre-edit pair
+        ranges), the version bumps, and the mutation lineage clears — an
+        untracked edit has no delta, so no incremental analysis may bridge
+        it.  Prefer :meth:`apply_mutations`/:meth:`mutated`, which keep
+        the delta.
         """
         self._fingerprint = None
+        self.pair_offsets = np.zeros(self.trip_counts.size + 1, dtype=np.int64)
+        np.cumsum(self.trip_counts, out=self.pair_offsets[1:])
+        nnz = self.n_pairs
+        for stream in self.streams:
+            if stream.addresses.size != nnz:
+                raise WorkloadError(
+                    f"stream {stream.name!r} has {stream.addresses.size} "
+                    f"addresses but the edited workload has {nnz} pairs"
+                )
+        if self.atomic_targets is not None and self.atomic_targets.shape != (nnz,):
+            raise WorkloadError("atomic_targets must have one entry per pair")
+        self.version += 1
+        self.lineage.clear()
+
+    # ------------------------------------------------------ mutation API
+    def apply_mutations(self, batch):
+        """Commit a :class:`~repro.core.mutation.MutationBatch` in place.
+
+        All cache identities bump atomically: the new trace arrays are
+        assembled first (off to the side), then swapped in, and the new
+        fingerprint is computed eagerly before returning — there is no
+        window where stale ``pair_offsets`` or a stale fingerprint memo
+        can leak a pre-mutation plan.  Returns the
+        :class:`~repro.core.mutation.MutationDelta`, which is also
+        appended to :attr:`lineage` and persisted to the disk cache's
+        ``lineage`` tier when one is configured.
+
+        Note the *object* mutates: callers holding the pre-mutation trace
+        (e.g. a serving snapshot) should use :meth:`mutated` instead.
+        """
+        from repro.core.mutation import apply_batch
+
+        state, delta = apply_batch(self, batch)
+        self.trip_counts = state.trip_counts
+        self.pair_offsets = np.zeros(self.trip_counts.size + 1, dtype=np.int64)
+        np.cumsum(self.trip_counts, out=self.pair_offsets[1:])
+        for stream, addresses in zip(self.streams, state.stream_addresses):
+            stream.addresses = addresses
+        self.atomic_targets = state.atomic_targets
+        self._fingerprint = None
+        delta.fingerprint = self.fingerprint()
+        self.version += 1
+        delta.version_to = self.version
+        self._push_lineage(delta)
+        return delta
+
+    def mutated(self, batch, name: str | None = None):
+        """Functional mutation: ``(child, delta)``; ``self`` is untouched.
+
+        The child gets fresh trace arrays and fresh stream objects, so the
+        parent remains a valid immutable snapshot — this is the path the
+        serving layer's versioned workload streams use to guarantee
+        in-flight batches never observe a torn trace.
+        """
+        from repro.core.mutation import apply_batch
+
+        state, delta = apply_batch(self, batch)
+        child = NestedLoopWorkload(
+            name=self.name if name is None else name,
+            trip_counts=state.trip_counts,
+            streams=[
+                AccessStream(
+                    name=stream.name,
+                    addresses=addresses,
+                    kind=stream.kind,
+                    element_bytes=stream.element_bytes,
+                    staged_in_shared=stream.staged_in_shared,
+                )
+                for stream, addresses in zip(self.streams, state.stream_addresses)
+            ],
+            atomic_targets=state.atomic_targets,
+            inner_insts=self.inner_insts,
+            outer_insts=self.outer_insts,
+            outer_load_bytes=self.outer_load_bytes,
+            outer_store_bytes=self.outer_store_bytes,
+        )
+        delta.fingerprint = child.fingerprint()
+        child.version = self.version + 1
+        delta.version_to = child.version
+        child.lineage = list(self.lineage)
+        child._push_lineage(delta)
+        return child, delta
+
+    def _push_lineage(self, delta) -> None:
+        """Append a delta to the bounded in-object lineage and persist it
+        to the disk ``lineage`` tier (keyed on the child fingerprint)."""
+        self.lineage.append(delta)
+        if len(self.lineage) > MAX_LINEAGE:
+            del self.lineage[: len(self.lineage) - MAX_LINEAGE]
+        from repro.core.artifactcache import get_artifact_cache
+
+        disk = get_artifact_cache()
+        if disk is not None:
+            disk.put("lineage", delta.fingerprint, delta)

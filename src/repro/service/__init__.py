@@ -37,6 +37,7 @@ from repro.service.request import (
     workload_kind,
 )
 from repro.service.service import ServiceConfig, TemplateService
+from repro.service.streams import WorkloadStream
 from repro.service.workers import (
     BatchSpec,
     WorkerCrashError,
@@ -61,6 +62,7 @@ __all__ = [
     "WorkerCrashError",
     "WorkerPool",
     "WorkerTimeoutError",
+    "WorkloadStream",
     "execute_batch",
     "percentile",
     "percentiles",

@@ -69,6 +69,32 @@ class ServiceHandle:
         """Blocking convenience: submit and wait for the response."""
         return self.submit(template, workload, **kwargs).result()
 
+    def register_workload(self, name: str, workload, keep_versions: int = 8):
+        """Register a versioned workload stream (see docs/streaming.md).
+
+        Runs on the service loop so registration serializes against
+        mutation and snapshot resolution.  Returns the
+        :class:`~repro.service.streams.WorkloadStream`.
+        """
+
+        async def _register():
+            return self._service.register_workload(
+                name, workload, keep_versions=keep_versions
+            )
+
+        return self._call(_register())
+
+    def mutate_workload(self, name: str, batch, *, warm_analysis: bool = True):
+        """Apply a mutation batch to a registered stream; returns the
+        :class:`~repro.core.mutation.MutationDelta`."""
+
+        async def _mutate():
+            return self._service.mutate_workload(
+                name, batch, warm_analysis=warm_analysis
+            )
+
+        return self._call(_mutate())
+
     def stats(self) -> dict:
         """Point-in-time service/pool/queue/latency counters."""
         return self._service.snapshot()

@@ -149,6 +149,8 @@ class ServiceStats:
         # their own process-local caches, so this is the service-wide view)
         self.cache_hits = 0
         self.cache_misses = 0
+        #: committed workload-stream mutation batches (mutate_workload)
+        self.mutations = 0
         # latency window (seconds)
         self._latencies: deque[float] = deque(maxlen=window)
         # rolling batch-execution wall time (the deadline predictor and
@@ -260,6 +262,11 @@ class ServiceStats:
             self.cache_hits += hits
             self.cache_misses += misses
 
+    def record_mutation(self) -> None:
+        """One committed workload-stream mutation batch."""
+        with self._lock:
+            self.mutations += 1
+
     def record_response(self, status: str, latency_s: float,
                         priority: str = "normal") -> None:
         """A response delivered to an *admitted* request (any status)."""
@@ -370,6 +377,7 @@ class ServiceStats:
                     "depth": self.queue_depth,
                     "max_depth": self.max_queue_depth,
                 },
+                "mutations": self.mutations,
                 "plan_cache": {
                     "hits": self.cache_hits,
                     "misses": self.cache_misses,

@@ -44,6 +44,7 @@ from repro.service.request import (
     Request,
     Response,
 )
+from repro.service.streams import WorkloadStream
 from repro.service.workers import (
     BatchSpec,
     WorkerPool,
@@ -294,6 +295,8 @@ class TemplateService:
         self._tenant_pending: dict[str, int] = {}
         self._next_id = 0
         self._running = False
+        #: named versioned workload streams (see register_workload)
+        self._streams: dict[str, WorkloadStream] = {}
 
     @property
     def running(self) -> bool:
@@ -382,6 +385,60 @@ class TemplateService:
             )
         self.pool.shutdown()
 
+    # ----------------------------------------------------------- streams
+    def register_workload(
+        self,
+        name: str,
+        workload,
+        keep_versions: int = 8,
+    ) -> WorkloadStream:
+        """Register a named, versioned workload stream.
+
+        Afterwards ``submit`` accepts the stream *name* in place of a
+        workload object (optionally with ``version=`` to pin a retained
+        snapshot), and :meth:`mutate_workload` advances the stream.
+        """
+        if not isinstance(name, str) or not name:
+            raise ServiceError("stream name must be a non-empty string")
+        if name in self._streams:
+            raise ServiceError(f"workload stream {name!r} already registered")
+        stream = WorkloadStream(name, workload, keep_versions=keep_versions)
+        self._streams[name] = stream
+        obs.instant("service.stream_register", stream=name,
+                    version=stream.version)
+        return stream
+
+    def mutate_workload(self, name: str, batch, *,
+                        warm_analysis: bool = True):
+        """Apply one mutation batch to a registered stream.
+
+        The new head is derived functionally — requests pinned to retained
+        versions keep executing against their exact snapshots.  With
+        ``warm_analysis`` (the default) the head's analysis is derived
+        incrementally right here via :meth:`WorkloadAnalysis.apply_delta
+        <repro.core.analysis.WorkloadAnalysis.apply_delta>`, so the next
+        query on the new version pays a delta update, not a cold rebuild.
+        Returns the :class:`~repro.core.mutation.MutationDelta`.
+        """
+        stream = self._stream_of(name)
+        with obs.span("service.mutate", stream=name):
+            delta = stream.mutate(batch)
+        self.stats.record_mutation()
+        if warm_analysis:
+            from repro.core.analysis import get_analysis
+
+            get_analysis(stream.head)
+        return delta
+
+    def _stream_of(self, name: str) -> WorkloadStream:
+        stream = self._streams.get(name)
+        if stream is None:
+            known = ", ".join(sorted(self._streams)) or "none"
+            raise ServiceError(
+                f"unknown workload stream {name!r} (registered: {known})"
+            )
+        return stream
+
     # ---------------------------------------------------------- admission
     async def submit(
         self,
@@ -394,6 +451,7 @@ class TemplateService:
         tenant: str = "",
         priority: str | None = None,
         deadline_s: float | None = None,
+        version: int | None = None,
     ) -> Response:
         """Admit one query and await its response.
 
@@ -402,6 +460,12 @@ class TemplateService:
         config's ``default_template`` (``"auto"`` unless overridden), so
         the service front door matches ``repro.run(workload)``.
 
+        ``workload`` may be a registered stream name (a string), resolved
+        to that stream's head — or, with ``version=``, to a pinned
+        retained snapshot.  Snapshots are immutable, so a request admitted
+        against version ``v`` executes against exactly ``v``'s trace even
+        while the mutation stream advances.
+
         ``tenant``/``priority``/``deadline_s`` are the SLO knobs: tenant
         quotas and per-class bounds act at admission, the priority class
         orders scheduling, and the deadline arms deadline-aware shedding
@@ -409,6 +473,12 @@ class TemplateService:
         """
         if workload is None:
             template, workload = None, template
+        if isinstance(workload, str):
+            workload = self._stream_of(workload).get(version)
+        elif version is not None:
+            raise ServiceError(
+                "version= requires a registered stream name as the workload"
+            )
         request = Request(
             template=self.config.default_template if template is None else template,
             workload=workload,
@@ -1021,6 +1091,11 @@ class TemplateService:
             snap["devices"] = self.device_group.snapshot()
         if self._queue is not None:
             snap["queue"] = {"per_class": self._queue.sizes()}
+        if self._streams:
+            snap["streams"] = {
+                name: stream.snapshot()
+                for name, stream in self._streams.items()
+            }
         snap["config"] = {
             "max_pending": self.config.max_pending,
             "max_batch": self.config.max_batch,

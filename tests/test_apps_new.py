@@ -1,0 +1,139 @@
+"""Streaming applications (triangles, k-core, MIS): serial references vs
+networkx, and template-invariant results through the IR/auto-select path."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import KCoreApp, MISApp, TrianglesApp
+from repro.core import NESTED_LOOP_TEMPLATES
+from repro.core.registry import canonical_name
+from repro.cpu.reference import (
+    kcore_serial,
+    mis_serial,
+    simple_undirected,
+    triangles_serial,
+)
+from repro.errors import GraphError
+from repro.graphs import CSRGraph, rmat_graph
+
+
+@pytest.fixture(scope="module", params=[31, 32])
+def graph(request):
+    return rmat_graph(scale=6, edge_factor=4, seed=request.param)
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return rmat_graph(scale=5, edge_factor=3, seed=9)
+
+
+class TestSimpleUndirected:
+    def test_symmetric_loopfree_deduped(self, graph):
+        simple = simple_undirected(graph)
+        n = simple.n_nodes
+        src = np.repeat(np.arange(n), simple.out_degrees)
+        dst = simple.col_indices
+        assert not np.any(src == dst)
+        keys = src * np.int64(n) + dst
+        assert np.unique(keys).size == keys.size  # no parallel edges
+        rev = np.isin(dst * np.int64(n) + src, keys)
+        assert rev.all()  # every edge has its reverse
+
+
+class TestSerialReferences:
+    def test_triangles_match_networkx(self, graph):
+        run = triangles_serial(graph)
+        g = simple_undirected(graph)
+        expected = nx.triangles(nx.Graph(
+            [(int(u), int(v)) for u, v in
+             zip(np.repeat(np.arange(g.n_nodes), g.out_degrees),
+                 g.col_indices)]
+        ))
+        for node in range(graph.n_nodes):
+            assert run.result[node] == expected.get(node, 0)
+        assert run.meta["total"] * 3 == int(run.result.sum())
+
+    def test_kcore_matches_networkx(self, graph):
+        run = kcore_serial(graph)
+        g = simple_undirected(graph)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.n_nodes))
+        nxg.add_edges_from(
+            (int(u), int(v)) for u, v in
+            zip(np.repeat(np.arange(g.n_nodes), g.out_degrees),
+                g.col_indices))
+        expected = nx.core_number(nxg)
+        for node in range(graph.n_nodes):
+            assert run.result[node] == expected[node]
+        assert run.meta["max_core"] == int(run.result.max())
+
+    def test_mis_is_lexicographically_first(self, graph):
+        run = mis_serial(graph)
+        in_set = run.result
+        simple = simple_undirected(graph)
+        # independent: no edge has both endpoints in the set
+        src = np.repeat(np.arange(simple.n_nodes), simple.out_degrees)
+        assert not np.any(in_set[src] & in_set[simple.col_indices])
+        # equals the sequential greedy scan (maximality follows)
+        greedy = np.zeros(simple.n_nodes, dtype=bool)
+        for u in range(simple.n_nodes):
+            if not greedy[simple.neighbors(u)].any():
+                greedy[u] = True
+        assert np.array_equal(in_set, greedy)
+        assert run.meta["set_size"] == int(in_set.sum())
+
+    def test_triangle_free_graph(self):
+        g = CSRGraph.from_edges(4, np.array([0, 1, 2]), np.array([1, 2, 3]))
+        assert triangles_serial(g).result.sum() == 0
+        assert np.array_equal(kcore_serial(g).result, np.ones(4))
+
+
+@pytest.mark.parametrize("app_cls", [TrianglesApp, KCoreApp, MISApp])
+class TestStreamingApps:
+    def test_rejects_empty_graph(self, app_cls):
+        empty = CSRGraph(np.zeros(1, dtype=np.int64),
+                         np.zeros(0, dtype=np.int64), name="empty")
+        with pytest.raises(GraphError):
+            app_cls(empty)
+
+    def test_auto_run_matches_compute(self, app_cls, graph):
+        app = app_cls(graph)
+        run = app.run("auto")
+        assert np.array_equal(run.result, app.compute())
+        assert run.template in {canonical_name(n)
+                                for n in NESTED_LOOP_TEMPLATES}
+        assert run.gpu_time_ms > 0
+        assert run.cpu_time_ms > 0
+
+    def test_every_template_same_result(self, app_cls, small_graph):
+        app = app_cls(small_graph)
+        expected = app.compute()
+        for name in NESTED_LOOP_TEMPLATES:
+            run = app.run(name)
+            assert np.array_equal(run.result, expected), name
+            assert run.template == name
+            assert run.gpu_time_ms > 0
+
+    def test_queue_backend_same_result(self, app_cls, small_graph):
+        app = app_cls(small_graph)
+        run = app.run("auto", backend="queue")
+        assert np.array_equal(run.result, app.compute())
+
+
+class TestAppMeta:
+    def test_triangles_meta(self, graph):
+        app = TrianglesApp(graph)
+        run = app.run("auto")
+        assert run.meta["total"] * 3 == int(run.result.sum())
+        assert run.meta["forward_edges"] == app._fwd.n_edges
+
+    def test_kcore_rounds(self, graph):
+        run = KCoreApp(graph).run("thread-mapped")
+        assert run.meta["rounds"] >= 1
+        assert run.meta["max_core"] == int(run.result.max())
+
+    def test_mis_rounds(self, graph):
+        run = MISApp(graph).run("thread-mapped")
+        assert run.meta["rounds"] >= 1
+        assert run.meta["set_size"] == int(run.result.sum())

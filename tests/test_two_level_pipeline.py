@@ -126,8 +126,12 @@ class TestFingerprintMemoization:
     def test_invalidate_fingerprint_recomputes(self):
         workload = make_workload(seed=11)
         stale = workload.fingerprint()
+        # nnz-conserving edit: streams stay valid, identity must not
         workload.trip_counts = workload.trip_counts.copy()
-        workload.trip_counts[0] += 1
+        src = int(np.flatnonzero(workload.trip_counts > 0)[0])
+        dst = src + 1
+        workload.trip_counts[src] -= 1
+        workload.trip_counts[dst] += 1
         assert workload.fingerprint() == stale  # memo hides the edit
         workload.invalidate_fingerprint()
         assert workload.fingerprint() != stale
